@@ -1,0 +1,66 @@
+// Ablation (Section II-A): the switching decision. How aggressively should
+// a source circuit-switch when the packet-switched network is congested?
+// cs_latency_advantage scales the acceptable circuit latency relative to
+// the estimated packet-switched latency; congestion_gain controls how much
+// observed injection backpressure inflates that estimate.
+//
+// The sweep exposes the paper's central policy tension: an eager policy
+// maximizes circuit usage and wins on structured traffic (tornado), while
+// uniform-random traffic — whose thousands of low-rate pairs each hold
+// rarely-used reservations — prefers a conservative policy.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace hybridnoc;
+using namespace hybridnoc::bench;
+
+int main() {
+  print_banner(std::cout, "Ablation: switching-decision aggressiveness",
+               "36-node mesh near saturation");
+
+  struct Policy {
+    std::string name;
+    double advantage, gain;
+  };
+  const std::vector<Policy> policies = {
+      {"conservative (1.0/1.0)", 1.0, 1.0},
+      {"zero-load-only (1.2/0)", 1.2, 0.0},
+      {"default (1.2/3.0)", 1.2, 3.0},
+      {"eager (1.5/6.0)", 1.5, 6.0},
+  };
+  struct Point {
+    TrafficPattern pattern;
+    double rate;
+  };
+  const std::vector<Point> points = {{TrafficPattern::UniformRandom, 0.40},
+                                     {TrafficPattern::UniformRandom, 0.45},
+                                     {TrafficPattern::Tornado, 0.30},
+                                     {TrafficPattern::Tornado, 0.40}};
+
+  struct Job {
+    Policy policy;
+    Point point;
+  };
+  std::vector<Job> jobs;
+  for (const auto& pol : policies)
+    for (const auto& pt : points) jobs.push_back({pol, pt});
+  const auto results = parallel_map(jobs, [&](const Job& j) {
+    NocConfig cfg = NocConfig::hybrid_tdm_vc4();
+    cfg.cs_latency_advantage = j.policy.advantage;
+    cfg.congestion_gain = j.policy.gain;
+    return run_synthetic(cfg, synth_params(j.point.pattern, j.point.rate));
+  });
+
+  TextTable t({"policy", "pattern", "rate", "latency", "accepted", "cs flits"});
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const auto& r = results[i];
+    t.add_row({jobs[i].policy.name, traffic_pattern_name(jobs[i].point.pattern),
+               TextTable::num(jobs[i].point.rate, 2),
+               TextTable::num(r.avg_latency, 1) + (r.saturated ? "*" : ""),
+               TextTable::num(r.accepted_rate, 3),
+               TextTable::pct(r.cs_flit_fraction, 1)});
+  }
+  t.print(std::cout);
+  return 0;
+}

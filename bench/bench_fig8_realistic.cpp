@@ -1,0 +1,87 @@
+// Figure 8: the heterogeneous evaluation over all 56 CPUxGPU workload mixes.
+//   (a) network energy saving vs Packet-VC4 for Hybrid-TDM-VC4,
+//       Hybrid-TDM-hop-VC4 and Hybrid-TDM-hop-VCt
+//       (paper averages: 6.3%, 9.0%, 17.1%; up to 23.8% for BLACKSCHOLES;
+//        STO negative for the basic scheme),
+//   (b) CPU speedup (paper: ~ -1.6% for the full scheme),
+//   (c) GPU speedup (paper: +2.6% average).
+// Rows are grouped by GPU benchmark; AVG is the geometric mean, as in the
+// paper. Pass a GPU benchmark name as argv[1] to restrict the mix set.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hetero/hetero_system.hpp"
+
+using namespace hybridnoc;
+using namespace hybridnoc::bench;
+
+namespace {
+
+struct MixResult {
+  WorkloadMix mix;
+  // [0]=baseline, then the three hybrid schemes.
+  std::array<HeteroMetrics, 4> m;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_banner(std::cout, "Figure 8: heterogeneous workload mixes (Table II system)",
+               "paper: energy saving avg 6.3% / 9.0% / 17.1%; CPU -1.6%; "
+               "GPU +2.6% avg");
+
+  const std::string only_gpu = argc > 1 ? argv[1] : "";
+  const auto [warmup, measure] = hetero_windows();
+  const auto configs = fig8_configs();
+
+  std::vector<WorkloadMix> mixes;
+  for (const auto& g : gpu_benchmarks()) {
+    if (!only_gpu.empty() && g.name != only_gpu) continue;
+    for (const auto& c : cpu_benchmarks()) mixes.push_back({c, g});
+  }
+
+  const auto results = parallel_map(mixes, [&](const WorkloadMix& mix) {
+    MixResult r;
+    r.mix = mix;
+    for (size_t i = 0; i < configs.size(); ++i) {
+      HeteroSystem sys(configs[i].cfg, mix, 1);
+      r.m[i] = sys.run(warmup, measure);
+    }
+    return r;
+  });
+
+  TextTable t({"mix", "save VC4", "save hop-VC4", "save hop-VCt", "CPU spd",
+               "GPU spd", "cs flits"});
+  std::array<std::vector<double>, 3> savings;
+  std::vector<double> cpu_spd, gpu_spd;
+  std::string group;
+  for (const auto& r : results) {
+    if (r.mix.gpu.name != group) {
+      group = r.mix.gpu.name;
+      t.add_row({"-- " + group + " --", "", "", "", "", "", ""});
+    }
+    std::array<double, 3> s{};
+    for (int i = 0; i < 3; ++i) {
+      s[static_cast<size_t>(i)] =
+          energy_saving(r.m[0].energy, r.m[static_cast<size_t>(i) + 1].energy);
+      savings[static_cast<size_t>(i)].push_back(
+          1.0 + s[static_cast<size_t>(i)]);  // shifted for geomean
+    }
+    const double cspd = r.m[3].cpu_ipc / r.m[0].cpu_ipc;
+    const double gspd = r.m[3].gpu_throughput / r.m[0].gpu_throughput;
+    cpu_spd.push_back(cspd);
+    gpu_spd.push_back(gspd);
+    t.add_row({r.mix.name(), TextTable::pct(s[0], 1), TextTable::pct(s[1], 1),
+               TextTable::pct(s[2], 1), TextTable::num(cspd, 3),
+               TextTable::num(gspd, 3), TextTable::pct(r.m[1].cs_flit_fraction, 1)});
+  }
+  t.add_row({"AVG (geomean)", TextTable::pct(geomean(savings[0]) - 1.0, 1),
+             TextTable::pct(geomean(savings[1]) - 1.0, 1),
+             TextTable::pct(geomean(savings[2]) - 1.0, 1),
+             TextTable::num(geomean(cpu_spd), 3), TextTable::num(geomean(gpu_spd), 3),
+             ""});
+  t.print(std::cout);
+  std::cout << "\n(speedups are Hybrid-TDM-hop-VCt vs Packet-VC4; cs flits "
+               "column is Hybrid-TDM-VC4, cf. Table III)\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Simulator micro-benchmarks (google-benchmark): raw component speeds that
+// bound every experiment's wall-clock time.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+#include "tdm/hybrid_network.hpp"
+#include "tdm/slot_table.hpp"
+
+namespace hybridnoc {
+namespace {
+
+void BM_SlotTableLookup(benchmark::State& state) {
+  SlotTable t(128, 128);
+  t.reserve(5, 4, Port::West, Port::East);
+  Cycle c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.lookup(c++, Port::West));
+  }
+}
+BENCHMARK(BM_SlotTableLookup);
+
+void BM_SlotTableReserveRelease(benchmark::State& state) {
+  SlotTable t(128, 128);
+  int slot = 0;
+  for (auto _ : state) {
+    t.reserve(slot, 4, Port::West, Port::East);
+    t.release(slot, 4, Port::West);
+    slot = (slot + 8) & 127;
+  }
+}
+BENCHMARK(BM_SlotTableReserveRelease);
+
+void BM_IdleNetworkCycle(benchmark::State& state) {
+  Network net(NocConfig::packet_vc4(6));
+  for (auto _ : state) net.tick();
+  state.SetItemsProcessed(state.iterations() * 36);
+}
+BENCHMARK(BM_IdleNetworkCycle);
+
+void BM_LoadedNetworkCycle(benchmark::State& state) {
+  Network net(NocConfig::packet_vc4(6));
+  Rng rng(1);
+  PacketId id = 1;
+  for (auto _ : state) {
+    for (NodeId s = 0; s < net.num_nodes(); ++s) {
+      if (net.ni(s).inject_queue_depth() < 4 && rng.bernoulli(0.04)) {
+        auto p = std::make_shared<Packet>();
+        p->id = id++;
+        p->src = s;
+        p->dst = static_cast<NodeId>(rng.uniform_int(36));
+        if (p->dst == s) continue;
+        p->num_flits = 5;
+        net.ni(s).send(std::move(p), net.now());
+      }
+    }
+    net.tick();
+  }
+  state.SetItemsProcessed(state.iterations() * 36);
+}
+BENCHMARK(BM_LoadedNetworkCycle);
+
+void BM_HybridNetworkCycle(benchmark::State& state) {
+  HybridNetwork net(NocConfig::hybrid_tdm_vc4(6));
+  Rng rng(1);
+  PacketId id = 1;
+  for (auto _ : state) {
+    for (NodeId s = 0; s < net.num_nodes(); ++s) {
+      if (net.ni(s).inject_queue_depth() < 4 && rng.bernoulli(0.04)) {
+        auto p = std::make_shared<Packet>();
+        p->id = id++;
+        p->src = s;
+        p->dst = static_cast<NodeId>(rng.uniform_int(36));
+        if (p->dst == s) continue;
+        p->num_flits = 5;
+        net.ni(s).send(std::move(p), net.now());
+      }
+    }
+    net.tick();
+  }
+  state.SetItemsProcessed(state.iterations() * 36);
+}
+BENCHMARK(BM_HybridNetworkCycle);
+
+}  // namespace
+}  // namespace hybridnoc
+
+BENCHMARK_MAIN();

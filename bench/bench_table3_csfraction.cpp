@@ -1,0 +1,45 @@
+// Table III: GPU traffic injection ratio (flits/node/cycle) and the
+// percentage of flits that are circuit-switched under Hybrid-TDM-VC4,
+// per GPU benchmark, paper-vs-measured.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hetero/hetero_system.hpp"
+
+using namespace hybridnoc;
+using namespace hybridnoc::bench;
+
+int main() {
+  print_banner(std::cout, "Table III: GPU injection ratio and CS flit share",
+               "Hybrid-TDM-VC4, averaged over a CPU-benchmark sample");
+
+  const auto [warmup, measure] = hetero_windows();
+  std::vector<CpuBenchParams> cpus = {cpu_benchmark("APPLU"),
+                                      cpu_benchmark("SWIM")};
+  if (paper_scale()) cpus = cpu_benchmarks();
+
+  std::vector<GpuBenchParams> gpus = gpu_benchmarks();
+  struct Row {
+    std::string name;
+    double inj = 0, cs = 0, paper_inj = 0, paper_cs = 0;
+  };
+  const auto rows = parallel_map(gpus, [&](const GpuBenchParams& g) {
+    Row r{g.name, 0, 0, g.paper_injection, g.paper_cs_percent};
+    for (const auto& c : cpus) {
+      HeteroSystem sys(NocConfig::hybrid_tdm_vc4(6), {c, g}, 1);
+      const auto m = sys.run(warmup, measure);
+      r.inj += m.gpu_injection_rate / static_cast<double>(cpus.size());
+      r.cs += 100.0 * m.cs_flit_fraction / static_cast<double>(cpus.size());
+    }
+    return r;
+  });
+
+  TextTable t({"GPU benchmark", "inj (flits/node/cyc)", "paper inj",
+               "cs flits %", "paper cs %"});
+  for (const auto& r : rows) {
+    t.add_row({r.name, TextTable::num(r.inj, 3), TextTable::num(r.paper_inj, 2),
+               TextTable::num(r.cs, 1), TextTable::num(r.paper_cs, 1)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Shared plumbing for the reproduction benches: run-scale selection, the
+// standard configuration set, and energy helpers. Every bench prints the
+// paper's rows/series next to our measurements so paper-vs-measured is
+// visible in the raw output (EXPERIMENTS.md records the comparison).
+//
+// Scale: benches default to windows sized for a laptop-class CI run.
+// Set HN_BENCH_SCALE=paper for the paper's 1000-packet warmup /
+// 100000-packet measurement windows.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "power/energy_model.hpp"
+#include "sim/driver.hpp"
+#include "sim/parallel.hpp"
+
+namespace hybridnoc::bench {
+
+inline bool paper_scale() {
+  const char* s = std::getenv("HN_BENCH_SCALE");
+  return s != nullptr && std::string(s) == "paper";
+}
+
+/// Synthetic-run parameters at the selected scale.
+inline RunParams synth_params(TrafficPattern pattern, double rate,
+                              std::uint64_t seed = 1) {
+  RunParams p;
+  p.pattern = pattern;
+  p.injection_rate = rate;
+  p.seed = seed;
+  if (paper_scale()) {
+    p.warmup_packets = 1000;  // Section IV-A
+    p.measure_packets = 100000;
+    p.max_cycles = 2000000;
+  } else {
+    p.warmup_packets = 600;
+    p.measure_packets = 12000;
+    p.max_cycles = 250000;
+  }
+  return p;
+}
+
+/// Heterogeneous-run windows (cycles) at the selected scale.
+inline std::pair<std::uint64_t, std::uint64_t> hetero_windows() {
+  if (paper_scale()) return {20000, 120000};
+  return {5000, 18000};
+}
+
+struct NamedConfig {
+  std::string name;
+  NocConfig cfg;
+};
+
+/// The four synthetic-evaluation configurations of Figure 4.
+inline std::vector<NamedConfig> fig4_configs(int k = 6) {
+  return {
+      {"Packet-VC4", NocConfig::packet_vc4(k)},
+      {"Hybrid-SDM-VC4", NocConfig::hybrid_sdm_vc4(k)},
+      {"Hybrid-TDM-VC4", NocConfig::hybrid_tdm_vc4(k)},
+      {"Hybrid-TDM-VCt", NocConfig::hybrid_tdm_vct(k)},
+  };
+}
+
+/// The heterogeneous-evaluation configurations of Figure 8.
+inline std::vector<NamedConfig> fig8_configs() {
+  return {
+      {"Packet-VC4", NocConfig::packet_vc4(6)},
+      {"Hybrid-TDM-VC4", NocConfig::hybrid_tdm_vc4(6)},
+      {"Hybrid-TDM-hop-VC4", NocConfig::hybrid_tdm_hop_vc4(6)},
+      {"Hybrid-TDM-hop-VCt", NocConfig::hybrid_tdm_hop_vct(6)},
+  };
+}
+
+inline double total_energy_pj(const EnergyCounters& c) {
+  return compute_breakdown(c, EnergyParams::nangate45()).total();
+}
+
+/// "Energy saving" in the paper's sense: 1 - E_config / E_baseline over the
+/// same measurement window and offered workload.
+inline double energy_saving(const EnergyCounters& baseline,
+                            const EnergyCounters& config) {
+  const double eb = total_energy_pj(baseline);
+  if (eb <= 0.0) return 0.0;
+  return 1.0 - total_energy_pj(config) / eb;
+}
+
+inline double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double x : v) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+}  // namespace hybridnoc::bench

@@ -1,0 +1,31 @@
+// Lightweight always-on invariant checks for the simulator.
+//
+// Simulation bugs (mis-routed flits, credit underflow, slot-table corruption)
+// silently skew results if allowed to proceed, so HN_CHECK stays active in
+// release builds. The cost is a predictable branch per check and is invisible
+// next to the per-cycle work of the simulator.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hybridnoc {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "HN_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace hybridnoc
+
+#define HN_CHECK(expr)                                                      \
+  do {                                                                      \
+    if (!(expr)) ::hybridnoc::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define HN_CHECK_MSG(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) ::hybridnoc::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

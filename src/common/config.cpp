@@ -1,0 +1,95 @@
+#include "common/config.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace hybridnoc {
+
+void NocConfig::validate() const {
+  HN_CHECK(k >= 2);
+  HN_CHECK(num_vcs >= 1);
+  HN_CHECK(vc_buffer_depth >= 1);
+  HN_CHECK(ps_data_flits >= 1 && cs_data_flits >= 1 && config_flits >= 1);
+  HN_CHECK(slot_table_size >= 4);
+  HN_CHECK_MSG((slot_table_size & (slot_table_size - 1)) == 0,
+               "slot table size must be a power of two (modulo-S arithmetic)");
+  HN_CHECK(initial_active_slots >= 4 && initial_active_slots <= slot_table_size);
+  HN_CHECK((initial_active_slots & (initial_active_slots - 1)) == 0);
+  HN_CHECK(reservation_threshold > 0.0 && reservation_threshold <= 1.0);
+  HN_CHECK(path_freq_threshold >= 1);
+  HN_CHECK(policy_epoch_cycles >= 1);
+  HN_CHECK(max_setup_retries >= 0);
+  HN_CHECK(cs_latency_advantage > 0.0);
+  HN_CHECK(dlt_entries >= 1);
+  HN_CHECK(vc_threshold_high > vc_threshold_low);
+  HN_CHECK(vc_latency_high > vc_latency_low && vc_latency_low >= 0.0);
+  HN_CHECK(vc_gate_epoch_cycles >= 1);
+  HN_CHECK(min_active_vcs >= 1 && min_active_vcs <= num_vcs);
+  HN_CHECK(sdm_planes >= 2 && channel_bytes % sdm_planes == 0);
+  HN_CHECK(reservation_duration() < slot_table_size);
+}
+
+std::string NocConfig::summary() const {
+  std::ostringstream os;
+  os << router_arch_name(arch) << " k=" << k << " vcs=" << num_vcs
+     << " depth=" << vc_buffer_depth;
+  if (arch == RouterArch::HybridTdm) {
+    os << " slots=" << slot_table_size
+       << (dynamic_slot_sizing ? " dyn-slots" : "")
+       << (time_slot_stealing ? " stealing" : "")
+       << (hitchhiker_sharing ? " hitchhiker" : "")
+       << (vicinity_sharing ? " vicinity" : "");
+  }
+  if (arch == RouterArch::HybridSdm) os << " planes=" << sdm_planes;
+  if (vc_power_gating) os << " vc-gating";
+  return os.str();
+}
+
+NocConfig NocConfig::packet_vc4(int k) {
+  NocConfig c;
+  c.k = k;
+  c.arch = RouterArch::PacketSwitched;
+  return c;
+}
+
+NocConfig NocConfig::hybrid_tdm_vc4(int k) {
+  NocConfig c;
+  c.k = k;
+  c.arch = RouterArch::HybridTdm;
+  // Paper: 128-entry tables at 36 nodes, 256 at >= 64 nodes (Section IV-D).
+  c.slot_table_size = (k * k >= 64) ? 256 : 128;
+  return c;
+}
+
+NocConfig NocConfig::hybrid_tdm_vct(int k) {
+  NocConfig c = hybrid_tdm_vc4(k);
+  c.vc_power_gating = true;
+  return c;
+}
+
+NocConfig NocConfig::hybrid_sdm_vc4(int k) {
+  NocConfig c;
+  c.k = k;
+  c.arch = RouterArch::HybridSdm;
+  return c;
+}
+
+NocConfig NocConfig::hybrid_tdm_hop_vc4(int k) {
+  NocConfig c = hybrid_tdm_vc4(k);
+  c.hitchhiker_sharing = true;
+  c.vicinity_sharing = true;
+  // Section V-B3: "path sharing enables smaller slot tables being used" —
+  // shared paths satisfy the frequent connections with half the table,
+  // halving both the slot wait and the table's leakage.
+  c.slot_table_size /= 2;
+  return c;
+}
+
+NocConfig NocConfig::hybrid_tdm_hop_vct(int k) {
+  NocConfig c = hybrid_tdm_hop_vc4(k);
+  c.vc_power_gating = true;
+  return c;
+}
+
+}  // namespace hybridnoc

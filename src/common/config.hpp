@@ -1,0 +1,134 @@
+// Network and policy configuration. Defaults reproduce Table I of the paper:
+// 36-node 2D mesh, 16-byte channels, 4 VCs x 5-flit buffers, 128-entry slot
+// tables, 1-flit config packets, 4-flit circuit-switched packets, 5-flit
+// packet-switched packets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hybridnoc {
+
+/// Which router microarchitecture the network instantiates.
+enum class RouterArch : std::uint8_t {
+  PacketSwitched,  ///< canonical VC wormhole router (baseline Packet-VC4)
+  HybridTdm,       ///< the paper's TDM hybrid-switched router
+  HybridSdm,       ///< Jerger et al. SDM hybrid baseline
+};
+
+inline const char* router_arch_name(RouterArch a) {
+  switch (a) {
+    case RouterArch::PacketSwitched: return "Packet";
+    case RouterArch::HybridTdm: return "Hybrid-TDM";
+    case RouterArch::HybridSdm: return "Hybrid-SDM";
+  }
+  return "?";
+}
+
+struct NocConfig {
+  // --- topology / canonical router (Table I) ---
+  int k = 6;                ///< mesh is k x k
+  int num_vcs = 4;          ///< virtual channels per input port
+  int vc_buffer_depth = 5;  ///< flits per VC
+  int channel_bytes = 16;
+
+  RouterArch arch = RouterArch::PacketSwitched;
+
+  // --- packet geometry (Table I) ---
+  int ps_data_flits = 5;  ///< packet-switched data packet (header + 64B line)
+  int cs_data_flits = 4;  ///< circuit-switched data packet (no header needed)
+  int config_flits = 1;   ///< setup/teardown/ack messages
+  int ctrl_packet_flits = 1;  ///< request/coherence control messages
+
+  // --- TDM slot tables (Sections II-B/II-C) ---
+  int slot_table_size = 128;
+  bool time_slot_stealing = true;
+  /// Reservations are refused when valid-entry occupancy exceeds this
+  /// fraction, preventing packet-switched starvation (paper uses 0.9).
+  double reservation_threshold = 0.9;
+
+  // --- dynamic time-division granularity (Section II-C) ---
+  bool dynamic_slot_sizing = false;
+  int initial_active_slots = 16;
+  /// Setup failures within one epoch that trigger a table-size doubling.
+  int resize_failure_threshold = 32;
+
+  // --- path establishment policy (Section II-B) ---
+  /// Data packets to one destination within an epoch that make the pair
+  /// "frequently communicating" and worth a circuit.
+  int path_freq_threshold = 6;
+  int policy_epoch_cycles = 1024;
+  int max_setup_retries = 4;
+  /// Maximum reservation windows one source-destination pair may hold.
+  /// This is the "time-division granularity" of Section II-C: each window
+  /// is reservation_duration() slots, so with S slots a pair may own up to
+  /// max_windows_per_pair * duration / S of the path bandwidth. A source
+  /// requests a supplementary window when its existing windows are too busy
+  /// to carry the pair's circuit-eligible traffic.
+  int max_windows_per_pair = 12;
+  /// A connection unused for this many cycles becomes a teardown candidate
+  /// when new setups need room.
+  std::uint64_t path_idle_timeout = 8192;
+
+  // --- switching decision (Sections II-A / V-A2) ---
+  /// A message circuit-switches only if slot-wait + circuit flight time is
+  /// below this multiple of the NI's estimate of packet-switched latency
+  /// toward that destination.
+  double cs_latency_advantage = 1.2;
+  /// Weight of the NI's EWMA injection delay in the packet-switched latency
+  /// estimate (injection backpressure correlates with network congestion).
+  double congestion_gain = 3.0;
+
+  // --- path sharing (Section III-A) ---
+  bool hitchhiker_sharing = false;
+  bool vicinity_sharing = false;
+  int dlt_entries = 8;  ///< Destination Lookup Table capacity per node
+
+  // --- aggressive VC power gating (Section III-B) ---
+  bool vc_power_gating = false;
+  /// Utilization: compare the busy-VC fraction against the thresholds (the
+  /// paper's scheme). Latency: compare the mean buffered-flit residency in
+  /// cycles instead — the "more accurate metric, for example, packet
+  /// latency" the paper's Section V-B4 proposes as future work.
+  enum class VcGateMetric : std::uint8_t { Utilization, Latency };
+  VcGateMetric vc_gate_metric = VcGateMetric::Utilization;
+  double vc_threshold_high = 0.35;
+  double vc_threshold_low = 0.06;
+  /// Thresholds for the latency metric, in cycles of mean buffer residency.
+  double vc_latency_high = 6.0;
+  double vc_latency_low = 3.2;
+  int vc_gate_epoch_cycles = 512;
+  /// Two VCs stay on so one long packet cannot head-of-line block a port.
+  int min_active_vcs = 2;
+
+  // --- SDM baseline ---
+  int sdm_planes = 4;  ///< physical link planes (channel_bytes / planes each)
+
+  std::uint64_t seed = 1;
+
+  int num_nodes() const { return k * k; }
+
+  /// Slots one reservation occupies: data flits, +1 header when
+  /// vicinity-sharing is on (Section III-A2).
+  int reservation_duration() const {
+    return cs_data_flits + (vicinity_sharing ? 1 : 0);
+  }
+
+  /// Aborts (HN_CHECK) on inconsistent parameter combinations.
+  void validate() const;
+
+  /// Human-readable one-line summary for bench headers.
+  std::string summary() const;
+
+  // --- named configurations used throughout the evaluation ---
+  static NocConfig packet_vc4(int k = 6);      ///< baseline Packet-VC4
+  static NocConfig hybrid_tdm_vc4(int k = 6);  ///< Hybrid-TDM-VC4
+  static NocConfig hybrid_tdm_vct(int k = 6);  ///< Hybrid-TDM-VCt (+VC gating)
+  static NocConfig hybrid_sdm_vc4(int k = 6);  ///< Hybrid-SDM-VC4
+  /// Hybrid-TDM-hop-VC4: + hitchhiker & vicinity sharing.
+  static NocConfig hybrid_tdm_hop_vc4(int k = 6);
+  /// Hybrid-TDM-hop-VCt: + sharing + aggressive VC power gating.
+  static NocConfig hybrid_tdm_hop_vct(int k = 6);
+};
+
+}  // namespace hybridnoc

@@ -1,0 +1,75 @@
+// 2D-mesh coordinate helpers. Node ids are row-major: id = y * k + x with
+// x growing eastward and y growing southward.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/types.hpp"
+
+namespace hybridnoc {
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+class Mesh {
+ public:
+  explicit Mesh(int k) : k_(k) { HN_CHECK(k >= 2); }
+
+  int k() const { return k_; }
+  int num_nodes() const { return k_ * k_; }
+
+  Coord coord(NodeId n) const {
+    HN_CHECK(valid(n));
+    return {static_cast<int>(n) % k_, static_cast<int>(n) / k_};
+  }
+
+  NodeId node(Coord c) const {
+    HN_CHECK(c.x >= 0 && c.x < k_ && c.y >= 0 && c.y < k_);
+    return static_cast<NodeId>(c.y * k_ + c.x);
+  }
+
+  bool valid(NodeId n) const { return n >= 0 && n < num_nodes(); }
+
+  int hop_distance(NodeId a, NodeId b) const {
+    const Coord ca = coord(a), cb = coord(b);
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+  }
+
+  /// True if `a` and `b` are mesh neighbours (Manhattan distance 1); this is
+  /// the "vicinity" used by vicinity-sharing (Section III-A2).
+  bool adjacent(NodeId a, NodeId b) const { return hop_distance(a, b) == 1; }
+
+  bool has_neighbor(NodeId n, Port p) const {
+    const Coord c = coord(n);
+    switch (p) {
+      case Port::North: return c.y > 0;
+      case Port::South: return c.y < k_ - 1;
+      case Port::West: return c.x > 0;
+      case Port::East: return c.x < k_ - 1;
+      case Port::Local: return false;
+    }
+    return false;
+  }
+
+  NodeId neighbor(NodeId n, Port p) const {
+    HN_CHECK(has_neighbor(n, p));
+    Coord c = coord(n);
+    switch (p) {
+      case Port::North: --c.y; break;
+      case Port::South: ++c.y; break;
+      case Port::West: --c.x; break;
+      case Port::East: ++c.x; break;
+      case Port::Local: break;
+    }
+    return node(c);
+  }
+
+ private:
+  int k_;
+};
+
+}  // namespace hybridnoc

@@ -1,0 +1,75 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace hybridnoc {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // All-zero state is the one invalid state for xoshiro; splitmix64 cannot
+  // produce four zeros from any seed, but keep the guard explicit.
+  HN_CHECK(s_[0] | s_[1] | s_[2] | s_[3]);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  HN_CHECK(n > 0);
+  const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  HN_CHECK(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  uniform_int(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::uint64_t Rng::geometric(double p) {
+  HN_CHECK(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  const double u = uniform();
+  return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xd2b74407b1ce6e93ULL); }
+
+}  // namespace hybridnoc

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All stochastic behaviour (traffic destinations, injection processes,
+// benchmark models) draws from explicitly seeded Rng instances so that every
+// experiment is bit-reproducible. xoshiro256** is used for its speed and
+// statistical quality; seeding goes through splitmix64 as recommended by the
+// generator's authors.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace hybridnoc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  bool bernoulli(double p);
+
+  /// Geometric number of failures before a success; mean = (1-p)/p.
+  /// Used for inter-event gaps in the workload models.
+  std::uint64_t geometric(double p);
+
+  /// Derive an independent stream (e.g. one per network node).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hybridnoc

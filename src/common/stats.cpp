@@ -1,0 +1,81 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hybridnoc {
+
+void StatAccumulator::add(double v) {
+  ++count_;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (v - mean_);
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void StatAccumulator::merge(const StatAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void StatAccumulator::reset() { *this = StatAccumulator(); }
+
+double StatAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double bucket_width, int num_buckets)
+    : bucket_width_(bucket_width), buckets_(static_cast<size_t>(num_buckets), 0) {
+  HN_CHECK(bucket_width > 0.0 && num_buckets > 0);
+}
+
+void Histogram::add(double v) {
+  ++total_;
+  if (v < 0.0) v = 0.0;
+  const auto idx = static_cast<size_t>(v / bucket_width_);
+  if (idx >= buckets_.size()) {
+    ++overflow_;
+  } else {
+    ++buckets_[idx];
+  }
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  overflow_ = 0;
+  total_ = 0;
+}
+
+double Histogram::quantile(double q) const {
+  HN_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cum + static_cast<double>(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(buckets_[i]);
+      return (static_cast<double>(i) + frac) * bucket_width_;
+    }
+    cum = next;
+  }
+  return static_cast<double>(buckets_.size()) * bucket_width_;
+}
+
+}  // namespace hybridnoc

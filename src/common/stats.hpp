@@ -1,0 +1,90 @@
+// Streaming statistics containers used by the simulator's measurement layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hybridnoc {
+
+/// Single-pass accumulator: count, mean, variance (Welford), min, max.
+class StatAccumulator {
+ public:
+  void add(double v);
+  void merge(const StatAccumulator& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width linear histogram with an overflow bucket; used for latency
+/// distributions and slot-wait distributions.
+class Histogram {
+ public:
+  Histogram(double bucket_width, int num_buckets);
+
+  void add(double v);
+  void reset();
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket(int i) const { return buckets_[static_cast<size_t>(i)]; }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  std::uint64_t overflow() const { return overflow_; }
+  double bucket_width() const { return bucket_width_; }
+
+  /// Value below which `q` (0..1) of the samples fall; linear interpolation
+  /// within a bucket, overflow counted at the top edge.
+  double quantile(double q) const;
+
+ private:
+  double bucket_width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Windowed rate meter: events per cycle over the most recent epoch.
+/// Backs the VC-utilisation and path-frequency policies.
+class EpochRate {
+ public:
+  explicit EpochRate(std::uint64_t epoch_cycles) : epoch_(epoch_cycles) {
+    HN_CHECK(epoch_cycles > 0);
+  }
+
+  void record(std::uint64_t n = 1) { current_ += n; }
+
+  /// Advance to `cycle`; rolls the window when the epoch boundary passes.
+  void tick(std::uint64_t cycle) {
+    if (cycle >= epoch_start_ + epoch_) {
+      last_rate_ = static_cast<double>(current_) / static_cast<double>(epoch_);
+      current_ = 0;
+      epoch_start_ = cycle;
+    }
+  }
+
+  double rate() const { return last_rate_; }
+
+ private:
+  std::uint64_t epoch_;
+  std::uint64_t epoch_start_ = 0;
+  std::uint64_t current_ = 0;
+  double last_rate_ = 0.0;
+};
+
+}  // namespace hybridnoc

@@ -1,0 +1,38 @@
+// Small text-table / CSV emitter shared by the benchmark harnesses so every
+// bench prints its rows in a consistent, paper-comparable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hybridnoc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Pretty-printed, column-aligned table.
+  void print(std::ostream& os) const;
+
+  /// Machine-readable CSV (same rows).
+  void print_csv(std::ostream& os) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "== title ==" banner used by every bench binary.
+void print_banner(std::ostream& os, const std::string& title,
+                  const std::string& subtitle = "");
+
+}  // namespace hybridnoc

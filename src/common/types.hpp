@@ -1,0 +1,152 @@
+// Core value types shared by every module: node/packet identifiers, mesh
+// ports, message classes and the flit/packet records that travel the network.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace hybridnoc {
+
+using Cycle = std::uint64_t;
+using NodeId = std::int32_t;
+using PacketId = std::uint64_t;
+
+constexpr NodeId kInvalidNode = -1;
+
+/// Router port directions on a 2D mesh. Local is the NI injection/ejection
+/// port; the four cardinal ports connect to neighbouring routers.
+enum class Port : std::uint8_t { Local = 0, North, East, South, West };
+constexpr int kNumPorts = 5;
+constexpr int kInvalidPort = -1;
+
+inline const char* port_name(Port p) {
+  switch (p) {
+    case Port::Local: return "local";
+    case Port::North: return "north";
+    case Port::East: return "east";
+    case Port::South: return "south";
+    case Port::West: return "west";
+  }
+  return "?";
+}
+
+/// Returns the port on the neighbouring router that faces back at `p`.
+inline Port opposite(Port p) {
+  switch (p) {
+    case Port::North: return Port::South;
+    case Port::South: return Port::North;
+    case Port::East: return Port::West;
+    case Port::West: return Port::East;
+    case Port::Local: return Port::Local;
+  }
+  return Port::Local;
+}
+
+/// Network-level message kinds. Data messages carry workload payloads;
+/// the other three implement the circuit-switched path configuration
+/// protocol of Section II-B of the paper.
+enum class MsgType : std::uint8_t {
+  Data,
+  SetupRequest,  ///< reserves slots hop by hop toward the destination
+  Teardown,      ///< releases slots along a (partially) reserved path
+  AckSuccess,    ///< destination reached; circuit is usable
+  AckFailure,    ///< reservation conflict; source must retry or give up
+};
+
+inline const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::Data: return "data";
+    case MsgType::SetupRequest: return "setup";
+    case MsgType::Teardown: return "teardown";
+    case MsgType::AckSuccess: return "ack+";
+    case MsgType::AckFailure: return "ack-";
+  }
+  return "?";
+}
+
+/// How a message traverses the fabric.
+enum class Switching : std::uint8_t { Packet, Circuit };
+
+/// Coarse producer classes used for statistics and per-class policies.
+enum class TrafficClass : std::uint8_t { Synthetic, Cpu, Gpu, Config };
+
+/// One network packet. Flits hold a shared_ptr to their packet so that any
+/// router stage can reach routing and accounting metadata without copying it
+/// into every flit.
+struct Packet {
+  PacketId id = 0;
+  NodeId src = kInvalidNode;
+  /// Network destination of this traversal. Under vicinity-sharing this is
+  /// the hop-off node; `final_dst` then holds the true destination.
+  NodeId dst = kInvalidNode;
+  NodeId final_dst = kInvalidNode;
+  MsgType type = MsgType::Data;
+  Switching switching = Switching::Packet;
+  TrafficClass traffic_class = TrafficClass::Synthetic;
+  int num_flits = 1;
+
+  Cycle created = 0;   ///< when the producer generated the message
+  Cycle injected = 0;  ///< when the head flit left the source NI queue
+
+  // --- configuration-message payload (Section II-B) ---
+  /// First reserved slot at the *next* router the message will enter.
+  int slot_id = -1;
+  /// Number of consecutive slots each reservation needs.
+  int duration = 0;
+  /// Teardown only: the router at which the corresponding setup failed (the
+  /// failure ack's source). The teardown evaporates there WITHOUT releasing —
+  /// the entries at the fail node belong to the conflicting connection, not
+  /// to the path being destroyed. kInvalidNode = walk to the destination.
+  NodeId teardown_stop = kInvalidNode;
+
+  /// Opaque token for request/reply matching in the heterogeneous model.
+  std::uint64_t payload = 0;
+
+  /// GPU message slack in cycles (Section V-A2): the transmission delay this
+  /// message tolerates without hurting performance, estimated from the number
+  /// of ready warps. Negative = no slack information (use the latency-based
+  /// switching decision instead).
+  std::int64_t slack = -1;
+  /// May this message use the circuit-switched network at all? (The paper
+  /// packet-switches all CPU traffic and hybrid-switches only GPU messages
+  /// in the heterogeneous evaluation.)
+  bool cs_eligible = true;
+  /// Set on packets an NI re-injects (vicinity hop-off, hitchhiker bounce)
+  /// so they are not double-counted as new workload packets.
+  bool reinjected = false;
+
+  // --- hitchhiker-sharing metadata (Section III-A1) ---
+  /// Input port (at the hop-on router) of the shared slot-table entry the
+  /// message rides, and that entry's output port. Set by the source NI from
+  /// its Destination Lookup Table; -1 when not hitchhiking.
+  int share_in_port = -1;
+  int share_out_port = -1;
+
+  bool is_hitchhiker() const { return share_in_port >= 0; }
+
+  bool is_config() const { return type != MsgType::Data; }
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+enum class FlitType : std::uint8_t { Head, Body, Tail, HeadTail };
+
+/// Unit of flow control: 16 bytes on the wire (Table I).
+struct Flit {
+  PacketPtr pkt;
+  FlitType type = FlitType::HeadTail;
+  int seq = 0;  ///< position within the packet, 0-based
+  Switching switching = Switching::Packet;
+  /// Virtual channel at the input port this flit is heading into; chosen by
+  /// the upstream VC allocator. Unused for circuit-switched flits.
+  int vc = 0;
+
+  bool is_head() const { return type == FlitType::Head || type == FlitType::HeadTail; }
+  bool is_tail() const { return type == FlitType::Tail || type == FlitType::HeadTail; }
+  bool valid() const { return pkt != nullptr; }
+};
+
+}  // namespace hybridnoc

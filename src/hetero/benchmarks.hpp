@@ -1,0 +1,55 @@
+// Benchmark parameter registry standing in for SPEC OMP2001 (CPU) and
+// GPGPU-Sim/Rodinia (GPU) workloads. The parameters are behavioural
+// summaries — miss intensities, memory-level parallelism, compute/memory
+// ratio, destination locality — chosen so each benchmark reproduces the
+// published network-level signature: GPU injection ratios and
+// circuit-switched fractions of Table III, and the CPU's moderate,
+// latency-sensitive coherence traffic. See DESIGN.md for the substitution
+// rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hybridnoc {
+
+struct CpuBenchParams {
+  std::string name;
+  double mpki;           ///< L1 misses per 1000 instructions
+  int mlp;               ///< maximum outstanding misses per core
+  double ipc_peak;       ///< retire rate when not blocked on the miss window
+  double l2_miss_rate;   ///< fraction of L2 accesses that go to memory
+  double writeback_rate; ///< writebacks per miss
+};
+
+struct GpuBenchParams {
+  std::string name;
+  /// Mean compute cycles a warp runs between memory requests.
+  double compute_cycles;
+  /// Fraction of requests hitting the SM's few "home" L2 banks — the
+  /// communication-pair concentration that makes circuits worthwhile.
+  double locality;
+  /// Number of home banks per SM (lower = more concentrated).
+  int home_banks;
+  /// Fraction of loads that block their warp until the reply returns; the
+  /// rest are non-blocking (MSHR-covered streaming accesses) whose replies
+  /// only consume bandwidth. Streaming kernels are mostly non-blocking —
+  /// that is what lets them tolerate circuit-switching delay.
+  double blocking_fraction;
+  double l2_miss_rate;
+  /// Paper-reported injection ratio (flits/node/cycle, Table III) — used by
+  /// the benches to report paper-vs-measured.
+  double paper_injection;
+  /// Paper-reported circuit-switched flit percentage (Table III).
+  double paper_cs_percent;
+};
+
+/// The 8 CPU benchmarks of Section V-A1 (SPEC OMP2001).
+const std::vector<CpuBenchParams>& cpu_benchmarks();
+/// The 7 GPU benchmarks of Section V-A1 (GPGPU-Sim + Rodinia).
+const std::vector<GpuBenchParams>& gpu_benchmarks();
+
+const CpuBenchParams& cpu_benchmark(const std::string& name);
+const GpuBenchParams& gpu_benchmark(const std::string& name);
+
+}  // namespace hybridnoc

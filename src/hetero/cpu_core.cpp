@@ -1,0 +1,48 @@
+#include "hetero/cpu_core.hpp"
+
+namespace hybridnoc {
+
+CpuCore::CpuCore(NodeId node, const CpuBenchParams& params, Rng rng,
+                 IssueFn issue_miss, IssueFn writeback)
+    : node_(node),
+      params_(params),
+      rng_(rng),
+      issue_miss_(std::move(issue_miss)),
+      writeback_(std::move(writeback)),
+      next_addr_(static_cast<std::uint64_t>(node) * 7919) {
+  roll_next_gap();
+}
+
+void CpuCore::roll_next_gap() {
+  // Geometric miss gap with mean 1000/mpki instructions.
+  const double p = params_.mpki / 1000.0;
+  next_gap_ = 1.0 + static_cast<double>(rng_.geometric(p));
+}
+
+void CpuCore::tick(Cycle now) {
+  (void)now;
+  if (stalled()) return;
+  retire_credit_ += params_.ipc_peak;
+  while (retire_credit_ >= 1.0) {
+    retire_credit_ -= 1.0;
+    ++instructions_;
+    since_miss_ += 1.0;
+    if (since_miss_ >= next_gap_) {
+      since_miss_ = 0.0;
+      roll_next_gap();
+      ++outstanding_;
+      const std::uint64_t addr = next_addr_ + rng_.next_u64();
+      issue_miss_(addr);
+      if (rng_.bernoulli(params_.writeback_rate)) writeback_(addr + 1);
+      if (stalled()) break;  // window full: stop retiring this cycle
+    }
+  }
+}
+
+void CpuCore::on_reply(Cycle now) {
+  (void)now;
+  HN_CHECK(outstanding_ > 0);
+  --outstanding_;
+}
+
+}  // namespace hybridnoc

@@ -1,0 +1,55 @@
+// MLP-limited out-of-order CPU core model (the Simics/GEMS substitute).
+//
+// The core retires up to ipc_peak instructions per cycle while fewer than
+// `mlp` misses are outstanding, and stalls completely when the miss window
+// is full — the first-order behaviour that makes CPU performance a function
+// of round-trip memory latency, which is exactly the sensitivity the paper's
+// CPU-speedup results measure. L1-miss inter-arrival gaps are geometric with
+// mean 1000/mpki instructions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "hetero/benchmarks.hpp"
+
+namespace hybridnoc {
+
+class CpuCore {
+ public:
+  /// `issue_miss(line_addr)` sends the L1-miss request into the system;
+  /// `writeback(line_addr)` emits an eviction writeback.
+  using IssueFn = std::function<void(std::uint64_t line_addr)>;
+
+  CpuCore(NodeId node, const CpuBenchParams& params, Rng rng, IssueFn issue_miss,
+          IssueFn writeback);
+
+  void tick(Cycle now);
+  /// A miss reply arrived; the window frees one slot.
+  void on_reply(Cycle now);
+
+  NodeId node() const { return node_; }
+  int outstanding() const { return outstanding_; }
+  bool stalled() const { return outstanding_ >= params_.mlp; }
+  std::uint64_t instructions_retired() const { return instructions_; }
+
+ private:
+  void roll_next_gap();
+
+  NodeId node_;
+  CpuBenchParams params_;
+  Rng rng_;
+  IssueFn issue_miss_;
+  IssueFn writeback_;
+
+  int outstanding_ = 0;
+  double retire_credit_ = 0.0;
+  std::uint64_t instructions_ = 0;
+  double since_miss_ = 0.0;
+  double next_gap_ = 0.0;
+  std::uint64_t next_addr_ = 0;
+};
+
+}  // namespace hybridnoc

@@ -1,0 +1,244 @@
+#include "hetero/hetero_system.hpp"
+
+namespace hybridnoc {
+
+HeteroSystem::HeteroSystem(const NocConfig& cfg, const WorkloadMix& mix,
+                           std::uint64_t seed)
+    : cfg_(cfg), mix_(mix), tiles_(TileMap::hetero36()), rng_(seed) {
+  HN_CHECK_MSG(cfg.k == tiles_.k(), "hetero system requires a 6x6 mesh");
+  net_ = make_network(cfg_);
+  net_->set_deliver_handler(
+      [this](const PacketPtr& p, Cycle at) { on_deliver(p, at); });
+
+  for (size_t i = 0; i < tiles_.cpus().size(); ++i) {
+    const NodeId n = tiles_.cpus()[i];
+    core_at_[n] = static_cast<int>(i);
+    const int idx = static_cast<int>(i);
+    cores_.push_back(std::make_unique<CpuCore>(
+        n, mix_.cpu, rng_.split(),
+        [this, idx](std::uint64_t addr) { issue_cpu_miss(idx, addr); },
+        [this, idx](std::uint64_t addr) { issue_cpu_writeback(idx, addr); }));
+  }
+  for (size_t i = 0; i < tiles_.accels().size(); ++i) {
+    const NodeId n = tiles_.accels()[i];
+    sm_at_[n] = static_cast<int>(i);
+    const int idx = static_cast<int>(i);
+    sms_.push_back(std::make_unique<GpuSm>(
+        n, mix_.gpu, idx, rng_.split(),
+        [this, idx](int warp, std::uint64_t addr, std::int64_t slack) {
+          issue_gpu_request(idx, warp, addr, slack);
+        }));
+  }
+  for (size_t i = 0; i < tiles_.l2_banks().size(); ++i) {
+    const NodeId n = tiles_.l2_banks()[i];
+    bank_at_[n] = static_cast<int>(i);
+    banks_.push_back(std::make_unique<L2Bank>(n));
+  }
+  for (size_t i = 0; i < tiles_.mems().size(); ++i) {
+    const NodeId n = tiles_.mems()[i];
+    mem_at_[n] = static_cast<int>(i);
+    mems_.push_back(std::make_unique<MemController>(n));
+  }
+}
+
+void HeteroSystem::send_msg(NodeId src, NodeId dst, int flits, TrafficClass cls,
+                            bool cs_eligible, std::int64_t slack,
+                            std::uint64_t key) {
+  auto p = std::make_shared<Packet>();
+  p->id = next_pkt_id_++;
+  p->src = src;
+  p->dst = dst;
+  p->num_flits = flits;
+  p->traffic_class = cls;
+  p->cs_eligible = cs_eligible;
+  p->slack = slack;
+  p->payload = key;
+  net_->send(std::move(p));
+}
+
+void HeteroSystem::issue_cpu_miss(int core_index, std::uint64_t addr) {
+  const NodeId requester = cores_[static_cast<size_t>(core_index)]->node();
+  const std::uint64_t key = next_key_++;
+  Transaction t;
+  t.requester = requester;
+  t.l2 = tiles_.l2_home(addr);
+  t.mem = tiles_.mem_home(addr);
+  t.gpu = false;
+  t.l2_miss = rng_.bernoulli(mix_.cpu.l2_miss_rate);
+  txns_[key] = t;
+  // All CPU traffic is packet-switched (Section V-A2).
+  send_msg(requester, t.l2, cfg_.ctrl_packet_flits, TrafficClass::Cpu,
+           /*cs_eligible=*/false, -1, key);
+}
+
+void HeteroSystem::issue_cpu_writeback(int core_index, std::uint64_t addr) {
+  const NodeId requester = cores_[static_cast<size_t>(core_index)]->node();
+  // Fire-and-forget eviction: 5-flit data packet, key 0 (no transaction).
+  send_msg(requester, tiles_.l2_home(addr), cfg_.ps_data_flits, TrafficClass::Cpu,
+           /*cs_eligible=*/false, -1, 0);
+}
+
+void HeteroSystem::issue_gpu_request(int sm_index, int warp, std::uint64_t addr,
+                                     std::int64_t slack) {
+  GpuSm& sm = *sms_[static_cast<size_t>(sm_index)];
+  const std::uint64_t key = next_key_++;
+  Transaction t;
+  t.requester = sm.node();
+  // Benchmark-dependent locality: most requests hit the SM's few home banks,
+  // concentrating traffic on few source-destination pairs.
+  if (rng_.bernoulli(mix_.gpu.locality)) {
+    const auto& l2s = tiles_.l2_banks();
+    const int home = (sm_index * mix_.gpu.home_banks +
+                      static_cast<int>(addr % static_cast<std::uint64_t>(
+                                                  mix_.gpu.home_banks))) %
+                     static_cast<int>(l2s.size());
+    t.l2 = l2s[static_cast<size_t>(home)];
+  } else {
+    t.l2 = tiles_.l2_home(addr);
+  }
+  t.mem = tiles_.mem_home(addr);
+  t.gpu = true;
+  t.warp = warp;
+  t.slack = slack;
+  t.l2_miss = rng_.bernoulli(mix_.gpu.l2_miss_rate);
+  txns_[key] = t;
+  send_msg(t.requester, t.l2, cfg_.ctrl_packet_flits, TrafficClass::Gpu,
+           /*cs_eligible=*/false, slack, key);
+}
+
+void HeteroSystem::on_deliver(const PacketPtr& pkt, Cycle at) {
+  if (pkt->payload == 0) return;  // writeback: absorbed at the L2
+  const auto it = txns_.find(pkt->payload);
+  HN_CHECK_MSG(it != txns_.end(), "delivery for unknown transaction");
+  Transaction& t = it->second;
+  const NodeId here = pkt->final_dst;
+  using Phase = Transaction::Phase;
+
+  switch (t.phase) {
+    case Phase::ReqToL2:
+      HN_CHECK(here == t.l2);
+      t.phase = Phase::AtL2;
+      banks_[static_cast<size_t>(bank_at_.at(here))]->access(pkt->payload, at);
+      break;
+    case Phase::ReqToMem:
+      HN_CHECK(here == t.mem);
+      t.phase = Phase::AtMem;
+      mems_[static_cast<size_t>(mem_at_.at(here))]->access(pkt->payload, at);
+      break;
+    case Phase::DataToL2:
+      HN_CHECK(here == t.l2);
+      t.phase = Phase::AtL2Fill;
+      banks_[static_cast<size_t>(bank_at_.at(here))]->access(pkt->payload, at);
+      break;
+    case Phase::ReplyToRequester: {
+      HN_CHECK(here == t.requester);
+      if (t.gpu) {
+        sms_[static_cast<size_t>(sm_at_.at(here))]->on_reply(t.warp, at);
+      } else {
+        cores_[static_cast<size_t>(core_at_.at(here))]->on_reply(at);
+      }
+      txns_.erase(it);
+      break;
+    }
+    case Phase::AtL2:
+    case Phase::AtMem:
+    case Phase::AtL2Fill:
+      HN_CHECK_MSG(false, "delivery while transaction is inside a unit");
+  }
+}
+
+void HeteroSystem::l2_complete(std::uint64_t key) {
+  const auto it = txns_.find(key);
+  HN_CHECK(it != txns_.end());
+  Transaction& t = it->second;
+  using Phase = Transaction::Phase;
+  const TrafficClass cls = t.gpu ? TrafficClass::Gpu : TrafficClass::Cpu;
+  if (t.phase == Phase::AtL2 && t.l2_miss) {
+    t.phase = Phase::ReqToMem;
+    send_msg(t.l2, t.mem, cfg_.ctrl_packet_flits, cls, /*cs_eligible=*/false,
+             t.slack, key);
+  } else {
+    HN_CHECK(t.phase == Phase::AtL2 || t.phase == Phase::AtL2Fill);
+    t.phase = Phase::ReplyToRequester;
+    // Data replies: circuit-switch eligible for GPU messages only.
+    send_msg(t.l2, t.requester, cfg_.ps_data_flits, cls, t.gpu, t.slack, key);
+  }
+}
+
+void HeteroSystem::mem_complete(std::uint64_t key) {
+  const auto it = txns_.find(key);
+  HN_CHECK(it != txns_.end());
+  Transaction& t = it->second;
+  HN_CHECK(t.phase == Transaction::Phase::AtMem);
+  t.phase = Transaction::Phase::DataToL2;
+  const TrafficClass cls = t.gpu ? TrafficClass::Gpu : TrafficClass::Cpu;
+  send_msg(t.mem, t.l2, cfg_.ps_data_flits, cls, t.gpu, t.slack, key);
+}
+
+void HeteroSystem::tick() {
+  const Cycle now = net_->now();
+  for (auto& c : cores_) c->tick(now);
+  for (auto& s : sms_) s->tick(now);
+  for (auto& b : banks_) {
+    b->tick(now, [this](std::uint64_t key) { l2_complete(key); });
+  }
+  for (auto& m : mems_) {
+    m->tick(now, [this](std::uint64_t key) { mem_complete(key); });
+  }
+  net_->tick();
+}
+
+std::uint64_t HeteroSystem::total_cpu_instructions() const {
+  std::uint64_t t = 0;
+  for (const auto& c : cores_) t += c->instructions_retired();
+  return t;
+}
+
+std::uint64_t HeteroSystem::total_gpu_transactions() const {
+  std::uint64_t t = 0;
+  for (const auto& s : sms_) t += s->transactions_completed();
+  return t;
+}
+
+HeteroMetrics HeteroSystem::run(std::uint64_t warmup_cycles,
+                                std::uint64_t measure_cycles) {
+  for (std::uint64_t i = 0; i < warmup_cycles; ++i) tick();
+
+  const std::uint64_t instr0 = total_cpu_instructions();
+  const std::uint64_t gpu0 = total_gpu_transactions();
+  const EnergyCounters e0 = net_->energy();
+  const std::uint64_t ps0 = net_->ps_flits();
+  const std::uint64_t cs0 = net_->cs_flits();
+  const std::uint64_t cf0 = net_->config_flits();
+  const std::uint64_t gpu_flits0 = net_->flits_of_class(TrafficClass::Gpu);
+  const std::uint64_t cpu_flits0 = net_->flits_of_class(TrafficClass::Cpu);
+
+  for (std::uint64_t i = 0; i < measure_cycles; ++i) tick();
+
+  HeteroMetrics m;
+  m.cycles = measure_cycles;
+  m.cpu_ipc = static_cast<double>(total_cpu_instructions() - instr0) /
+              (static_cast<double>(measure_cycles) *
+               static_cast<double>(cores_.size()));
+  m.gpu_throughput = static_cast<double>(total_gpu_transactions() - gpu0) /
+                     static_cast<double>(measure_cycles);
+  m.energy = net_->energy() - e0;
+
+  const double ps = static_cast<double>(net_->ps_flits() - ps0);
+  const double cs = static_cast<double>(net_->cs_flits() - cs0);
+  const double cf = static_cast<double>(net_->config_flits() - cf0);
+  const double node_cycles = static_cast<double>(measure_cycles) *
+                             static_cast<double>(tiles_.num_tiles());
+  m.injection_rate = (ps + cs + cf) / node_cycles;
+  m.gpu_injection_rate =
+      static_cast<double>(net_->flits_of_class(TrafficClass::Gpu) - gpu_flits0) /
+      node_cycles;
+  m.cpu_injection_rate =
+      static_cast<double>(net_->flits_of_class(TrafficClass::Cpu) - cpu_flits0) /
+      node_cycles;
+  if (ps + cs > 0) m.cs_flit_fraction = cs / (ps + cs);
+  if (ps + cs + cf > 0) m.config_flit_fraction = cf / (ps + cs + cf);
+  return m;
+}
+
+}  // namespace hybridnoc

@@ -1,0 +1,116 @@
+// The heterogeneous 36-tile system of Section V (Figure 7): 8 CPU cores,
+// 12 accelerator SMs, 12 shared-L2 banks and 4 memory controllers, glued
+// together by any of the three interconnects. One CPU benchmark runs across
+// all CPU tiles and one GPU kernel across all accelerator tiles, exactly
+// like the paper's workload mixes.
+//
+// Message flows (all over the NoC):
+//   CPU:  C --1-flit req--> L2 [--1-flit--> M --5-flit--> L2] --5-flit--> C
+//         plus 5-flit writebacks C -> L2. All CPU traffic is packet-switched
+//         (Section V-A2).
+//   GPU:  A --1-flit req--> L2 [... M ...] --5-flit data--> A, where the
+//         data replies (L2->A and M->L2) are circuit-switch eligible and
+//         carry the issuing warp's slack estimate.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "hetero/benchmarks.hpp"
+#include "hetero/cpu_core.hpp"
+#include "hetero/gpu_sm.hpp"
+#include "hetero/mem_system.hpp"
+#include "hetero/tile_map.hpp"
+#include "sim/net_adapter.hpp"
+
+namespace hybridnoc {
+
+struct WorkloadMix {
+  CpuBenchParams cpu;
+  GpuBenchParams gpu;
+  std::string name() const { return cpu.name + "+" + gpu.name; }
+};
+
+/// Everything measured over one window, for one configuration.
+struct HeteroMetrics {
+  std::uint64_t cycles = 0;
+  double cpu_ipc = 0.0;         ///< per-core average
+  double gpu_throughput = 0.0;  ///< memory transactions per cycle, all SMs
+  double injection_rate = 0.0;      ///< flits/node/cycle injected (all classes)
+  double gpu_injection_rate = 0.0;  ///< GPU-class flits/node/cycle (Table III)
+  double cpu_injection_rate = 0.0;
+  double cs_flit_fraction = 0.0;
+  double config_flit_fraction = 0.0;
+  EnergyCounters energy;
+};
+
+class HeteroSystem {
+ public:
+  HeteroSystem(const NocConfig& cfg, const WorkloadMix& mix, std::uint64_t seed);
+
+  void tick();
+  Cycle now() const { return net_->now(); }
+  const TileMap& tiles() const { return tiles_; }
+
+  /// Warm up, then measure for a fixed number of cycles.
+  HeteroMetrics run(std::uint64_t warmup_cycles, std::uint64_t measure_cycles);
+
+  // --- introspection for tests ---
+  std::uint64_t outstanding_transactions() const { return txns_.size(); }
+  std::uint64_t total_cpu_instructions() const;
+  std::uint64_t total_gpu_transactions() const;
+  NetAdapter& network() { return *net_; }
+
+ private:
+  struct Transaction {
+    enum class Phase : std::uint8_t {
+      ReqToL2,
+      AtL2,
+      ReqToMem,
+      AtMem,
+      DataToL2,
+      AtL2Fill,
+      ReplyToRequester,
+    };
+    NodeId requester = kInvalidNode;
+    NodeId l2 = kInvalidNode;
+    NodeId mem = kInvalidNode;
+    bool gpu = false;
+    bool l2_miss = false;
+    int warp = -1;
+    std::int64_t slack = -1;
+    Phase phase = Phase::ReqToL2;
+  };
+
+  void issue_cpu_miss(int core_index, std::uint64_t addr);
+  void issue_cpu_writeback(int core_index, std::uint64_t addr);
+  void issue_gpu_request(int sm_index, int warp, std::uint64_t addr,
+                         std::int64_t slack);
+  void on_deliver(const PacketPtr& pkt, Cycle at);
+  void l2_complete(std::uint64_t key);
+  void mem_complete(std::uint64_t key);
+
+  void send_msg(NodeId src, NodeId dst, int flits, TrafficClass cls,
+                bool cs_eligible, std::int64_t slack, std::uint64_t key);
+
+  NocConfig cfg_;
+  WorkloadMix mix_;
+  TileMap tiles_;
+  std::unique_ptr<NetAdapter> net_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<CpuCore>> cores_;
+  std::vector<std::unique_ptr<GpuSm>> sms_;
+  std::vector<std::unique_ptr<L2Bank>> banks_;
+  std::vector<std::unique_ptr<MemController>> mems_;
+
+  std::unordered_map<NodeId, int> core_at_, sm_at_, bank_at_, mem_at_;
+  std::unordered_map<std::uint64_t, Transaction> txns_;
+  std::uint64_t next_key_ = 1;
+  std::uint64_t next_pkt_id_ = 1;
+};
+
+}  // namespace hybridnoc

@@ -1,0 +1,95 @@
+// Shared-L2 bank and memory-controller service models (Table II: 16 MB
+// banked shared L2 at 8-cycle access; 4 GB DRAM behind 4 controllers at
+// 200-cycle access). Each unit has a single service port (one new request
+// per service interval) plus a fixed access latency, modelled as a due-time
+// event queue the owner drains every cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hybridnoc {
+
+/// Single-ported service stage: requests are admitted one per
+/// `service_interval` cycles and complete `latency` cycles after admission.
+class ServiceQueue {
+ public:
+  ServiceQueue(int latency, int service_interval)
+      : latency_(latency), service_interval_(service_interval) {}
+
+  /// Admit a request identified by `key`; returns its completion time.
+  Cycle push(std::uint64_t key, Cycle now) {
+    const Cycle start = std::max(now, next_free_);
+    next_free_ = start + static_cast<Cycle>(service_interval_);
+    const Cycle done = start + static_cast<Cycle>(latency_);
+    queue_.push({done, key});
+    return done;
+  }
+
+  /// Pop every request completing at or before `now`.
+  template <typename Fn>
+  void drain(Cycle now, Fn fn) {
+    while (!queue_.empty() && queue_.top().done <= now) {
+      const std::uint64_t key = queue_.top().key;
+      queue_.pop();
+      fn(key);
+    }
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Item {
+    Cycle done;
+    std::uint64_t key;
+    bool operator>(const Item& o) const { return done > o.done; }
+  };
+  int latency_;
+  int service_interval_;
+  Cycle next_free_ = 0;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+};
+
+/// One bank of the shared distributed L2 (8-cycle access, 1 request/cycle).
+class L2Bank {
+ public:
+  using CompleteFn = std::function<void(std::uint64_t key)>;
+
+  explicit L2Bank(NodeId node) : node_(node), queue_(8, 1) {}
+
+  NodeId node() const { return node_; }
+  Cycle access(std::uint64_t key, Cycle now) { return queue_.push(key, now); }
+  void tick(Cycle now, const CompleteFn& fn) { queue_.drain(now, fn); }
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.pending(); }
+
+ private:
+  NodeId node_;
+  ServiceQueue queue_;
+};
+
+/// One memory controller (200-cycle DRAM access; one request per 4 cycles of
+/// channel bandwidth: a 64-byte line on a dedicated channel).
+class MemController {
+ public:
+  using CompleteFn = std::function<void(std::uint64_t key)>;
+
+  explicit MemController(NodeId node) : node_(node), queue_(200, 4) {}
+
+  NodeId node() const { return node_; }
+  Cycle access(std::uint64_t key, Cycle now) { return queue_.push(key, now); }
+  void tick(Cycle now, const CompleteFn& fn) { queue_.drain(now, fn); }
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.pending(); }
+
+ private:
+  NodeId node_;
+  ServiceQueue queue_;
+};
+
+}  // namespace hybridnoc

@@ -1,0 +1,52 @@
+#include "hetero/tile_map.hpp"
+
+#include "common/assert.hpp"
+
+namespace hybridnoc {
+
+const char* tile_type_name(TileType t) {
+  switch (t) {
+    case TileType::Cpu: return "C";
+    case TileType::L2: return "L2";
+    case TileType::Accel: return "A";
+    case TileType::Mem: return "M";
+  }
+  return "?";
+}
+
+TileMap::TileMap(int k, std::vector<TileType> types)
+    : k_(k), types_(std::move(types)) {
+  HN_CHECK(static_cast<int>(types_.size()) == k * k);
+  for (NodeId n = 0; n < num_tiles(); ++n) {
+    switch (type(n)) {
+      case TileType::Cpu: cpus_.push_back(n); break;
+      case TileType::L2: l2s_.push_back(n); break;
+      case TileType::Accel: accels_.push_back(n); break;
+      case TileType::Mem: mems_.push_back(n); break;
+    }
+  }
+  HN_CHECK(!l2s_.empty() && !mems_.empty());
+}
+
+TileMap TileMap::hetero36() {
+  using T = TileType;
+  const T M = T::Mem, C = T::Cpu, L = T::L2, A = T::Accel;
+  // Row-major 6x6 floorplan (DESIGN.md):
+  //   M C C C C M
+  //   C L L L L C
+  //   A L A A L A
+  //   A L A A L A
+  //   C L L L L C
+  //   M A A A A M
+  std::vector<T> t = {
+      M, C, C, C, C, M,  //
+      C, L, L, L, L, C,  //
+      A, L, A, A, L, A,  //
+      A, L, A, A, L, A,  //
+      C, L, L, L, L, C,  //
+      M, A, A, A, A, M,  //
+  };
+  return TileMap(6, std::move(t));
+}
+
+}  // namespace hybridnoc

@@ -1,0 +1,50 @@
+// Heterogeneous tile floorplan (Figure 7): CPU cores (C), shared L2 banks
+// (L2), data-parallel accelerators (A) and memory controllers (M) on a 6x6
+// mesh. The DESIGN.md layout keeps the paper's component mix — 8 CPUs,
+// 12 L2 banks, 12 accelerators, 4 memory controllers — with memory
+// controllers at the corners and L2 banks between producers and consumers.
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace hybridnoc {
+
+enum class TileType : std::uint8_t { Cpu, L2, Accel, Mem };
+
+const char* tile_type_name(TileType t);
+
+class TileMap {
+ public:
+  /// The 36-tile layout used throughout Section V.
+  static TileMap hetero36();
+
+  TileMap(int k, std::vector<TileType> types);
+
+  int k() const { return k_; }
+  int num_tiles() const { return static_cast<int>(types_.size()); }
+  TileType type(NodeId n) const { return types_[static_cast<size_t>(n)]; }
+
+  const std::vector<NodeId>& cpus() const { return cpus_; }
+  const std::vector<NodeId>& l2_banks() const { return l2s_; }
+  const std::vector<NodeId>& accels() const { return accels_; }
+  const std::vector<NodeId>& mems() const { return mems_; }
+
+  /// L2 bank owning a cache-line address (static interleave).
+  NodeId l2_home(std::uint64_t line_addr) const {
+    return l2s_[static_cast<size_t>(line_addr % l2s_.size())];
+  }
+  /// Memory controller owning a cache-line address.
+  NodeId mem_home(std::uint64_t line_addr) const {
+    return mems_[static_cast<size_t>(line_addr % mems_.size())];
+  }
+
+ private:
+  int k_;
+  std::vector<TileType> types_;
+  std::vector<NodeId> cpus_, l2s_, accels_, mems_;
+};
+
+}  // namespace hybridnoc

@@ -1,0 +1,88 @@
+// Pipelined point-to-point channels. All cross-component communication in the
+// simulator (flits, credits, sideband signals) flows through Channel<T>
+// registers, which is what makes the fixed component tick order safe: nothing
+// written in cycle T is visible before T + latency.
+//
+// Data links use latency 2 ("written at end of T, readable at T+2"): the
+// intervening cycle is the link-transmission stage, so a circuit-switched flit
+// crossing a crossbar at slot s crosses the next router's crossbar at s+2 —
+// exactly the modulo-S slot increment the setup protocol applies per hop
+// (Section II-B).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace hybridnoc {
+
+constexpr int kDataChannelLatency = 2;   ///< router ST -> next router arrival
+constexpr int kCreditChannelLatency = 1; ///< credit wire
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(int latency) : latency_(latency) { HN_CHECK(latency >= 1); }
+
+  /// Enqueue `item` at the end of cycle `now`; readable at now + latency.
+  void send(T item, Cycle now) {
+    HN_CHECK_MSG(queue_.empty() || queue_.back().ready <= now + static_cast<Cycle>(latency_),
+                 "channel writes must be issued in cycle order");
+    queue_.push_back({now + static_cast<Cycle>(latency_), std::move(item)});
+  }
+
+  /// Pop the item readable at `now`, if any.
+  std::optional<T> receive(Cycle now) {
+    if (queue_.empty() || queue_.front().ready > now) return std::nullopt;
+    HN_CHECK_MSG(queue_.front().ready == now, "unconsumed channel item");
+    T item = std::move(queue_.front().item);
+    queue_.pop_front();
+    return item;
+  }
+
+  /// Non-destructive check: will an item become readable exactly at `cycle`?
+  /// Models the one-bit circuit-switched advance signal of Section II-D.
+  bool arrival_at(Cycle cycle) const {
+    for (const auto& e : queue_) {
+      if (e.ready == cycle) return true;
+      if (e.ready > cycle) break;
+    }
+    return false;
+  }
+
+  const T* peek_arrival(Cycle cycle) const {
+    for (const auto& e : queue_) {
+      if (e.ready == cycle) return &e.item;
+      if (e.ready > cycle) break;
+    }
+    return nullptr;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  size_t in_flight() const { return queue_.size(); }
+  int latency() const { return latency_; }
+
+ private:
+  struct Entry {
+    Cycle ready;
+    T item;
+  };
+  std::deque<Entry> queue_;
+  int latency_;
+};
+
+using FlitChannel = Channel<Flit>;
+
+/// One returned buffer slot for VC `vc` at the downstream input port. The
+/// upstream router reallocates a downstream VC to a new packet only after the
+/// tail was sent and every credit is home (conservative atomic reallocation).
+struct Credit {
+  int vc = 0;
+};
+
+using CreditChannel = Channel<Credit>;
+
+}  // namespace hybridnoc

@@ -1,0 +1,135 @@
+#include "noc/network.hpp"
+
+namespace hybridnoc {
+
+Network::Network(const NocConfig& cfg)
+    : Network(
+          cfg,
+          [](const NocConfig& c, NodeId n, const Mesh& m) {
+            return std::make_unique<Router>(c, n, m);
+          },
+          [](const NocConfig& c, NodeId n, const Mesh& m) {
+            return std::make_unique<NetworkInterface>(c, n, m);
+          }) {}
+
+Network::Network(const NocConfig& cfg, RouterFactory make_router, NiFactory make_ni)
+    : cfg_(cfg), mesh_(cfg.k) {
+  cfg_.validate();
+  routers_.reserve(static_cast<size_t>(num_nodes()));
+  nis_.reserve(static_cast<size_t>(num_nodes()));
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    routers_.push_back(make_router(cfg_, n, mesh_));
+    nis_.push_back(make_ni(cfg_, n, mesh_));
+  }
+  build();
+}
+
+void Network::build() {
+  auto new_flit_ch = [&](int latency) {
+    flit_channels_.push_back(std::make_unique<FlitChannel>(latency));
+    return flit_channels_.back().get();
+  };
+  auto new_credit_ch = [&]() {
+    credit_channels_.push_back(std::make_unique<CreditChannel>(kCreditChannelLatency));
+    return credit_channels_.back().get();
+  };
+
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    Router& r = *routers_[static_cast<size_t>(n)];
+    NetworkInterface& ni = *nis_[static_cast<size_t>(n)];
+
+    // NI <-> router local port.
+    FlitChannel* inj = new_flit_ch(kDataChannelLatency);
+    CreditChannel* inj_cr = new_credit_ch();
+    FlitChannel* ej = new_flit_ch(kDataChannelLatency);
+    CreditChannel* ej_cr = new_credit_ch();
+    r.connect_input(Port::Local, inj, inj_cr, &ni, Port::Local);
+    r.connect_output(Port::Local, ej, ej_cr);
+    r.set_downstream_active_vcs(Port::Local, ni.eject_active_vcs_ptr());
+    ni.connect(inj, inj_cr, ej, ej_cr, &r);
+
+    // Directed mesh links: create the outgoing side here; the matching input
+    // side of the neighbour is wired in the same pass when we visit it from
+    // this direction, so do both ends for each outgoing port now.
+    for (int pi = 1; pi < kNumPorts; ++pi) {
+      const Port p = static_cast<Port>(pi);
+      if (!mesh_.has_neighbor(n, p)) continue;
+      const NodeId m = mesh_.neighbor(n, p);
+      Router& nb = *routers_[static_cast<size_t>(m)];
+      FlitChannel* data = new_flit_ch(kDataChannelLatency);
+      CreditChannel* cr = new_credit_ch();
+      r.connect_output(p, data, cr);
+      nb.connect_input(opposite(p), data, cr, &r, p);
+      r.set_downstream_active_vcs(p, nb.announced_active_vcs_ptr());
+    }
+  }
+}
+
+void Network::tick() {
+  for (auto& ni : nis_) ni->tick(now_);
+  for (auto& r : routers_) r->tick(now_);
+  ++now_;
+}
+
+void Network::set_deliver_handler(const DeliverFn& fn) {
+  for (auto& ni : nis_) ni->set_deliver_handler(fn);
+}
+
+void Network::set_policy_frozen(bool frozen) {
+  for (auto& ni : nis_) ni->set_policy_frozen(frozen);
+}
+
+bool Network::quiescent() const {
+  for (const auto& ni : nis_)
+    if (!ni->idle()) return false;
+  for (const auto& r : routers_)
+    if (!r->idle()) return false;
+  for (const auto& ch : flit_channels_)
+    if (!ch->empty()) return false;
+  return true;
+}
+
+EnergyCounters Network::total_energy() const {
+  EnergyCounters total;
+  for (const auto& r : routers_) total += r->energy();
+  for (const auto& ni : nis_) total += ni->energy();
+  return total;
+}
+
+std::uint64_t Network::total_data_sent() const {
+  std::uint64_t t = 0;
+  for (const auto& ni : nis_) t += ni->data_packets_sent();
+  return t;
+}
+
+std::uint64_t Network::total_data_delivered() const {
+  std::uint64_t t = 0;
+  for (const auto& ni : nis_) t += ni->data_packets_delivered();
+  return t;
+}
+
+std::uint64_t Network::total_ps_flits() const {
+  std::uint64_t t = 0;
+  for (const auto& ni : nis_) t += ni->ps_data_flits_injected();
+  return t;
+}
+
+std::uint64_t Network::total_cs_flits() const {
+  std::uint64_t t = 0;
+  for (const auto& ni : nis_) t += ni->cs_data_flits_injected();
+  return t;
+}
+
+std::uint64_t Network::total_flits_of_class(TrafficClass c) const {
+  std::uint64_t t = 0;
+  for (const auto& ni : nis_) t += ni->flits_of_class(c);
+  return t;
+}
+
+std::uint64_t Network::total_config_flits() const {
+  std::uint64_t t = 0;
+  for (const auto& ni : nis_) t += ni->config_flits_injected();
+  return t;
+}
+
+}  // namespace hybridnoc

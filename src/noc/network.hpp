@@ -1,0 +1,78 @@
+// The k x k mesh network: owns routers, NIs and every channel between them,
+// and drives the global cycle loop. Router/NI types are injected through
+// factories so the TDM hybrid network (src/tdm) reuses the same fabric
+// wiring with extended components.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/geometry.hpp"
+#include "noc/channel.hpp"
+#include "noc/network_interface.hpp"
+#include "noc/router.hpp"
+
+namespace hybridnoc {
+
+class Network {
+ public:
+  using RouterFactory =
+      std::function<std::unique_ptr<Router>(const NocConfig&, NodeId, const Mesh&)>;
+  using NiFactory = std::function<std::unique_ptr<NetworkInterface>(
+      const NocConfig&, NodeId, const Mesh&)>;
+
+  /// Packet-switched-only network (the Packet-VC4 baseline).
+  explicit Network(const NocConfig& cfg);
+  Network(const NocConfig& cfg, RouterFactory make_router, NiFactory make_ni);
+  virtual ~Network() = default;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Advance one cycle: NIs first, then routers (all communication is
+  /// channel-pipelined, so intra-cycle order is not observable).
+  virtual void tick();
+
+  Cycle now() const { return now_; }
+  const Mesh& mesh() const { return mesh_; }
+  const NocConfig& cfg() const { return cfg_; }
+  int num_nodes() const { return mesh_.num_nodes(); }
+
+  Router& router(NodeId n) { return *routers_[static_cast<size_t>(n)]; }
+  NetworkInterface& ni(NodeId n) { return *nis_[static_cast<size_t>(n)]; }
+  const Router& router(NodeId n) const { return *routers_[static_cast<size_t>(n)]; }
+  const NetworkInterface& ni(NodeId n) const { return *nis_[static_cast<size_t>(n)]; }
+
+  /// Install `fn` as the delivery handler on every NI.
+  void set_deliver_handler(const DeliverFn& fn);
+  /// Freeze/unfreeze proactive circuit setup on every NI (drain phases).
+  void set_policy_frozen(bool frozen);
+
+  /// True when no flit exists anywhere: NI queues, router buffers, channels.
+  bool quiescent() const;
+
+  EnergyCounters total_energy() const;
+
+  std::uint64_t total_data_sent() const;
+  std::uint64_t total_data_delivered() const;
+  std::uint64_t total_ps_flits() const;
+  std::uint64_t total_cs_flits() const;
+  std::uint64_t total_config_flits() const;
+  std::uint64_t total_flits_of_class(TrafficClass c) const;
+
+ private:
+  void build();
+
+  const NocConfig cfg_;
+  Mesh mesh_;
+  Cycle now_ = 0;
+
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  std::vector<std::unique_ptr<FlitChannel>> flit_channels_;
+  std::vector<std::unique_ptr<CreditChannel>> credit_channels_;
+};
+
+}  // namespace hybridnoc

@@ -1,0 +1,180 @@
+#include "noc/network_interface.hpp"
+
+namespace hybridnoc {
+
+NetworkInterface::NetworkInterface(const NocConfig& cfg, NodeId id, const Mesh& mesh)
+    : cfg_(cfg), id_(id), mesh_(mesh), eject_active_vcs_(cfg.num_vcs) {
+  out_vcs_.resize(static_cast<size_t>(cfg_.num_vcs));
+  for (auto& v : out_vcs_) v.credits = cfg_.vc_buffer_depth;
+}
+
+void NetworkInterface::connect(FlitChannel* inject, CreditChannel* inject_credits_in,
+                               FlitChannel* eject, CreditChannel* eject_credits_out,
+                               Router* router) {
+  inject_ = inject;
+  inject_credits_in_ = inject_credits_in;
+  eject_ = eject;
+  eject_credits_out_ = eject_credits_out;
+  router_ = router;
+}
+
+void NetworkInterface::send(PacketPtr pkt, Cycle now) {
+  HN_CHECK(pkt && mesh_.valid(pkt->dst) && pkt->src == id_);
+  pkt->created = (pkt->created == 0) ? now : pkt->created;
+  if (pkt->final_dst == kInvalidNode) pkt->final_dst = pkt->dst;
+  queue_.push_back(std::move(pkt));
+}
+
+void NetworkInterface::send_priority(PacketPtr pkt, Cycle now) {
+  HN_CHECK(pkt && mesh_.valid(pkt->dst));
+  if (pkt->final_dst == kInvalidNode) pkt->final_dst = pkt->dst;
+  (void)now;
+  queue_.push_front(std::move(pkt));
+}
+
+bool NetworkInterface::idle() const {
+  if (!queue_.empty() || !assembly_.empty()) return false;
+  for (const auto& v : out_vcs_)
+    if (v.pkt) return false;
+  return true;
+}
+
+bool NetworkInterface::holds_vc_allocation(Port out_port, int vc) const {
+  HN_CHECK(out_port == Port::Local);
+  return out_vcs_[static_cast<size_t>(vc)].busy;
+}
+
+void NetworkInterface::tick(Cycle now) {
+  receive_credits(now);
+  eject_tick(now);
+  inject_tick(now);
+  // NI energy counters carry event counts and CS-hardware activity only;
+  // `cycles` stays zero so per-cycle router costs (clock, crossbar leakage)
+  // are not double-counted when NI counters merge into the network total.
+  leakage_tick(now);
+}
+
+void NetworkInterface::receive_credits(Cycle now) {
+  if (!inject_credits_in_) return;
+  while (auto c = inject_credits_in_->receive(now)) {
+    auto& v = out_vcs_[static_cast<size_t>(c->vc)];
+    ++v.credits;
+    HN_CHECK_MSG(v.credits <= cfg_.vc_buffer_depth, "NI credit overflow");
+    if (v.tail_sent && v.credits == cfg_.vc_buffer_depth) {
+      v.busy = false;
+      v.tail_sent = false;
+    }
+  }
+}
+
+void NetworkInterface::eject_tick(Cycle now) {
+  if (!eject_) return;
+  while (auto f = eject_->receive(now)) {
+    on_eject_flit(*f, now);
+    // Circuit-switched flits bypass buffers and flow control; only
+    // packet-switched flits occupied an ejection-buffer slot.
+    if (f->switching == Switching::Packet && eject_credits_out_) {
+      eject_credits_out_->send({f->vc}, now);
+    }
+    const PacketPtr& pkt = f->pkt;
+    HN_CHECK(pkt != nullptr);
+    int& got = assembly_[pkt->id];
+    ++got;
+    if (got < pkt->num_flits) continue;
+    assembly_.erase(pkt->id);
+    if (pkt->is_config()) {
+      handle_config(pkt, now);
+    } else {
+      handle_delivery(pkt, now);
+    }
+  }
+}
+
+void NetworkInterface::handle_config(const PacketPtr& pkt, Cycle now) {
+  (void)pkt;
+  (void)now;
+  HN_CHECK_MSG(false, "config packet delivered to a packet-switched-only NI");
+}
+
+void NetworkInterface::handle_delivery(const PacketPtr& pkt, Cycle now) {
+  deliver(pkt, now);
+}
+
+void NetworkInterface::deliver(const PacketPtr& pkt, Cycle now) {
+  ++data_packets_delivered_;
+  if (deliver_) deliver_(pkt, now);
+}
+
+void NetworkInterface::inject_tick(Cycle now) {
+  if (!inject_) return;
+  // Slot-timed circuit-switched flits own the injection channel on their
+  // scheduled cycles; packet-switched traffic fills the remaining cycles.
+  if (circuit_inject(now)) return;
+
+  // Start a new packet on a free VC if one is available.
+  if (!queue_.empty()) try_start_packet(now);
+
+  // Round-robin over VCs with an in-flight packet; send one flit.
+  const int n = cfg_.num_vcs;
+  for (int i = 0; i < n; ++i) {
+    const int v = (inject_rr_ + i) % n;
+    auto& vc = out_vcs_[static_cast<size_t>(v)];
+    if (!vc.busy || !vc.pkt || vc.credits <= 0) continue;
+    const PacketPtr& pkt = vc.pkt;
+    Flit f;
+    f.pkt = pkt;
+    f.seq = vc.next_seq;
+    f.vc = v;
+    f.switching = Switching::Packet;
+    if (pkt->num_flits == 1) {
+      f.type = FlitType::HeadTail;
+    } else if (vc.next_seq == 0) {
+      f.type = FlitType::Head;
+    } else if (vc.next_seq == pkt->num_flits - 1) {
+      f.type = FlitType::Tail;
+    } else {
+      f.type = FlitType::Body;
+    }
+    if (vc.next_seq == 0) {
+      pkt->injected = now;
+      if (!pkt->is_config() && now >= pkt->created) {
+        ewma_inject_delay_ = 0.9 * ewma_inject_delay_ +
+                             0.1 * static_cast<double>(now - pkt->created);
+      }
+    }
+    ++vc.next_seq;
+    --vc.credits;
+    if (pkt->is_config()) {
+      ++config_flits_;
+    } else {
+      ++ps_data_flits_;
+      ++flits_by_class_[static_cast<size_t>(pkt->traffic_class)];
+    }
+    if (f.is_tail()) {
+      vc.tail_sent = true;
+      vc.pkt.reset();
+      vc.next_seq = 0;
+    }
+    inject_->send(std::move(f), now);
+    inject_rr_ = (v + 1) % n;
+    return;
+  }
+}
+
+bool NetworkInterface::try_start_packet(Cycle now) {
+  (void)now;
+  const int router_active = router_ ? router_->announced_active_vcs() : cfg_.num_vcs;
+  for (int v = 0; v < router_active; ++v) {
+    auto& vc = out_vcs_[static_cast<size_t>(v)];
+    if (vc.busy || vc.tail_sent || vc.credits != cfg_.vc_buffer_depth) continue;
+    vc.busy = true;
+    vc.pkt = queue_.front();
+    vc.next_seq = 0;
+    queue_.pop_front();
+    if (!vc.pkt->is_config() && !vc.pkt->reinjected) ++data_packets_sent_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hybridnoc

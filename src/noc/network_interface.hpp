@@ -1,0 +1,152 @@
+// Network interface (NI): packetization, injection VC management, ejection
+// re-assembly and delivery. One NI per tile, attached to its router's Local
+// port. The NI is the upstream VC allocator for the router's local input
+// port and the downstream credit source for the router's ejection port.
+//
+// The hybrid NI in src/tdm extends this class with the circuit-switched
+// machinery: connection table, setup/teardown protocol, slot-timed CS
+// injection, the switching decision, and path sharing.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+#include "noc/channel.hpp"
+#include "noc/router.hpp"
+#include "power/energy_model.hpp"
+
+namespace hybridnoc {
+
+/// Called when a data packet fully arrives at its (final) destination NI.
+using DeliverFn = std::function<void(const PacketPtr&, Cycle)>;
+
+class NetworkInterface : public VcHolder {
+ public:
+  NetworkInterface(const NocConfig& cfg, NodeId id, const Mesh& mesh);
+  ~NetworkInterface() override = default;
+
+  NetworkInterface(const NetworkInterface&) = delete;
+  NetworkInterface& operator=(const NetworkInterface&) = delete;
+
+  void connect(FlitChannel* inject, CreditChannel* inject_credits_in,
+               FlitChannel* eject, CreditChannel* eject_credits_out,
+               Router* router);
+
+  /// Queue a packet for transmission. The NI owns switching-mode selection;
+  /// the caller only sets src/dst/type/class (and num_flits for data).
+  virtual void send(PacketPtr pkt, Cycle now);
+
+  virtual void tick(Cycle now);
+
+  void set_deliver_handler(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  NodeId id() const { return id_; }
+  int inject_queue_depth() const { return static_cast<int>(queue_.size()); }
+
+  /// No queued, in-flight or partially assembled traffic at this NI.
+  virtual bool idle() const;
+
+  /// Freeze proactive protocol activity (circuit setup initiation) so a
+  /// simulation can drain; data in flight still completes. Base NI: no-op.
+  virtual void set_policy_frozen(bool frozen) { (void)frozen; }
+
+  // VcHolder: allocation state of the router's local input VCs.
+  bool holds_vc_allocation(Port out_port, int vc) const override;
+
+  const int* eject_active_vcs_ptr() const { return &eject_active_vcs_; }
+
+  // --- statistics ---
+  std::uint64_t data_packets_sent() const { return data_packets_sent_; }
+  std::uint64_t data_packets_delivered() const { return data_packets_delivered_; }
+  std::uint64_t ps_data_flits_injected() const { return ps_data_flits_; }
+  std::uint64_t cs_data_flits_injected() const { return cs_data_flits_; }
+  std::uint64_t config_flits_injected() const { return config_flits_; }
+  /// Data flits injected on behalf of one producer class (PS + CS).
+  std::uint64_t flits_of_class(TrafficClass c) const {
+    return flits_by_class_[static_cast<size_t>(c)];
+  }
+  const EnergyCounters& energy() const { return energy_; }
+
+ protected:
+  /// Injection-side state of one local-input VC at the router.
+  struct OutVc {
+    bool busy = false;
+    bool tail_sent = false;
+    int credits = 0;
+    PacketPtr pkt;
+    int next_seq = 0;
+  };
+
+  // --- hooks for the hybrid NI ---
+  /// Every flit popped off the ejection channel passes through here before
+  /// assembly (the hybrid NI tracks in-flight circuit-switched flits).
+  virtual void on_eject_flit(const Flit& flit, Cycle now) {
+    (void)flit;
+    (void)now;
+  }
+  /// Claim this cycle's injection-channel write before packet-switched
+  /// traffic gets it (CS flits are slot-timed and take priority). Returns
+  /// true if the cycle was used.
+  virtual bool circuit_inject(Cycle now) { (void)now; return false; }
+  /// A config packet (setup/ack) was delivered to this NI.
+  virtual void handle_config(const PacketPtr& pkt, Cycle now);
+  /// A data packet fully reassembled here. Default delivers; the hybrid NI
+  /// intercepts vicinity-shared packets for their hop-off re-injection.
+  virtual void handle_delivery(const PacketPtr& pkt, Cycle now);
+  virtual void leakage_tick(Cycle now) { (void)now; }
+
+  void deliver(const PacketPtr& pkt, Cycle now);
+  /// Enqueue at the front (used for hop-off / bounced packets).
+  void send_priority(PacketPtr pkt, Cycle now);
+  /// Fresh packet id from this NI's private id space (bit 44 and up encode
+  /// the node, so NI-generated ids never collide with workload-chosen ids).
+  PacketId fresh_packet_id() {
+    return (static_cast<PacketId>(id_) + 1) << 44 | local_ids_++;
+  }
+  /// EWMA of (injection cycle - creation cycle) over recent packet-switched
+  /// head flits: a cheap, locally observable congestion signal the switching
+  /// decision uses to estimate packet-switched latency inflation.
+  double ewma_inject_delay() const { return ewma_inject_delay_; }
+
+  const NocConfig cfg_;
+  const NodeId id_;
+  const Mesh& mesh_;
+  Router* router_ = nullptr;
+
+  FlitChannel* inject_ = nullptr;
+  CreditChannel* inject_credits_in_ = nullptr;
+  FlitChannel* eject_ = nullptr;
+  CreditChannel* eject_credits_out_ = nullptr;
+
+  std::deque<PacketPtr> queue_;
+  std::vector<OutVc> out_vcs_;
+  int inject_rr_ = 0;
+
+  EnergyCounters energy_;
+  std::array<std::uint64_t, 4> flits_by_class_{};
+  std::uint64_t data_packets_sent_ = 0;
+  std::uint64_t data_packets_delivered_ = 0;
+  std::uint64_t ps_data_flits_ = 0;
+  std::uint64_t cs_data_flits_ = 0;
+  std::uint64_t config_flits_ = 0;
+
+ private:
+  void receive_credits(Cycle now);
+  void eject_tick(Cycle now);
+  void inject_tick(Cycle now);
+  bool try_start_packet(Cycle now);
+
+  std::unordered_map<PacketId, int> assembly_;
+  DeliverFn deliver_;
+  int eject_active_vcs_;
+  PacketId local_ids_ = 0;
+  double ewma_inject_delay_ = 0.0;
+};
+
+}  // namespace hybridnoc

@@ -1,0 +1,379 @@
+#include "noc/router.hpp"
+
+#include <algorithm>
+
+#include "noc/routing.hpp"
+
+namespace hybridnoc {
+
+Router::Router(const NocConfig& cfg, NodeId id, const Mesh& mesh)
+    : cfg_(cfg), id_(id), mesh_(mesh), announced_active_vcs_(cfg.num_vcs) {
+  for (auto& ip : in_) {
+    ip.vcs.resize(static_cast<size_t>(cfg_.num_vcs));
+  }
+  for (auto& op : out_) {
+    op.credits.assign(static_cast<size_t>(cfg_.num_vcs), cfg_.vc_buffer_depth);
+    op.vc_busy.assign(static_cast<size_t>(cfg_.num_vcs), false);
+    op.tail_sent.assign(static_cast<size_t>(cfg_.num_vcs), false);
+  }
+}
+
+void Router::connect_input(Port p, FlitChannel* data_in, CreditChannel* credit_out,
+                           VcHolder* upstream, Port upstream_out) {
+  auto& ip = in_[static_cast<size_t>(p)];
+  HN_CHECK(ip.data == nullptr);
+  ip.data = data_in;
+  ip.credit_out = credit_out;
+  ip.upstream = upstream;
+  ip.upstream_out = upstream_out;
+  ++ports_present_;
+}
+
+void Router::connect_output(Port p, FlitChannel* data_out, CreditChannel* credit_in) {
+  auto& op = out_[static_cast<size_t>(p)];
+  HN_CHECK(op.data == nullptr);
+  op.data = data_out;
+  op.credit_in = credit_in;
+}
+
+void Router::set_downstream_active_vcs(Port p, const int* active_vcs) {
+  out_[static_cast<size_t>(p)].downstream_active_vcs = active_vcs;
+}
+
+bool Router::holds_vc_allocation(Port out_port, int vc) const {
+  const auto& op = out_[static_cast<size_t>(out_port)];
+  return op.vc_busy[static_cast<size_t>(vc)];
+}
+
+int Router::free_credits(Port out) const {
+  const auto& op = out_[static_cast<size_t>(out)];
+  const int active = op.downstream_active_vcs ? *op.downstream_active_vcs : cfg_.num_vcs;
+  int total = 0;
+  for (int v = 0; v < active; ++v) total += op.credits[static_cast<size_t>(v)];
+  return total;
+}
+
+void Router::tick(Cycle now) {
+  receive_credits(now);
+  receive_flits(now);
+  vc_allocate(now);
+  switch_allocate(now);
+  switch_traverse(now);
+  vc_gating_tick(now);
+  accounting_tick(now);
+  leakage_tick(now);
+}
+
+void Router::receive_credits(Cycle now) {
+  for (auto& op : out_) {
+    if (!op.credit_in) continue;
+    while (auto c = op.credit_in->receive(now)) {
+      const auto v = static_cast<size_t>(c->vc);
+      HN_CHECK(v < op.credits.size());
+      ++op.credits[v];
+      HN_CHECK_MSG(op.credits[v] <= cfg_.vc_buffer_depth, "credit overflow");
+      if (op.tail_sent[v] && op.credits[v] == cfg_.vc_buffer_depth) {
+        op.vc_busy[v] = false;
+        op.tail_sent[v] = false;
+      }
+    }
+  }
+}
+
+void Router::receive_flits(Cycle now) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    auto& ip = in_[static_cast<size_t>(p)];
+    if (!ip.data) continue;
+    while (auto f = ip.data->receive(now)) {
+      if (handle_arrival(*f, static_cast<Port>(p), now)) continue;
+      HN_CHECK_MSG(f->switching == Switching::Packet,
+                   "circuit flit reached the packet pipeline");
+      const auto v = static_cast<size_t>(f->vc);
+      HN_CHECK(v < ip.vcs.size());
+      VcState& st = ip.vcs[v];
+      ++energy_.buffer_writes;
+      if (f->is_head()) {
+        HN_CHECK_MSG(st.state == VcState::S::Idle && st.fifo.empty(),
+                     "head flit into a busy VC (atomic reallocation violated)");
+        const auto route = compute_route(f->pkt, static_cast<Port>(p), now);
+        if (!route) {
+          // Consumed by the protocol (e.g. a teardown that reached the node
+          // where its setup failed). Single-flit packets only; the buffer
+          // slot is freed immediately.
+          HN_CHECK(f->is_tail());
+          ++energy_.buffer_reads;
+          if (ip.credit_out) ip.credit_out->send({f->vc}, now);
+          continue;
+        }
+        st.pkt = f->pkt;
+        st.out_port = *route;
+        st.out_vc = -1;
+        st.state = VcState::S::WaitVc;
+        st.va_eligible = now + 1;
+      } else {
+        HN_CHECK_MSG(st.state != VcState::S::Idle, "body flit into an idle VC");
+      }
+      st.fifo.push_back({*f, now});
+      HN_CHECK_MSG(static_cast<int>(st.fifo.size()) <= cfg_.vc_buffer_depth,
+                   "VC buffer overflow (credit protocol broken)");
+    }
+  }
+}
+
+void Router::vc_allocate(Cycle now) {
+  for (auto& ip : in_) {
+    if (!ip.data) continue;
+    for (auto& st : ip.vcs) {
+      if (st.state != VcState::S::WaitVc || now < st.va_eligible) continue;
+      auto& op = out_[static_cast<size_t>(st.out_port)];
+      const int active = op.downstream_active_vcs ? *op.downstream_active_vcs
+                                                  : cfg_.num_vcs;
+      // Conservative atomic reallocation: a downstream VC is granted only
+      // when unallocated and with a full credit pile.
+      int grant = -1;
+      for (int i = 0; i < active; ++i) {
+        const int v = (op.va_rr + i) % active;
+        const auto vs = static_cast<size_t>(v);
+        if (!op.vc_busy[vs] && !op.tail_sent[vs] &&
+            op.credits[vs] == cfg_.vc_buffer_depth) {
+          grant = v;
+          break;
+        }
+      }
+      if (grant < 0) continue;
+      op.vc_busy[static_cast<size_t>(grant)] = true;
+      op.va_rr = (grant + 1) % active;
+      st.out_vc = grant;
+      st.state = VcState::S::Active;
+      st.sa_eligible = now + 1;
+      ++energy_.vc_arbs;
+    }
+  }
+}
+
+int Router::pick_sa_candidate(InputPort& ip, Port p, Cycle now) {
+  const int n = cfg_.num_vcs;
+  for (int i = 0; i < n; ++i) {
+    const int v = (ip.sa_rr + i) % n;
+    VcState& st = ip.vcs[static_cast<size_t>(v)];
+    if (st.state != VcState::S::Active || st.fifo.empty()) continue;
+    if (now < st.sa_eligible) continue;
+    if (st.fifo.front().bw_cycle >= now) continue;  // min 1 cycle in buffer
+    auto& op = out_[static_cast<size_t>(st.out_port)];
+    if (op.credits[static_cast<size_t>(st.out_vc)] <= 0) continue;
+    if (!st_ok(p, st.out_port, now + 1)) continue;
+    return v;
+  }
+  return -1;
+}
+
+void Router::switch_allocate(Cycle now) {
+  // Separable allocation: one candidate VC per input port, then one input
+  // port per output port; both arbiters are round-robin.
+  std::array<int, kNumPorts> candidate{};
+  candidate.fill(-1);
+  for (int p = 0; p < kNumPorts; ++p) {
+    auto& ip = in_[static_cast<size_t>(p)];
+    if (!ip.data) continue;
+    candidate[static_cast<size_t>(p)] = pick_sa_candidate(ip, static_cast<Port>(p), now);
+  }
+  for (int o = 0; o < kNumPorts; ++o) {
+    auto& op = out_[static_cast<size_t>(o)];
+    if (!op.data) continue;
+    int winner = -1;
+    for (int i = 0; i < kNumPorts; ++i) {
+      const int p = (op.sa_rr + i) % kNumPorts;
+      const int v = candidate[static_cast<size_t>(p)];
+      if (v < 0) continue;
+      const VcState& st = in_[static_cast<size_t>(p)].vcs[static_cast<size_t>(v)];
+      if (static_cast<int>(st.out_port) != o) continue;
+      winner = p;
+      break;
+    }
+    if (winner < 0) continue;
+    op.sa_rr = (winner + 1) % kNumPorts;
+
+    auto& ip = in_[static_cast<size_t>(winner)];
+    const int v = candidate[static_cast<size_t>(winner)];
+    candidate[static_cast<size_t>(winner)] = -1;  // one grant per input
+    VcState& st = ip.vcs[static_cast<size_t>(v)];
+    ip.sa_rr = (v + 1) % cfg_.num_vcs;
+
+    BufferedFlit bf = st.fifo.front();
+    st.fifo.pop_front();
+    residency_sum_ += static_cast<std::uint64_t>(now - bf.bw_cycle);
+    ++residency_count_;
+    ++energy_.buffer_reads;
+    ++energy_.sw_arbs;
+    if (ip.credit_out) ip.credit_out->send({bf.flit.vc}, now);
+
+    Flit flit = bf.flit;
+    flit.vc = st.out_vc;
+    --op.credits[static_cast<size_t>(st.out_vc)];
+    if (flit.is_tail()) {
+      HN_CHECK_MSG(st.fifo.empty(), "flits behind a tail in a wormhole VC");
+      op.tail_sent[static_cast<size_t>(st.out_vc)] = true;
+      st.state = VcState::S::Idle;
+      st.pkt.reset();
+      st.out_vc = -1;
+    }
+    st_regs_.push_back({flit, static_cast<Port>(o), now + 1});
+  }
+}
+
+void Router::switch_traverse(Cycle now) {
+  xbar_out_used_.fill(false);
+  auto it = st_regs_.begin();
+  while (it != st_regs_.end()) {
+    if (it->st_cycle != now) {
+      ++it;
+      continue;
+    }
+    claim_xbar_output(it->out);
+    send_flit(it->out, it->flit, now);
+    it = st_regs_.erase(it);
+  }
+  traverse_circuit(now);
+}
+
+void Router::claim_xbar_output(Port out) {
+  HN_CHECK_MSG(!xbar_out_used_[static_cast<size_t>(out)], "crossbar output conflict");
+  xbar_out_used_[static_cast<size_t>(out)] = true;
+}
+
+void Router::send_flit(Port out, Flit flit, Cycle now) {
+  auto& op = out_[static_cast<size_t>(out)];
+  HN_CHECK_MSG(op.data != nullptr, "flit sent to an unconnected port");
+  ++energy_.xbar_flits;
+  if (out != Port::Local) ++energy_.link_flits;
+  ++flits_traversed_;
+  op.data->send(std::move(flit), now);
+}
+
+Port Router::route_adaptive(NodeId dst) {
+  const auto candidates = west_first_candidates(mesh_, id_, dst);
+  return select_by_credits(candidates,
+                           [this](Port p) { return free_credits(p); });
+}
+
+bool Router::handle_arrival(Flit& flit, Port in, Cycle now) {
+  (void)flit;
+  (void)in;
+  (void)now;
+  return false;
+}
+
+bool Router::st_ok(Port in, Port out, Cycle st_cycle) {
+  (void)in;
+  (void)out;
+  (void)st_cycle;
+  return true;
+}
+
+std::optional<Port> Router::compute_route(const PacketPtr& pkt, Port in, Cycle now) {
+  (void)in;
+  (void)now;
+  if (pkt->dst == id_) return Port::Local;
+  // Table I: X-Y for data, minimal adaptive for configuration packets.
+  return pkt->is_config() ? route_adaptive(pkt->dst) : route_data(pkt->dst);
+}
+
+bool Router::idle() const {
+  if (!st_regs_.empty()) return false;
+  for (const auto& ip : in_) {
+    if (!ip.data) continue;
+    for (const auto& st : ip.vcs) {
+      if (st.state != VcState::S::Idle || !st.fifo.empty()) return false;
+    }
+  }
+  return true;
+}
+
+int Router::powered_vcs() const {
+  return announced_active_vcs_ + (draining_vc_ >= 0 ? 1 : 0);
+}
+
+void Router::vc_gating_tick(Cycle now) {
+  if (!cfg_.vc_power_gating) return;
+
+  // Complete an in-progress drain once the VC is empty everywhere and no
+  // upstream allocator still owns it.
+  if (draining_vc_ >= 0) {
+    bool clear = true;
+    for (auto& ip : in_) {
+      if (!ip.data) continue;
+      const VcState& st = ip.vcs[static_cast<size_t>(draining_vc_)];
+      if (st.state != VcState::S::Idle || !st.fifo.empty()) {
+        clear = false;
+        break;
+      }
+      if (ip.upstream && ip.upstream->holds_vc_allocation(ip.upstream_out, draining_vc_)) {
+        clear = false;
+        break;
+      }
+    }
+    if (clear) draining_vc_ = -1;
+  }
+
+  int busy = 0;
+  for (const auto& ip : in_) {
+    if (!ip.data) continue;
+    for (const auto& st : ip.vcs)
+      if (st.state != VcState::S::Idle) ++busy;
+  }
+  busy_vc_integral_ += static_cast<std::uint64_t>(busy);
+
+  if (now < epoch_start_ + static_cast<Cycle>(cfg_.vc_gate_epoch_cycles)) return;
+
+  // Epoch metric: either the busy-VC fraction (the paper's utilisation
+  // scheme) or the mean cycles a flit sat buffered before winning the
+  // switch (the latency metric proposed as future work). Both map onto the
+  // same activate/drain decision against their respective thresholds.
+  double metric, high, low;
+  if (cfg_.vc_gate_metric == NocConfig::VcGateMetric::Latency) {
+    metric = residency_count_
+                 ? static_cast<double>(residency_sum_) /
+                       static_cast<double>(residency_count_)
+                 : 0.0;
+    high = cfg_.vc_latency_high;
+    low = cfg_.vc_latency_low;
+  } else {
+    const double denom = static_cast<double>(cfg_.vc_gate_epoch_cycles) *
+                         static_cast<double>(ports_present_) *
+                         static_cast<double>(std::max(1, announced_active_vcs_));
+    metric = static_cast<double>(busy_vc_integral_) / denom;
+    high = cfg_.vc_threshold_high;
+    low = cfg_.vc_threshold_low;
+  }
+  busy_vc_integral_ = 0;
+  residency_sum_ = 0;
+  residency_count_ = 0;
+  epoch_start_ = now;
+
+  if (metric > high) {
+    if (draining_vc_ >= 0) {
+      // Demand came back before the drain finished: return the VC to service.
+      ++announced_active_vcs_;
+      draining_vc_ = -1;
+    } else if (announced_active_vcs_ < cfg_.num_vcs) {
+      ++announced_active_vcs_;  // power-on is immediate
+    }
+  } else if (metric < low && draining_vc_ < 0 &&
+             announced_active_vcs_ > cfg_.min_active_vcs) {
+    draining_vc_ = announced_active_vcs_ - 1;
+    --announced_active_vcs_;  // upstream allocators stop using it now
+  }
+}
+
+void Router::accounting_tick(Cycle now) {
+  (void)now;
+  ++energy_.cycles;
+  energy_.vc_active_cycles +=
+      static_cast<std::uint64_t>(powered_vcs()) * static_cast<std::uint64_t>(kNumPorts);
+  int links_out = 0;
+  for (int o = 1; o < kNumPorts; ++o)  // skip Local
+    if (out_[static_cast<size_t>(o)].data) ++links_out;
+  energy_.link_active_cycles += static_cast<std::uint64_t>(links_out);
+}
+
+}  // namespace hybridnoc

@@ -1,0 +1,205 @@
+// Canonical virtual-channel wormhole router (the Packet-VC4 baseline), with
+// the extension points the TDM hybrid router of Section II-D plugs into.
+//
+// Pipeline (4 stages + link), matching the paper's packet-switched path:
+//   cycle T    BW+RC   flit readable on the input channel; buffered, head
+//                      flits routed
+//   cycle T+1  VA      head flit competes for a downstream virtual channel
+//   cycle T+2  SA      flit competes for the crossbar (grant is for T+3)
+//   cycle T+3  ST      crossbar traversal, flit written to the output link
+//   T+5                readable at the next router (1 cycle in flight)
+//
+// Switch allocation in cycle C grants crossbar passage in cycle C+1, so the
+// router knows one cycle ahead which (input, output) pairs the crossbar will
+// use — exactly the look-ahead the hybrid router needs to honour slot-table
+// reservations and to perform time-slot stealing.
+//
+// Flow control is credit-based with conservative atomic VC reallocation: an
+// output VC is granted to a new packet only when it is unallocated and all
+// its credits are home.
+//
+// Aggressive VC power gating (Section III-B) lives here because the paper
+// applies it to both packet- and hybrid-switched routers: an epoch-based
+// controller compares VC utilisation against Threshold_High/Threshold_Low,
+// activates or drains one VC set at a time, and never gates a VC that still
+// holds flits or is allocated by an upstream router.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/geometry.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "noc/channel.hpp"
+#include "noc/routing.hpp"
+#include "power/energy_model.hpp"
+
+namespace hybridnoc {
+
+/// Anything that can hold an allocation of a downstream input VC — an
+/// upstream Router or a NetworkInterface. The VC-gating controller polls the
+/// upstream holder before powering a VC off ("the VC must be evacuated
+/// before adjusting").
+class VcHolder {
+ public:
+  virtual ~VcHolder() = default;
+  /// True if this holder currently has `vc` allocated on the output that
+  /// feeds the asking router's input port.
+  virtual bool holds_vc_allocation(Port out_port, int vc) const = 0;
+};
+
+class Router : public VcHolder {
+ public:
+  Router(const NocConfig& cfg, NodeId id, const Mesh& mesh);
+  ~Router() override = default;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // --- wiring (done once by the Network) ---
+  void connect_input(Port p, FlitChannel* data_in, CreditChannel* credit_out,
+                     VcHolder* upstream, Port upstream_out);
+  void connect_output(Port p, FlitChannel* data_out, CreditChannel* credit_in);
+  /// Downstream router (or NI) whose announced active-VC count bounds VA.
+  void set_downstream_active_vcs(Port p, const int* active_vcs);
+
+  /// One simulated cycle. The Network calls every router once per cycle in a
+  /// fixed order; all inter-router traffic crosses latency>=1 channels, so
+  /// the order is not observable.
+  void tick(Cycle now);
+
+  NodeId id() const { return id_; }
+  const NocConfig& cfg() const { return cfg_; }
+
+  /// VC count this router currently lets upstream allocators use.
+  int announced_active_vcs() const { return announced_active_vcs_; }
+  const int* announced_active_vcs_ptr() const { return &announced_active_vcs_; }
+
+  // VcHolder: does this router hold downstream VC `vc` on output `out`?
+  bool holds_vc_allocation(Port out_port, int vc) const override;
+
+  const EnergyCounters& energy() const { return energy_; }
+  std::uint64_t flits_traversed() const { return flits_traversed_; }
+
+  /// No buffered flits and no pending crossbar grants.
+  bool idle() const;
+
+  /// Total free credits on `out` across VCs usable by upstream — the
+  /// congestion metric for adaptive route selection.
+  int free_credits(Port out) const;
+
+ protected:
+  struct BufferedFlit {
+    Flit flit;
+    Cycle bw_cycle = 0;
+  };
+
+  /// One virtual channel of one input port.
+  struct VcState {
+    enum class S { Idle, WaitVc, Active };
+    S state = S::Idle;
+    std::deque<BufferedFlit> fifo;
+    Port out_port = Port::Local;
+    int out_vc = -1;
+    Cycle va_eligible = 0;
+    Cycle sa_eligible = 0;
+    PacketPtr pkt;  ///< packet currently owning this VC
+  };
+
+  struct InputPort {
+    FlitChannel* data = nullptr;
+    CreditChannel* credit_out = nullptr;
+    VcHolder* upstream = nullptr;
+    Port upstream_out = Port::Local;
+    std::vector<VcState> vcs;
+    int sa_rr = 0;  ///< round-robin pointer over VCs
+  };
+
+  struct OutputPort {
+    FlitChannel* data = nullptr;
+    CreditChannel* credit_in = nullptr;
+    const int* downstream_active_vcs = nullptr;
+    std::vector<int> credits;
+    std::vector<bool> vc_busy;    ///< allocated to an in-flight packet
+    std::vector<bool> tail_sent;  ///< tail gone; waiting for credits to refill
+    int sa_rr = 0;   ///< round-robin pointer over input ports
+    int va_rr = 0;   ///< round-robin pointer over downstream VCs
+  };
+
+  /// A switch-allocation winner waiting for its crossbar cycle.
+  struct StReg {
+    Flit flit;
+    Port out = Port::Local;
+    Cycle st_cycle = 0;
+  };
+
+  // --- extension points for the hybrid router ---
+  /// First chance at an arriving flit. Return true if consumed (the hybrid
+  /// router diverts circuit-switched flits to the CS latch here). The base
+  /// router never sees circuit-switched flits.
+  virtual bool handle_arrival(Flit& flit, Port in, Cycle now);
+  /// May the crossbar pass a packet-switched flit (in -> out) at st_cycle?
+  /// The hybrid router consults the slot table (and the advance signal, for
+  /// time-slot stealing). Base: always.
+  virtual bool st_ok(Port in, Port out, Cycle st_cycle);
+  /// Route a head flit; may mutate the packet (the hybrid router processes
+  /// setup/teardown here). nullopt = consume the flit without forwarding
+  /// (single-flit config packets only).
+  virtual std::optional<Port> compute_route(const PacketPtr& pkt, Port in, Cycle now);
+  /// Called during the traversal phase so the hybrid router can push the
+  /// circuit-switched flits it collected this cycle through the crossbar.
+  virtual void traverse_circuit(Cycle now) { (void)now; }
+  /// Extra per-cycle leakage integrals (slot tables, DLT, CS latches).
+  virtual void leakage_tick(Cycle now) { (void)now; }
+
+  // --- services shared with subclasses ---
+  void send_flit(Port out, Flit flit, Cycle now);  ///< crossbar + link + channel
+  /// Mark a crossbar output as used this cycle; aborts on double use. The
+  /// hybrid router claims outputs for circuit-switched traversals with this
+  /// so CS/PS conflicts are caught.
+  void claim_xbar_output(Port out);
+  Port route_data(NodeId dst) const { return route_xy(mesh_, id_, dst); }
+  Port route_adaptive(NodeId dst);
+  int powered_vcs() const;  ///< active + draining (for leakage)
+  int num_ports_in_use() const { return static_cast<int>(ports_present_); }
+
+  const NocConfig cfg_;
+  const NodeId id_;
+  const Mesh& mesh_;
+  std::array<InputPort, kNumPorts> in_;
+  std::array<OutputPort, kNumPorts> out_;
+  EnergyCounters energy_;
+
+ private:
+  void receive_credits(Cycle now);
+  void receive_flits(Cycle now);
+  void vc_allocate(Cycle now);
+  void switch_allocate(Cycle now);
+  void switch_traverse(Cycle now);
+  void vc_gating_tick(Cycle now);
+  void accounting_tick(Cycle now);
+
+  /// Index of the VC (if any) from input `p` picked by the input arbiter.
+  int pick_sa_candidate(InputPort& ip, Port p, Cycle now);
+
+  std::vector<StReg> st_regs_;
+  std::array<bool, kNumPorts> xbar_out_used_{};
+  std::uint64_t flits_traversed_ = 0;
+
+  // --- VC power gating state ---
+  int announced_active_vcs_;  ///< what upstream allocators may use
+  int draining_vc_ = -1;      ///< VC being evacuated, or -1
+  std::uint64_t busy_vc_integral_ = 0;
+  /// Buffered-flit residency accounting for the latency gating metric.
+  std::uint64_t residency_sum_ = 0;
+  std::uint64_t residency_count_ = 0;
+  Cycle epoch_start_ = 0;
+
+  size_t ports_present_ = 0;
+};
+
+}  // namespace hybridnoc

@@ -1,0 +1,30 @@
+#include "noc/routing.hpp"
+
+namespace hybridnoc {
+
+Port route_xy(const Mesh& mesh, NodeId here, NodeId dst) {
+  const Coord c = mesh.coord(here);
+  const Coord d = mesh.coord(dst);
+  if (c.x < d.x) return Port::East;
+  if (c.x > d.x) return Port::West;
+  if (c.y < d.y) return Port::South;
+  if (c.y > d.y) return Port::North;
+  return Port::Local;
+}
+
+std::vector<Port> west_first_candidates(const Mesh& mesh, NodeId here, NodeId dst) {
+  const Coord c = mesh.coord(here);
+  const Coord d = mesh.coord(dst);
+  if (here == dst) return {Port::Local};
+  // West-first: westward moves are not adaptive — they must all happen
+  // before any other turn, which removes the turns that close deadlock
+  // cycles (Glass & Ni).
+  if (c.x > d.x) return {Port::West};
+  std::vector<Port> out;
+  if (c.x < d.x) out.push_back(Port::East);
+  if (c.y > d.y) out.push_back(Port::North);
+  if (c.y < d.y) out.push_back(Port::South);
+  return out;
+}
+
+}  // namespace hybridnoc

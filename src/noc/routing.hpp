@@ -1,0 +1,43 @@
+// Routing functions (Table I): dimension-ordered X-Y for data packets, and a
+// deadlock-free minimal-adaptive algorithm (west-first turn model) for path
+// configuration packets, which selects among productive ports by downstream
+// credit availability so setup messages spread load across routers
+// ("path selection", Section II-B).
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace hybridnoc {
+
+/// Output port for dimension-ordered X-then-Y routing from `here` to `dst`.
+/// Returns Port::Local when here == dst.
+Port route_xy(const Mesh& mesh, NodeId here, NodeId dst);
+
+/// Productive (minimal) output ports from `here` to `dst` under the
+/// west-first turn model: if the destination lies to the west, the packet
+/// must finish all westward hops first (only West is productive); otherwise
+/// every minimal direction is offered. Never contains Local unless here==dst.
+std::vector<Port> west_first_candidates(const Mesh& mesh, NodeId here, NodeId dst);
+
+/// Credit-based selection among `candidates`: the port with the most free
+/// downstream buffer slots wins; ties break deterministically by port order.
+/// `free_credits(port)` is supplied by the router.
+template <typename FreeCreditsFn>
+Port select_by_credits(const std::vector<Port>& candidates, FreeCreditsFn free_credits) {
+  HN_CHECK(!candidates.empty());
+  Port best = candidates.front();
+  int best_credits = free_credits(best);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    const int c = free_credits(candidates[i]);
+    if (c > best_credits) {
+      best = candidates[i];
+      best_credits = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace hybridnoc

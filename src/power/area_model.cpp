@@ -1,0 +1,58 @@
+#include "power/area_model.hpp"
+
+#include "common/types.hpp"
+
+namespace hybridnoc {
+namespace {
+
+// Calibrated 45 nm unit areas. With the Table-I configuration (5 ports,
+// 4 VCs x 5 flits x 128 bits, 128-entry slot tables) these produce
+// 0.177 mm^2 for the packet-switched router and 0.188 mm^2 for the hybrid
+// router — the paper's synthesis results.
+constexpr double kMm2PerBufferBit = 4.70e-6;     // register-file buffer cell
+constexpr double kMm2PerXbarBitPort2 = 2.50e-5;  // matrix crossbar, per bit x port^2
+constexpr double kMm2PerArbReq = 2.4e-4;         // per requestor of an arbiter
+constexpr double kMiscBase = 0.0248;             // clock spine, control, output regs
+constexpr double kMm2PerSlotBit = 3.55e-6;       // slot-table SRAM (denser than FIFOs)
+constexpr double kMm2PerLatchBit = 2.90e-6;      // CS pipeline latch + demux per bit
+
+}  // namespace
+
+RouterAreaBreakdown router_area(const NocConfig& cfg) {
+  RouterAreaBreakdown a;
+  const int flit_bits = cfg.channel_bytes * 8;
+  const int ports = kNumPorts;
+
+  const double buffer_bits =
+      static_cast<double>(ports * cfg.num_vcs * cfg.vc_buffer_depth * flit_bits);
+  a.buffers_mm2 = buffer_bits * kMm2PerBufferBit;
+
+  a.crossbar_mm2 =
+      static_cast<double>(flit_bits) * ports * ports * kMm2PerXbarBitPort2;
+
+  // Separable VC allocator (ports*vcs requestors, input and output stages) +
+  // switch allocator (ports in, ports out), modelled linearly in requestors.
+  const double vc_alloc = static_cast<double>(ports * cfg.num_vcs * 2) * kMm2PerArbReq;
+  const double sw_alloc = static_cast<double>(ports * 2) * kMm2PerArbReq;
+  a.allocators_mm2 = vc_alloc + sw_alloc;
+
+  a.misc_mm2 = kMiscBase;
+
+  if (cfg.arch == RouterArch::HybridTdm) {
+    // Each slot-table entry holds, per input port, a valid bit plus
+    // ceil(log2 ports) = 3 output-port bits.
+    const double entry_bits = static_cast<double>(ports) * (1.0 + 3.0);
+    a.slot_table_mm2 = cfg.slot_table_size * entry_bits * kMm2PerSlotBit;
+    a.cs_latch_mm2 = static_cast<double>(ports * flit_bits) * kMm2PerLatchBit;
+    if (cfg.hitchhiker_sharing || cfg.vicinity_sharing) {
+      // DLT entry: destination id (2*ceil(log2 k)) + slot id (log2 S) +
+      // 2-bit saturating counter (Section III-A1; "<16 bytes" total).
+      const double dlt_bits =
+          cfg.dlt_entries * (2.0 * 3.0 + 7.0 + 2.0);
+      a.dlt_mm2 = dlt_bits * kMm2PerBufferBit;
+    }
+  }
+  return a;
+}
+
+}  // namespace hybridnoc

@@ -1,0 +1,33 @@
+// Analytic router area model (45 nm, Nangate-class standard cells), replacing
+// the paper's RTL synthesis flow. Component areas scale with their natural
+// size parameters (storage bits, crossbar ports x width) and the constants
+// are calibrated so the Table-I configuration reproduces the paper's numbers:
+// packet-switched router 0.177 mm^2, hybrid-switched router 0.188 mm^2
+// (6.2 % overhead).
+#pragma once
+
+#include "common/config.hpp"
+
+namespace hybridnoc {
+
+struct RouterAreaBreakdown {
+  double buffers_mm2 = 0.0;
+  double crossbar_mm2 = 0.0;
+  double allocators_mm2 = 0.0;
+  double misc_mm2 = 0.0;        ///< clocking, control, output latches
+  double slot_table_mm2 = 0.0;  ///< hybrid only
+  double cs_latch_mm2 = 0.0;    ///< hybrid only: CS latches + demux
+  double dlt_mm2 = 0.0;         ///< hybrid only, when path sharing enabled
+
+  double total() const {
+    return buffers_mm2 + crossbar_mm2 + allocators_mm2 + misc_mm2 +
+           slot_table_mm2 + cs_latch_mm2 + dlt_mm2;
+  }
+  double cs_overhead() const { return slot_table_mm2 + cs_latch_mm2 + dlt_mm2; }
+};
+
+/// Area of one router under `cfg`. Hybrid components are included only when
+/// cfg.arch == RouterArch::HybridTdm.
+RouterAreaBreakdown router_area(const NocConfig& cfg);
+
+}  // namespace hybridnoc

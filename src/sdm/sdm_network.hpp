@@ -1,0 +1,116 @@
+// SDM-based hybrid-switched NoC baseline (Jerger et al., "Circuit-switched
+// coherence", NOCS'08), the comparison point of Section IV.
+//
+// Links are physically partitioned into P planes of channel_bytes/P each.
+// A circuit-switched connection claims one plane on every link along its
+// (X-Y) path; packet-switched traffic runs on the remaining planes, each a
+// full VC-wormhole network of narrow links. Because a packet is forced
+// through a single plane, every 16-byte flit becomes P narrow phits —
+// the packet serialization the paper identifies as the SDM throughput
+// bottleneck (flits per packet x P, congestion and intra-router contention
+// rise accordingly).
+//
+// Modelling notes (documented in DESIGN.md):
+//  * The P packet-switched planes are real cycle-level networks (instances
+//    of the same Router/NI fabric, 1 VC x 4x-deep buffers per plane, so
+//    aggregate buffering equals the 4-VC baseline).
+//  * Plane selection consults a global link-reservation registry — standing
+//    in for Jerger's prediction-based reservation protocol; this errs in
+//    SDM's favour (perfect knowledge, zero mis-predictions).
+//  * Circuit transmission is a contention-free pipeline on the reserved
+//    plane: serialization (flits x P phits at 1 phit/cycle) + 1 cycle per
+//    hop + fixed setup/ejection overhead; connections serialize their own
+//    packets. This is the best case for SDM circuits: no slot waiting.
+//  * The paper omits SDM energy ("it increases the network energy
+//    consumption"), so this model reports packet-plane energy only and is
+//    excluded from the energy figures, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "noc/network.hpp"
+
+namespace hybridnoc {
+
+class SdmNetwork {
+ public:
+  explicit SdmNetwork(const NocConfig& cfg);
+
+  void tick();
+  Cycle now() const { return now_; }
+  const Mesh& mesh() const { return mesh_; }
+  const NocConfig& cfg() const { return cfg_; }
+  int num_nodes() const { return mesh_.num_nodes(); }
+
+  /// Queue a packet (same producer contract as Network: src/dst/num_flits).
+  void send(PacketPtr pkt);
+
+  void set_deliver_handler(DeliverFn fn);
+  void set_policy_frozen(bool frozen) { frozen_ = frozen; }
+  bool quiescent() const;
+
+  std::uint64_t total_data_sent() const { return sent_; }
+  std::uint64_t total_data_delivered() const { return delivered_; }
+  std::uint64_t circuit_packets() const { return circuit_packets_; }
+  int reserved_links() const;
+  int active_circuits() const { return static_cast<int>(circuits_.size()); }
+
+ private:
+  struct Circuit {
+    int plane = 0;
+    Cycle usable_at = 0;   ///< setup handshake completes
+    Cycle busy_until = 0;  ///< serialization of the previous packet
+    Cycle last_used = 0;
+  };
+  struct InFlight {
+    Cycle deliver_at;
+    PacketPtr pkt;
+    bool operator>(const InFlight& o) const { return deliver_at > o.deliver_at; }
+  };
+  using LinkId = std::uint32_t;  ///< directed edge (node, port)
+
+  LinkId link_id(NodeId n, Port p) const {
+    return static_cast<LinkId>(n) * kNumPorts + static_cast<LinkId>(p);
+  }
+  /// Directed links of the X-Y path src -> dst.
+  std::vector<LinkId> path_links(NodeId src, NodeId dst) const;
+  bool plane_free_on_path(int plane, const std::vector<LinkId>& links) const;
+
+  void maybe_setup_circuit(NodeId src, NodeId dst);
+  void teardown_idle_circuits();
+  void send_packet_switched(const PacketPtr& pkt);
+  void send_circuit(Circuit& c, const PacketPtr& pkt);
+
+  const NocConfig cfg_;
+  Mesh mesh_;
+  Cycle now_ = 0;
+  bool frozen_ = false;
+
+  /// One narrow packet-switched network per plane.
+  std::vector<std::unique_ptr<Network>> planes_;
+  /// plane -> set of reserved directed links.
+  std::vector<std::set<LinkId>> reserved_;
+  std::map<std::pair<NodeId, NodeId>, Circuit> circuits_;
+  std::map<std::pair<NodeId, NodeId>, int> freq_;
+  Cycle epoch_start_ = 0;
+
+  /// Original packets in flight on packet planes, keyed by packet id.
+  std::unordered_map<PacketId, PacketPtr> ps_outstanding_;
+  /// Circuit-switched deliveries, time-ordered.
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> cs_in_flight_;
+
+  DeliverFn deliver_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t circuit_packets_ = 0;
+  int next_plane_rr_ = 0;
+};
+
+}  // namespace hybridnoc

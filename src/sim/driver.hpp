@@ -1,0 +1,62 @@
+// Synthetic-workload experiment driver: warm the network, measure a fixed
+// number of packets, report latency / accepted throughput / energy — the
+// methodology of Section IV (network warmed with 1000 packets, then
+// measured; we default to shorter windows sized for CI-class machines and
+// let the benches pick the paper-scale 100k-packet windows).
+#pragma once
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "power/energy_model.hpp"
+#include "sim/net_adapter.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace hybridnoc {
+
+struct RunParams {
+  TrafficPattern pattern = TrafficPattern::UniformRandom;
+  /// Offered load in flits/node/cycle (payload-equivalent 5-flit packets).
+  double injection_rate = 0.1;
+  std::uint64_t warmup_packets = 1000;
+  /// Warmup also runs at least this many cycles so queues reach steady
+  /// state before measurement even when packets complete quickly.
+  std::uint64_t warmup_min_cycles = 3000;
+  std::uint64_t measure_packets = 20000;
+  /// Hard cycle budget; hitting it marks the run saturated.
+  std::uint64_t max_cycles = 300000;
+  /// Mean latency above which a run is declared saturated early.
+  double latency_cap = 500.0;
+  std::uint64_t seed = 1;
+};
+
+struct RunResult {
+  double offered_rate = 0.0;    ///< flits/node/cycle offered
+  double accepted_rate = 0.0;   ///< payload-equivalent flits/node/cycle delivered
+  double avg_latency = 0.0;     ///< cycles, creation -> delivery
+  double p99_latency = 0.0;
+  bool saturated = false;
+  std::uint64_t measured_packets = 0;
+  std::uint64_t cycles = 0;     ///< measurement-window cycles
+  EnergyCounters energy;        ///< measurement-window counters
+  double cs_flit_fraction = 0.0;
+  double config_flit_fraction = 0.0;
+
+  /// Total network energy (pJ) over the measurement window.
+  double total_energy_pj(const EnergyParams& p = EnergyParams::nangate45()) const;
+};
+
+/// One run of `cfg` under a synthetic pattern.
+RunResult run_synthetic(const NocConfig& cfg, const RunParams& params);
+
+/// Load sweep: one run per rate (stops early once saturated twice).
+std::vector<RunResult> sweep_load(const NocConfig& cfg, RunParams params,
+                                  const std::vector<double>& rates);
+
+/// Saturation throughput: largest accepted rate over a geometric rate scan.
+double saturation_throughput(const NocConfig& cfg, RunParams params,
+                             double start_rate = 0.05, double step = 0.025,
+                             double max_rate = 1.0);
+
+}  // namespace hybridnoc

@@ -1,0 +1,50 @@
+// Uniform driver-facing interface over the three network implementations
+// (packet-switched baseline, TDM hybrid, SDM hybrid), so experiments are
+// written once and run against any architecture.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/config.hpp"
+#include "noc/network_interface.hpp"
+#include "power/energy_model.hpp"
+
+namespace hybridnoc {
+
+class NetAdapter {
+ public:
+  virtual ~NetAdapter() = default;
+
+  virtual void tick() = 0;
+  virtual Cycle now() const = 0;
+  virtual const Mesh& mesh() const = 0;
+
+  /// Queue `pkt` for injection at pkt->src.
+  virtual void send(PacketPtr pkt) = 0;
+  virtual int inject_queue_depth(NodeId n) const = 0;
+
+  virtual void set_deliver_handler(const DeliverFn& fn) = 0;
+  virtual void set_policy_frozen(bool frozen) = 0;
+  virtual bool quiescent() const = 0;
+
+  /// Aggregate energy counters (zero for the SDM baseline, which the paper
+  /// excludes from energy results).
+  virtual EnergyCounters energy() const = 0;
+
+  virtual std::uint64_t data_sent() const = 0;
+  virtual std::uint64_t data_delivered() const = 0;
+  virtual std::uint64_t ps_flits() const = 0;
+  virtual std::uint64_t cs_flits() const = 0;
+  virtual std::uint64_t config_flits() const = 0;
+  virtual std::uint64_t flits_of_class(TrafficClass c) const = 0;
+
+  /// The underlying mesh network, when this adapter wraps one (packet or
+  /// TDM hybrid); nullptr for SDM. For introspection in tests and benches.
+  virtual const class Network* mesh_network() const { return nullptr; }
+};
+
+/// Instantiate the network matching cfg.arch.
+std::unique_ptr<NetAdapter> make_network(const NocConfig& cfg);
+
+}  // namespace hybridnoc

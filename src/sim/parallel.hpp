@@ -1,0 +1,49 @@
+// Tiny thread-pool helper for running independent simulations concurrently
+// (each simulation owns its state, so runs are embarrassingly parallel and
+// stay bit-deterministic per run).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace hybridnoc {
+
+/// Apply `fn(i)` for i in [0, n) across up to `threads` workers (default:
+/// hardware concurrency). fn must only touch per-i state.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn fn, unsigned threads = 0) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads, n));
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+/// Map `fn(item)` over `items` in parallel, preserving order of results.
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& items, Fn fn, unsigned threads = 0)
+    -> std::vector<decltype(fn(items[0]))> {
+  std::vector<decltype(fn(items[0]))> out(items.size());
+  parallel_for(items.size(), [&](std::size_t i) { out[i] = fn(items[i]); },
+               threads);
+  return out;
+}
+
+}  // namespace hybridnoc

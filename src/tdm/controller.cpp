@@ -1,0 +1,38 @@
+#include "tdm/controller.hpp"
+
+namespace hybridnoc {
+
+TdmController::TdmController(const NocConfig& cfg)
+    : cfg_(cfg),
+      active_slots_(cfg.dynamic_slot_sizing ? cfg.initial_active_slots
+                                            : cfg.slot_table_size) {}
+
+void TdmController::tick(Cycle now) {
+  if (reset_pending_) {
+    const bool quiet = cs_in_flight_ == 0 && config_in_flight_ == 0 &&
+                       (!quiesced_check_ || quiesced_check_());
+    if (quiet) {
+      active_slots_ *= 2;
+      ++resizes_;
+      if (reset_hook_) reset_hook_(active_slots_);
+      reset_pending_ = false;
+      failures_ = 0;
+      successes_ = 0;
+      epoch_start_ = now;
+    }
+    return;
+  }
+
+  if (now < epoch_start_ + static_cast<Cycle>(cfg_.policy_epoch_cycles)) return;
+  total_failures_ += failures_;
+  total_successes_ += successes_;
+  if (cfg_.dynamic_slot_sizing && active_slots_ < cfg_.slot_table_size &&
+      failures_ >= static_cast<std::uint64_t>(cfg_.resize_failure_threshold)) {
+    reset_pending_ = true;  // quiesce, then grow
+  }
+  failures_ = 0;
+  successes_ = 0;
+  epoch_start_ = now;
+}
+
+}  // namespace hybridnoc

@@ -1,0 +1,88 @@
+// Network-wide controller for dynamic time-division granularity
+// (Section II-C): all slot tables start with a small powered region; when
+// path allocation keeps failing, the active size doubles and every table is
+// reset so the setup procedure can restart.
+//
+// Resizing is only performed when no circuit-switched flit is in flight —
+// while a resize is pending, NIs stop scheduling new circuit traffic and the
+// controller waits for the fabric's CS population to drain to zero. (In
+// hardware the reset would be sequenced the same way: quiesce, flash-clear,
+// restart.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace hybridnoc {
+
+class TdmController {
+ public:
+  explicit TdmController(const NocConfig& cfg);
+
+  /// Powered slots per table right now.
+  int active_slots() const { return active_slots_; }
+
+  /// May NIs schedule new circuit-switched traffic / setups?
+  bool cs_allowed() const { return !reset_pending_; }
+
+  /// Source NI reports a setup failure ack (drives the resize heuristic).
+  void record_setup_failure() { ++failures_; }
+  /// Source NI reports a successful setup.
+  void record_setup_success() { ++successes_; }
+
+  // --- in-flight circuit-switched flit tracking ---
+  void cs_flit_launched() { ++cs_in_flight_; }
+  void cs_flit_retired() {
+    HN_CHECK(cs_in_flight_ > 0);
+    --cs_in_flight_;
+  }
+  std::uint64_t cs_in_flight() const { return cs_in_flight_; }
+
+  // --- in-flight configuration packet tracking (setup/teardown/ack) ---
+  void config_launched() { ++config_in_flight_; }
+  void config_retired() {
+    HN_CHECK(config_in_flight_ > 0);
+    --config_in_flight_;
+  }
+  std::uint64_t config_in_flight() const { return config_in_flight_; }
+
+  /// Installed by the hybrid network: true when no circuit-switched flit is
+  /// planned or in flight anywhere (NIs' plans included) — the precondition
+  /// for a safe table reset.
+  void set_quiesced_check(std::function<bool()> check) {
+    quiesced_check_ = std::move(check);
+  }
+
+  /// Installed by the hybrid network: clears all slot tables, connection
+  /// state, DLTs and pending setups, and applies the new active size.
+  void set_reset_hook(std::function<void(int /*new_active*/)> hook) {
+    reset_hook_ = std::move(hook);
+  }
+
+  /// Called once per cycle by the hybrid network, after all components.
+  void tick(Cycle now);
+
+  int resizes() const { return resizes_; }
+  std::uint64_t total_setup_failures() const { return total_failures_; }
+  std::uint64_t total_setup_successes() const { return total_successes_; }
+
+ private:
+  const NocConfig cfg_;
+  int active_slots_;
+  std::uint64_t failures_ = 0;
+  std::uint64_t successes_ = 0;
+  std::uint64_t total_failures_ = 0;
+  std::uint64_t total_successes_ = 0;
+  std::uint64_t cs_in_flight_ = 0;
+  std::uint64_t config_in_flight_ = 0;
+  std::function<bool()> quiesced_check_;
+  bool reset_pending_ = false;
+  Cycle epoch_start_ = 0;
+  int resizes_ = 0;
+  std::function<void(int)> reset_hook_;
+};
+
+}  // namespace hybridnoc

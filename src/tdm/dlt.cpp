@@ -1,0 +1,92 @@
+#include "tdm/dlt.hpp"
+
+#include "common/assert.hpp"
+
+namespace hybridnoc {
+
+DestinationLookupTable::DestinationLookupTable(int capacity)
+    : capacity_(capacity) {
+  HN_CHECK(capacity >= 1);
+  entries_.resize(static_cast<size_t>(capacity));
+}
+
+int DestinationLookupTable::index_of(NodeId dest) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].dest == dest) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void DestinationLookupTable::observe(NodeId dest, int slot, int duration, Port in,
+                                     Port out, Cycle now) {
+  ++accesses_;
+  int idx = index_of(dest);
+  if (idx < 0) {
+    // Take a free entry, else evict the least recently used.
+    int lru = 0;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].dest == kInvalidNode) {
+        lru = static_cast<int>(i);
+        break;
+      }
+      if (entries_[i].last_used < entries_[static_cast<size_t>(lru)].last_used)
+        lru = static_cast<int>(i);
+    }
+    idx = lru;
+  }
+  entries_[static_cast<size_t>(idx)] = {dest, slot, duration, in, out, 0, now};
+}
+
+std::optional<DltEntry> DestinationLookupTable::find(NodeId dest) const {
+  ++accesses_;
+  const int idx = index_of(dest);
+  if (idx < 0 || !entries_[static_cast<size_t>(idx)].active) return std::nullopt;
+  return entries_[static_cast<size_t>(idx)];
+}
+
+void DestinationLookupTable::activate_route(int slot, Port in) {
+  for (auto& e : entries_) {
+    if (e.dest != kInvalidNode && e.slot == slot && e.in == in) e.active = true;
+  }
+}
+
+void DestinationLookupTable::touch(NodeId dest, Cycle now) {
+  const int idx = index_of(dest);
+  if (idx >= 0) entries_[static_cast<size_t>(idx)].last_used = now;
+}
+
+bool DestinationLookupTable::record_failure(NodeId dest) {
+  const int idx = index_of(dest);
+  if (idx < 0) return false;
+  auto& e = entries_[static_cast<size_t>(idx)];
+  if (e.fail_count < 3) ++e.fail_count;
+  if (e.fail_count >= 2) {  // counter reached '10'
+    e = DltEntry{};
+    return true;
+  }
+  return false;
+}
+
+void DestinationLookupTable::invalidate_route(int slot, Port in) {
+  for (auto& e : entries_) {
+    if (e.dest != kInvalidNode && e.slot == slot && e.in == in) e = DltEntry{};
+  }
+}
+
+void DestinationLookupTable::remove(NodeId dest) {
+  const int idx = index_of(dest);
+  if (idx >= 0) entries_[static_cast<size_t>(idx)] = DltEntry{};
+}
+
+void DestinationLookupTable::clear() {
+  for (auto& e : entries_) e = DltEntry{};
+}
+
+int DestinationLookupTable::size() const {
+  int n = 0;
+  for (const auto& e : entries_)
+    if (e.dest != kInvalidNode) ++n;
+  return n;
+}
+
+}  // namespace hybridnoc

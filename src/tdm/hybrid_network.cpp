@@ -1,0 +1,96 @@
+#include "tdm/hybrid_network.hpp"
+
+namespace hybridnoc {
+
+HybridNetwork::HybridNetwork(const NocConfig& cfg)
+    : detail::ControllerHolder(cfg),
+      Network(
+          cfg,
+          [this](const NocConfig& c, NodeId n, const Mesh& m) {
+            return std::make_unique<HybridRouter>(
+                c, n, m, ControllerHolder::controller.get());
+          },
+          [this](const NocConfig& c, NodeId n, const Mesh& m) {
+            return std::make_unique<HybridNi>(c, n, m,
+                                              ControllerHolder::controller.get());
+          }) {
+  HN_CHECK(cfg.arch == RouterArch::HybridTdm);
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    hybrid_ni(n).attach_router(&hybrid_router(n));
+  }
+  controller().set_reset_hook([this](int new_active) {
+    for (NodeId n = 0; n < num_nodes(); ++n) {
+      hybrid_router(n).slots().set_active_size(new_active);
+      hybrid_ni(n).reset_circuit_state();
+    }
+  });
+  controller().set_quiesced_check([this]() {
+    for (NodeId n = 0; n < num_nodes(); ++n) {
+      if (!hybrid_ni(n).cs_plan_empty()) return false;
+    }
+    return true;
+  });
+}
+
+void HybridNetwork::tick() {
+  Network::tick();
+  controller().tick(now());
+}
+
+std::uint64_t HybridNetwork::total_cs_packets() const {
+  std::uint64_t t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    t += static_cast<const HybridNi&>(ni(n)).cs_packets();
+  return t;
+}
+
+std::uint64_t HybridNetwork::total_setups_sent() const {
+  std::uint64_t t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    t += static_cast<const HybridNi&>(ni(n)).setups_sent();
+  return t;
+}
+
+std::uint64_t HybridNetwork::total_setup_failures() const {
+  std::uint64_t t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    t += static_cast<const HybridNi&>(ni(n)).setup_failures();
+  return t;
+}
+
+std::uint64_t HybridNetwork::total_hitchhike_packets() const {
+  std::uint64_t t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    t += static_cast<const HybridNi&>(ni(n)).hitchhike_packets();
+  return t;
+}
+
+std::uint64_t HybridNetwork::total_vicinity_packets() const {
+  std::uint64_t t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    t += static_cast<const HybridNi&>(ni(n)).vicinity_packets();
+  return t;
+}
+
+std::uint64_t HybridNetwork::total_hitchhike_bounces() const {
+  std::uint64_t t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    t += static_cast<const HybridNi&>(ni(n)).hitchhike_bounces();
+  return t;
+}
+
+std::uint64_t HybridNetwork::total_ps_steals() const {
+  std::uint64_t t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    t += static_cast<const HybridRouter&>(router(n)).ps_steals();
+  return t;
+}
+
+int HybridNetwork::total_active_connections() const {
+  int t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    t += static_cast<const HybridNi&>(ni(n)).active_connections();
+  return t;
+}
+
+}  // namespace hybridnoc

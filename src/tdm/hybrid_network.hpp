@@ -1,0 +1,50 @@
+// The TDM hybrid-switched network: the mesh fabric of src/noc instantiated
+// with HybridRouter/HybridNi, plus the network-wide controller for dynamic
+// time-division granularity.
+#pragma once
+
+#include <memory>
+
+#include "noc/network.hpp"
+#include "tdm/controller.hpp"
+#include "tdm/hybrid_ni.hpp"
+#include "tdm/hybrid_router.hpp"
+
+namespace hybridnoc {
+
+namespace detail {
+/// Holds the controller so it is constructed before the Network base class
+/// (whose factories capture it).
+struct ControllerHolder {
+  explicit ControllerHolder(const NocConfig& cfg)
+      : controller(std::make_unique<TdmController>(cfg)) {}
+  std::unique_ptr<TdmController> controller;
+};
+}  // namespace detail
+
+class HybridNetwork : private detail::ControllerHolder, public Network {
+ public:
+  explicit HybridNetwork(const NocConfig& cfg);
+
+  void tick() override;
+
+  TdmController& controller() { return *ControllerHolder::controller; }
+  const TdmController& controller() const { return *ControllerHolder::controller; }
+
+  HybridRouter& hybrid_router(NodeId n) {
+    return static_cast<HybridRouter&>(router(n));
+  }
+  HybridNi& hybrid_ni(NodeId n) { return static_cast<HybridNi&>(ni(n)); }
+
+  // --- aggregate circuit statistics ---
+  std::uint64_t total_cs_packets() const;
+  std::uint64_t total_setups_sent() const;
+  std::uint64_t total_setup_failures() const;
+  std::uint64_t total_hitchhike_packets() const;
+  std::uint64_t total_vicinity_packets() const;
+  std::uint64_t total_hitchhike_bounces() const;
+  std::uint64_t total_ps_steals() const;
+  int total_active_connections() const;
+};
+
+}  // namespace hybridnoc

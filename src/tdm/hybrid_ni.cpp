@@ -1,0 +1,513 @@
+#include "tdm/hybrid_ni.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hybridnoc {
+
+HybridNi::HybridNi(const NocConfig& cfg, NodeId id, const Mesh& mesh,
+                   TdmController* ctrl)
+    : NetworkInterface(cfg, id, mesh),
+      dlt_(cfg.dlt_entries),
+      ctrl_(ctrl),
+      rng_(cfg.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(id) + 1) {
+  HN_CHECK(ctrl_ != nullptr);
+}
+
+void HybridNi::attach_router(HybridRouter* r) {
+  hrouter_ = r;
+  r->set_ni_hooks(this);
+}
+
+bool HybridNi::idle() const {
+  return NetworkInterface::idle() && cs_plan_.empty();
+}
+
+void HybridNi::reset_circuit_state() {
+  HN_CHECK(cs_plan_.empty());
+  connections_.clear();
+  pending_.clear();
+  pending_dsts_.clear();
+  dlt_.clear();
+  freq_.clear();
+  cooldown_until_.clear();
+}
+
+void HybridNi::send(PacketPtr pkt, Cycle now) {
+  HN_CHECK(pkt && pkt->src == id_);
+  if (pkt->created == 0) pkt->created = now;
+  if (pkt->final_dst == kInvalidNode) pkt->final_dst = pkt->dst;
+  if (!pkt->is_config() && pkt->cs_eligible && !frozen_ && ctrl_->cs_allowed()) {
+    ++freq_[pkt->dst];
+    if (try_circuit(pkt, now)) return;
+    maybe_initiate_setup(pkt->dst, now, /*force=*/false);
+  }
+  NetworkInterface::send(std::move(pkt), now);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit transmission
+// ---------------------------------------------------------------------------
+
+std::optional<Cycle> HybridNi::find_start(int slot, int nflits, Cycle now) const {
+  const int S = ctrl_->active_slots();
+  // Earliest crossbar cycle congruent to `slot`, late enough that the first
+  // injection-channel write lands strictly in a future NI tick.
+  const Cycle base = now + 3;
+  const std::int64_t rem =
+      ((static_cast<std::int64_t>(slot) - static_cast<std::int64_t>(base % S)) % S +
+       S) % S;
+  Cycle c = base + static_cast<Cycle>(rem);
+  for (int attempt = 0; attempt < 2; ++attempt, c += static_cast<Cycle>(S)) {
+    bool free = true;
+    for (int i = 0; i < nflits && free; ++i) {
+      if (cs_plan_.count(c - 2 + static_cast<Cycle>(i))) free = false;
+    }
+    if (free) return c;
+  }
+  return std::nullopt;
+}
+
+double HybridNi::ps_latency_estimate(int hops) const {
+  return 5.0 * hops + 6.0 + cfg_.ps_data_flits +
+         cfg_.congestion_gain * ewma_inject_delay();
+}
+
+bool HybridNi::decide_cs(const PacketPtr& pkt, double cs_latency, int hops) const {
+  if (pkt->slack >= 0) {
+    // Section V-A2: circuit-switch when the message's slack exceeds the
+    // overall circuit-switched transmission latency.
+    return cs_latency <= static_cast<double>(pkt->slack);
+  }
+  return cs_latency <= cfg_.cs_latency_advantage * ps_latency_estimate(hops);
+}
+
+HybridNi::CsAttempt HybridNi::schedule_cs(const PacketPtr& pkt,
+                                          const std::vector<int>& slots,
+                                          int cs_hops, Cycle extra_latency,
+                                          int share_in, int share_out,
+                                          Cycle now) {
+  // Only a hopping-off message needs the extra header flit (Table I:
+  // "circuit-switched packet when vicinity-sharing applied"); packets
+  // riding straight to the path destination stay at 4 flits and leave the
+  // reservation's fifth slot to time-slot stealing.
+  const int nflits =
+      cfg_.cs_data_flits + (pkt->final_dst != pkt->dst ? 1 : 0);
+  HN_CHECK(nflits <= cfg_.reservation_duration());
+  // Earliest feasible window among the pair's reservations.
+  std::optional<Cycle> start;
+  for (const int slot : slots) {
+    const auto s = find_start(slot, nflits, now);
+    if (s && (!start || *s < *start)) start = s;
+  }
+  if (!start) {
+    ++cs_rejected_no_window_;
+    return CsAttempt::NoWindow;
+  }
+  const double cs_latency =
+      static_cast<double>(*start - now) + 2.0 * cs_hops + 2.0 + (nflits - 1) +
+      static_cast<double>(extra_latency);
+  if (!decide_cs(pkt, cs_latency, cs_hops)) {
+    ++cs_rejected_latency_;
+    return CsAttempt::NotWorth;
+  }
+
+  pkt->switching = Switching::Circuit;
+  pkt->num_flits = nflits;
+  pkt->share_in_port = share_in;
+  pkt->share_out_port = share_out;
+  for (int i = 0; i < nflits; ++i) {
+    Flit f;
+    f.pkt = pkt;
+    f.seq = i;
+    f.switching = Switching::Circuit;
+    if (nflits == 1) {
+      f.type = FlitType::HeadTail;
+    } else if (i == 0) {
+      f.type = FlitType::Head;
+    } else if (i == nflits - 1) {
+      f.type = FlitType::Tail;
+    } else {
+      f.type = FlitType::Body;
+    }
+    const auto [it, inserted] = cs_plan_.emplace(*start - 2 + static_cast<Cycle>(i), f);
+    HN_CHECK(inserted);
+    (void)it;
+  }
+  if (!pkt->reinjected) ++data_packets_sent_;
+  ++cs_packets_;
+  return CsAttempt::Scheduled;
+}
+
+bool HybridNi::try_circuit(const PacketPtr& pkt, Cycle now) {
+  const NodeId dst = pkt->dst;
+
+  // 1. Dedicated connection.
+  if (auto it = connections_.find(dst); it != connections_.end()) {
+    const CsAttempt r = schedule_cs(pkt, it->second.slots,
+                                    mesh_.hop_distance(id_, dst), 0, -1, -1, now);
+    if (r == CsAttempt::Scheduled) {
+      it->second.last_used = now;
+      return true;
+    }
+    if (r == CsAttempt::NoWindow) {
+      // The pair's reservations are oversubscribed: ask for an additional
+      // window (finer time-division granularity, Section II-C).
+      maybe_initiate_setup(dst, now, /*force=*/true, /*supplement=*/true);
+    }
+    return false;  // path exists but no usable slot now -> packet-switch
+  }
+
+  // 2. Hitchhike a path through this node toward the same destination.
+  if (cfg_.hitchhiker_sharing) {
+    if (auto e = dlt_.find(dst)) {
+      if (schedule_cs(pkt, {e->slot}, mesh_.hop_distance(id_, dst), 0,
+                      static_cast<int>(e->in), static_cast<int>(e->out),
+                      now) == CsAttempt::Scheduled) {
+        dlt_.touch(dst, now);
+        ++hitchhike_packets_;
+        return true;
+      }
+    }
+  }
+
+  // 3. Vicinity: ride an own connection to a neighbour of dst, hop off
+  // there into the packet-switched network (Section III-A2).
+  if (cfg_.vicinity_sharing) {
+    // One packet-switched hop after hop-off.
+    const Cycle hopoff_cost = static_cast<Cycle>(5 + 6 + cfg_.ps_data_flits);
+    for (auto& [cdst, conn] : connections_) {
+      if (!mesh_.adjacent(cdst, dst)) continue;
+      pkt->dst = cdst;  // network destination is the hop-off node
+      if (schedule_cs(pkt, conn.slots, mesh_.hop_distance(id_, cdst),
+                      hopoff_cost, -1, -1, now) == CsAttempt::Scheduled) {
+        conn.last_used = now;
+        ++vicinity_packets_;
+        return true;
+      }
+      pkt->dst = dst;
+      // Source-side contention: bump the reservation's 2-bit counter; at
+      // '10' request a dedicated path (Section III-A2).
+      if (conn.vicinity_fail < 3) ++conn.vicinity_fail;
+      if (conn.vicinity_fail >= 2) {
+        conn.vicinity_fail = 0;
+        maybe_initiate_setup(dst, now, /*force=*/true);
+      }
+      break;
+    }
+    if (pkt->dst != dst) pkt->dst = dst;
+
+    // 4. Combined hitchhiker + vicinity: ride a DLT path whose destination
+    // is adjacent to dst.
+    if (cfg_.hitchhiker_sharing) {
+      if (auto e = dlt_.find_adjacent(
+              dst, [this](NodeId a, NodeId b) { return mesh_.adjacent(a, b); })) {
+        pkt->dst = e->dest;
+        if (schedule_cs(pkt, {e->slot}, mesh_.hop_distance(id_, e->dest),
+                        hopoff_cost, static_cast<int>(e->in),
+                        static_cast<int>(e->out),
+                        now) == CsAttempt::Scheduled) {
+          dlt_.touch(e->dest, now);
+          ++hitchhike_packets_;
+          ++vicinity_packets_;
+          return true;
+        }
+        pkt->dst = dst;
+      }
+    }
+  }
+  return false;
+}
+
+bool HybridNi::circuit_inject(Cycle now) {
+  epoch_tick(now);
+  const auto it = cs_plan_.find(now);
+  if (it == cs_plan_.end()) {
+    HN_CHECK_MSG(cs_plan_.empty() || cs_plan_.begin()->first > now,
+                 "missed circuit injection slot");
+    return false;
+  }
+  Flit f = it->second;
+  cs_plan_.erase(it);
+  if (f.is_head() && f.pkt->is_hitchhiker()) {
+    // Re-validate the shared entry before committing the packet; the ride
+    // may have been torn down since scheduling.
+    if (!hrouter_->share_entry_ok(now + 2,
+                                  static_cast<Port>(f.pkt->share_in_port),
+                                  static_cast<Port>(f.pkt->share_out_port))) {
+      bounce_packet(f.pkt, f.pkt->dst, now);
+      return false;  // cycle goes to packet-switched traffic
+    }
+  }
+  if (f.is_head()) {
+    f.pkt->injected = now;
+  }
+  ++cs_data_flits_;
+  ++flits_by_class_[static_cast<size_t>(f.pkt->traffic_class)];
+  ctrl_->cs_flit_launched();
+  inject_->send(std::move(f), now);
+  return true;
+}
+
+void HybridNi::bounce_packet(const PacketPtr& pkt, NodeId ride_dest, Cycle now) {
+  // Cancel flits not yet on the wire.
+  for (auto it = cs_plan_.begin(); it != cs_plan_.end();) {
+    if (it->second.pkt == pkt) {
+      it = cs_plan_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ++hitchhike_bounces_;
+  if (dlt_.record_failure(ride_dest)) {
+    // Counter saturated at '10': stop sharing, ask for a dedicated path.
+    maybe_initiate_setup(pkt->final_dst, now, /*force=*/true);
+  }
+  auto copy = std::make_shared<Packet>();
+  // The bounced message keeps its identity: none of its circuit flits were
+  // forwarded (the head bounced at the hop-on crossbar and stray body flits
+  // evaporate there), so no partial assembly exists anywhere.
+  copy->id = pkt->id;
+  copy->src = id_;
+  copy->dst = pkt->final_dst;
+  copy->final_dst = pkt->final_dst;
+  copy->num_flits = cfg_.ps_data_flits;
+  copy->created = pkt->created;
+  copy->traffic_class = pkt->traffic_class;
+  copy->payload = pkt->payload;
+  copy->slack = pkt->slack;
+  copy->cs_eligible = false;
+  copy->reinjected = true;
+  send_priority(std::move(copy), now);
+}
+
+// ---------------------------------------------------------------------------
+// Path configuration protocol endpoints
+// ---------------------------------------------------------------------------
+
+PacketPtr HybridNi::make_config(MsgType type, NodeId dst, Cycle now) const {
+  auto p = std::make_shared<Packet>();
+  p->id = const_cast<HybridNi*>(this)->fresh_packet_id();
+  p->type = type;
+  p->src = id_;
+  p->dst = dst;
+  p->final_dst = dst;
+  p->num_flits = cfg_.config_flits;
+  p->traffic_class = TrafficClass::Config;
+  p->cs_eligible = false;
+  p->created = now;
+  return p;
+}
+
+void HybridNi::maybe_initiate_setup(NodeId dst, Cycle now, bool force,
+                                    bool supplement) {
+  if (frozen_ || !ctrl_->cs_allowed()) return;
+  if (dst == id_ || pending_dsts_.count(dst)) return;
+  if (supplement) {
+    const auto it = connections_.find(dst);
+    if (it == connections_.end() ||
+        static_cast<int>(it->second.slots.size()) >= cfg_.max_windows_per_pair) {
+      return;
+    }
+    // Breadth before depth: when the local table is crowded, leave the
+    // remaining slots to pairs that have no circuit at all.
+    if (hrouter_ && hrouter_->slots().occupancy() > 0.5) return;
+  } else if (connections_.count(dst)) {
+    return;
+  }
+  if (auto it = cooldown_until_.find(dst);
+      it != cooldown_until_.end() && now < it->second) {
+    return;
+  }
+  if (!force && freq_[dst] < cfg_.path_freq_threshold) return;
+
+  // "Once a connection has been idled for a long period, it becomes the
+  // candidate to be destroyed when new setup requests come in": free local
+  // slots by retiring the idlest connection when the table is crowded.
+  if (hrouter_ && hrouter_->slots().occupancy() > 0.5 && !connections_.empty()) {
+    auto idlest = connections_.begin();
+    for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+      if (it->second.last_used < idlest->second.last_used) idlest = it;
+    }
+    if (now - idlest->second.last_used >
+        static_cast<Cycle>(cfg_.policy_epoch_cycles)) {
+      for (const int slot : idlest->second.slots)
+        send_teardown(idlest->first, slot, now);
+      connections_.erase(idlest);
+    }
+  }
+  send_setup(dst, 0, now);
+}
+
+void HybridNi::send_setup(NodeId dst, int retries, Cycle now) {
+  const int dur = cfg_.reservation_duration();
+  const int S = ctrl_->active_slots();
+  int slot = static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(S)));
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int cand = static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(S)));
+    if (!hrouter_ || hrouter_->local_input_free(cand, dur)) {
+      slot = cand;
+      break;
+    }
+  }
+  auto p = make_config(MsgType::SetupRequest, dst, now);
+  p->slot_id = slot;
+  p->duration = dur;
+  pending_[p->id] = {dst, slot, retries, now};
+  pending_dsts_.insert(dst);
+  p->payload = p->id;
+  ++setups_sent_;
+  ctrl_->config_launched();
+  NetworkInterface::send(std::move(p), now);
+}
+
+void HybridNi::send_teardown(NodeId dst, int slot, Cycle now, NodeId stop_at) {
+  if (stop_at == id_) return;  // setup failed at our own router: nothing reserved
+  auto p = make_config(MsgType::Teardown, dst, now);
+  p->slot_id = slot;
+  p->duration = cfg_.reservation_duration();
+  p->teardown_stop = stop_at;
+  ctrl_->config_launched();
+  NetworkInterface::send(std::move(p), now);
+}
+
+void HybridNi::handle_config(const PacketPtr& pkt, Cycle now) {
+  ctrl_->config_retired();
+  switch (pkt->type) {
+    case MsgType::SetupRequest: {
+      // The setup walked the whole path: every hop is reserved. Acknowledge.
+      auto ack = make_config(MsgType::AckSuccess, pkt->src, now);
+      ack->payload = pkt->payload;
+      ack->slot_id = pkt->slot_id;  // slot after the destination router
+      ack->duration = pkt->duration;
+      ctrl_->config_launched();
+      NetworkInterface::send(std::move(ack), now);
+      break;
+    }
+    case MsgType::AckSuccess: {
+      const auto it = pending_.find(pkt->payload);
+      const int S = ctrl_->active_slots();
+      const int hops = mesh_.hop_distance(id_, pkt->src);
+      // Reconstruct the source-router slot from the destination-side slot:
+      // the setup incremented by 2 at each of hops+1 routers.
+      const int src_slot =
+          (pkt->slot_id - 2 * (hops + 1)) & (S - 1);
+      if (it == pending_.end()) {
+        // Orphaned ack (state lost): release the path we no longer want.
+        send_teardown(pkt->src, src_slot, now);
+        break;
+      }
+      HN_CHECK_MSG(src_slot == it->second.slot,
+                   "ack slot does not match the recorded setup slot");
+      Connection& conn = connections_[it->second.dst];
+      conn.slots.push_back(it->second.slot);
+      conn.duration = pkt->duration;
+      conn.last_used = now;
+      pending_dsts_.erase(it->second.dst);
+      pending_.erase(it);
+      ctrl_->record_setup_success();
+      break;
+    }
+    case MsgType::AckFailure: {
+      const auto it = pending_.find(pkt->payload);
+      if (it == pending_.end()) break;
+      const PendingSetup p = it->second;
+      pending_.erase(it);
+      pending_dsts_.erase(p.dst);
+      ++setup_failures_;
+      ctrl_->record_setup_failure();
+      // Destroy the partially reserved prefix (Section II-B), stopping at
+      // the router where the setup failed (the failure ack's source).
+      send_teardown(p.dst, p.slot, now, pkt->src);
+      // ...and re-send with a different slot id, or back off.
+      if (p.retries < cfg_.max_setup_retries && !frozen_ && ctrl_->cs_allowed()) {
+        send_setup(p.dst, p.retries + 1, now);
+      } else {
+        cooldown_until_[p.dst] =
+            now + 4 * static_cast<Cycle>(cfg_.policy_epoch_cycles);
+      }
+      break;
+    }
+    case MsgType::Teardown:
+      break;  // path ending at this node was destroyed; nothing to track
+    case MsgType::Data:
+      HN_CHECK_MSG(false, "data packet in config handler");
+  }
+}
+
+void HybridNi::handle_delivery(const PacketPtr& pkt, Cycle now) {
+  if (pkt->final_dst != id_) {
+    // Vicinity hop-off (Section III-A2): continue packet-switched.
+    auto copy = std::make_shared<Packet>();
+    copy->id = pkt->id;
+    copy->src = id_;
+    copy->dst = pkt->final_dst;
+    copy->final_dst = pkt->final_dst;
+    copy->num_flits = cfg_.ps_data_flits;
+    copy->created = pkt->created;
+    copy->traffic_class = pkt->traffic_class;
+    copy->payload = pkt->payload;
+    copy->slack = pkt->slack;
+    copy->cs_eligible = false;
+    copy->reinjected = true;
+    ++vicinity_hopoffs_;
+    send_priority(std::move(copy), now);
+    return;
+  }
+  deliver(pkt, now);
+}
+
+void HybridNi::on_eject_flit(const Flit& flit, Cycle now) {
+  (void)now;
+  if (flit.switching == Switching::Circuit) ctrl_->cs_flit_retired();
+}
+
+// ---------------------------------------------------------------------------
+// Hooks from the co-located router
+// ---------------------------------------------------------------------------
+
+void HybridNi::on_setup_pass(NodeId dest, int slot, int duration, Port in,
+                             Port out, Cycle now) {
+  dlt_.observe(dest, slot, duration, in, out, now);
+}
+
+void HybridNi::on_teardown_pass(int slot, Port in, Cycle now) {
+  (void)now;
+  dlt_.invalidate_route(slot, in);
+}
+
+void HybridNi::on_circuit_use(int slot, Port in, Cycle now) {
+  (void)now;
+  dlt_.activate_route(slot, in);
+}
+
+void HybridNi::on_hitchhike_bounce(const PacketPtr& pkt, Cycle now) {
+  bounce_packet(pkt, pkt->dst, now);
+}
+
+// ---------------------------------------------------------------------------
+
+void HybridNi::epoch_tick(Cycle now) {
+  if (now < epoch_start_ + static_cast<Cycle>(cfg_.policy_epoch_cycles)) return;
+  epoch_start_ = now;
+  freq_.clear();
+  // Retire connections idle beyond the timeout.
+  std::vector<NodeId> idle_list;
+  for (const auto& [dst, conn] : connections_) {
+    if (now - conn.last_used > cfg_.path_idle_timeout) idle_list.push_back(dst);
+  }
+  for (const NodeId dst : idle_list) {
+    for (const int slot : connections_[dst].slots) send_teardown(dst, slot, now);
+    connections_.erase(dst);
+  }
+}
+
+void HybridNi::leakage_tick(Cycle now) {
+  (void)now;
+  if (cfg_.hitchhiker_sharing || cfg_.vicinity_sharing) {
+    ++energy_.dlt_active_cycles;
+    energy_.dlt_accesses = dlt_.accesses();
+  }
+}
+
+}  // namespace hybridnoc

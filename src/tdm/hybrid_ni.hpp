@@ -1,0 +1,160 @@
+// Hybrid network interface: everything the paper puts at the source node.
+//
+//  * Frequently-communicating-pair detection (Section II-A): per-destination
+//    packet counts over a policy epoch trigger circuit setup.
+//  * The path configuration protocol's endpoint state machines
+//    (Section II-B): pending setups, success/failure acks, retry with a
+//    different slot id, teardown of failed or idle paths. Data is never
+//    blocked on setup — packets go packet-switched while setup runs.
+//  * Slot-timed circuit injection: flits are written so they hit the source
+//    router's crossbar exactly in their reserved slots; the injection
+//    channel's remaining cycles carry packet-switched traffic.
+//  * The switching decision (Sections II-A / V-A2): slack-based for messages
+//    carrying GPU slack, latency-estimate-based otherwise; messages whose
+//    slot wait would hurt them stay packet-switched.
+//  * Path sharing (Section III-A): hitchhiker (via the DLT) and vicinity
+//    (via connections/DLT entries adjacent to the destination), with 2-bit
+//    saturating failure counters, packet-switched fallback on contention and
+//    dedicated-path escalation on saturation.
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "noc/network_interface.hpp"
+#include "tdm/controller.hpp"
+#include "tdm/dlt.hpp"
+#include "tdm/hybrid_router.hpp"
+
+namespace hybridnoc {
+
+class HybridNi : public NetworkInterface, public CircuitNiHooks {
+ public:
+  HybridNi(const NocConfig& cfg, NodeId id, const Mesh& mesh,
+           TdmController* ctrl);
+
+  /// Wire the co-located hybrid router (also installs the NI hooks on it).
+  void attach_router(HybridRouter* r);
+
+  void send(PacketPtr pkt, Cycle now) override;
+  bool idle() const override;
+  void set_policy_frozen(bool frozen) override { frozen_ = frozen; }
+
+  /// Drop all circuit state (slot-table reset, Section II-C). Only called
+  /// when no circuit flit is planned or in flight.
+  void reset_circuit_state();
+
+  bool cs_plan_empty() const { return cs_plan_.empty(); }
+
+  // CircuitNiHooks
+  void on_setup_pass(NodeId dest, int slot, int duration, Port in, Port out,
+                     Cycle now) override;
+  void on_teardown_pass(int slot, Port in, Cycle now) override;
+  void on_circuit_use(int slot, Port in, Cycle now) override;
+  void on_hitchhike_bounce(const PacketPtr& pkt, Cycle now) override;
+
+  // --- introspection (tests, benches) ---
+  int active_connections() const { return static_cast<int>(connections_.size()); }
+  bool has_connection(NodeId dst) const { return connections_.count(dst) > 0; }
+  const DestinationLookupTable& dlt() const { return dlt_; }
+  std::uint64_t setups_sent() const { return setups_sent_; }
+  std::uint64_t setup_failures() const { return setup_failures_; }
+  std::uint64_t cs_packets() const { return cs_packets_; }
+  std::uint64_t hitchhike_packets() const { return hitchhike_packets_; }
+  std::uint64_t vicinity_packets() const { return vicinity_packets_; }
+  std::uint64_t hitchhike_bounces() const { return hitchhike_bounces_; }
+  std::uint64_t vicinity_hopoffs() const { return vicinity_hopoffs_; }
+  /// Switching-decision outcomes for circuit attempts on existing paths.
+  std::uint64_t cs_rejected_no_window() const { return cs_rejected_no_window_; }
+  std::uint64_t cs_rejected_latency() const { return cs_rejected_latency_; }
+
+ protected:
+  bool circuit_inject(Cycle now) override;
+  void handle_config(const PacketPtr& pkt, Cycle now) override;
+  void handle_delivery(const PacketPtr& pkt, Cycle now) override;
+  void on_eject_flit(const Flit& flit, Cycle now) override;
+  void leakage_tick(Cycle now) override;
+
+ private:
+  struct Connection {
+    /// Crossbar slots (at this source router) of every reservation window
+    /// this pair holds. Multiple windows = finer time-division granularity
+    /// = more of the path's bandwidth (Section II-C).
+    std::vector<int> slots;
+    int duration = 0;
+    Cycle last_used = 0;
+    std::uint8_t vicinity_fail = 0;  ///< 2-bit saturating counter
+  };
+  struct PendingSetup {
+    NodeId dst = kInvalidNode;
+    int slot = 0;
+    int retries = 0;
+    Cycle sent_at = 0;
+  };
+
+  enum class CsAttempt { Scheduled, NoWindow, NotWorth };
+
+  /// Try to transmit `pkt` circuit-switched (own path, hitchhike, vicinity,
+  /// or combined). Returns true if scheduled.
+  bool try_circuit(const PacketPtr& pkt, Cycle now);
+  /// Schedule a packet onto a circuit with reservation windows at `slots`
+  /// (crossbar slots at this router); the earliest feasible window wins.
+  /// `cs_hops` is the circuit's length in hops, `extra_latency` accounts for
+  /// a vicinity hop-off. share_in/share_out < 0 for own paths.
+  CsAttempt schedule_cs(const PacketPtr& pkt, const std::vector<int>& slots,
+                        int cs_hops, Cycle extra_latency, int share_in,
+                        int share_out, Cycle now);
+  /// Earliest crossbar cycle >= now+2 congruent to `slot` with a free
+  /// injection window for `nflits` consecutive cycles.
+  std::optional<Cycle> find_start(int slot, int nflits, Cycle now) const;
+
+  /// `force` bypasses the frequency threshold (used when a sharing failure
+  /// counter saturates and a dedicated path must be requested).
+  /// `supplement` requests an additional reservation window for an existing
+  /// connection whose windows are oversubscribed (Section II-C granularity).
+  void maybe_initiate_setup(NodeId dst, Cycle now, bool force,
+                            bool supplement = false);
+  void send_setup(NodeId dst, int retries, Cycle now);
+  /// `stop_at` = the router the corresponding setup failed at (failure
+  /// teardowns), kInvalidNode for full-path teardowns.
+  void send_teardown(NodeId dst, int slot, Cycle now,
+                     NodeId stop_at = kInvalidNode);
+  PacketPtr make_config(MsgType type, NodeId dst, Cycle now) const;
+
+  double ps_latency_estimate(int hops) const;
+  bool decide_cs(const PacketPtr& pkt, double cs_latency, int hops) const;
+
+  /// Cancel remaining planned flits and re-send the packet packet-switched.
+  /// `ride_dest` is the shared path's destination (for the DLT counter).
+  void bounce_packet(const PacketPtr& pkt, NodeId ride_dest, Cycle now);
+
+  void epoch_tick(Cycle now);
+
+  std::unordered_map<NodeId, Connection> connections_;
+  std::unordered_map<std::uint64_t, PendingSetup> pending_;
+  std::set<NodeId> pending_dsts_;
+  std::unordered_map<NodeId, int> freq_;
+  std::unordered_map<NodeId, Cycle> cooldown_until_;
+  std::map<Cycle, Flit> cs_plan_;  ///< injection-channel write schedule
+  DestinationLookupTable dlt_;
+
+  HybridRouter* hrouter_ = nullptr;
+  TdmController* ctrl_;
+  Rng rng_;
+  bool frozen_ = false;
+  Cycle epoch_start_ = 0;
+
+  std::uint64_t setups_sent_ = 0;
+  std::uint64_t setup_failures_ = 0;
+  std::uint64_t cs_packets_ = 0;
+  std::uint64_t hitchhike_packets_ = 0;
+  std::uint64_t vicinity_packets_ = 0;
+  std::uint64_t hitchhike_bounces_ = 0;
+  std::uint64_t vicinity_hopoffs_ = 0;
+  std::uint64_t cs_rejected_no_window_ = 0;
+  std::uint64_t cs_rejected_latency_ = 0;
+};
+
+}  // namespace hybridnoc

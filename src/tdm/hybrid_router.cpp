@@ -1,0 +1,211 @@
+#include "tdm/hybrid_router.hpp"
+
+#include <algorithm>
+
+namespace hybridnoc {
+
+HybridRouter::HybridRouter(const NocConfig& cfg, NodeId id, const Mesh& mesh,
+                           TdmController* ctrl)
+    : Router(cfg, id, mesh),
+      slots_(cfg.slot_table_size,
+             ctrl ? ctrl->active_slots() : cfg.slot_table_size),
+      ctrl_(ctrl) {
+  HN_CHECK(ctrl_ != nullptr);
+}
+
+const Flit* HybridRouter::peek_arrival(Port port, Cycle cycle) const {
+  const auto& ip = in_[static_cast<size_t>(port)];
+  if (!ip.data) return nullptr;
+  return ip.data->peek_arrival(cycle);
+}
+
+bool HybridRouter::cs_arrival_expected(Port port, Cycle cycle) const {
+  const Flit* f = peek_arrival(port, cycle);
+  return f != nullptr && f->switching == Switching::Circuit;
+}
+
+std::optional<Port> HybridRouter::local_cs_target(Cycle cycle) const {
+  const Flit* f = peek_arrival(Port::Local, cycle);
+  if (!f || f->switching != Switching::Circuit) return std::nullopt;
+  if (f->pkt->is_hitchhiker()) return static_cast<Port>(f->pkt->share_out_port);
+  return slots_.lookup(cycle, Port::Local);
+}
+
+std::optional<Port> HybridRouter::take_hh_override(Cycle now) {
+  for (auto it = hh_overrides_.begin(); it != hh_overrides_.end(); ++it) {
+    if (it->first == now) {
+      const Port out = it->second;
+      hh_overrides_.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+bool HybridRouter::handle_arrival(Flit& flit, Port in, Cycle now) {
+  if (flit.switching != Switching::Circuit) return false;
+  ++energy_.cs_latch_flits;
+
+  if (in != Port::Local) {
+    // Mid-path circuit flit: the slot table has pre-configured the crossbar.
+    const auto out = slots_.lookup(now, in);
+    HN_CHECK_MSG(out.has_value(),
+                 "circuit-switched flit arrived in an unreserved slot");
+    if (flit.is_head() && ni_hooks_ && cfg_.hitchhiker_sharing) {
+      // Evidence the circuit completed: provisional DLT entries on this
+      // reservation may now be shared.
+      ni_hooks_->on_circuit_use(slots_.slot_of(now), in, now);
+    }
+    cs_now_.push_back({flit, *out});
+    return true;
+  }
+
+  // Injected by the local NI.
+  if (!flit.pkt->is_hitchhiker()) {
+    const auto out = slots_.lookup(now, Port::Local);
+    HN_CHECK_MSG(out.has_value(), "local circuit flit without a reservation");
+    cs_now_.push_back({flit, *out});
+    return true;
+  }
+
+  // Hitchhiker hop-on (Section III-A1). Body flits follow the latch set up
+  // when their head was accepted; a body flit with no latch belongs to a
+  // bounced head and evaporates here.
+  if (const auto out = take_hh_override(now)) {
+    cs_now_.push_back({flit, *out});
+    return true;
+  }
+  if (!flit.is_head()) {
+    ctrl_->cs_flit_retired();
+    return true;
+  }
+  const Port sin = static_cast<Port>(flit.pkt->share_in_port);
+  const Port sout = static_cast<Port>(flit.pkt->share_out_port);
+  const auto entry = slots_.lookup(now, sin);
+  const bool path_ok = entry.has_value() && *entry == sout;
+  const bool contention = cs_arrival_expected(sin, now);
+  if (!path_ok || contention) {
+    ctrl_->cs_flit_retired();
+    if (ni_hooks_) ni_hooks_->on_hitchhike_bounce(flit.pkt, now);
+    return true;
+  }
+  for (int d = 1; d < flit.pkt->num_flits; ++d) {
+    hh_overrides_.emplace_back(now + static_cast<Cycle>(d), sout);
+  }
+  cs_now_.push_back({flit, sout});
+  return true;
+}
+
+bool HybridRouter::st_ok(Port in, Port out, Cycle st_cycle) {
+  // (1) An arriving circuit flit owns the input demux line for that cycle.
+  if (cs_arrival_expected(in, st_cycle)) return false;
+  const bool stealing = cfg_.time_slot_stealing;
+  // (2) Reserved input slot: without stealing the line is simply off-limits.
+  if (!stealing && slots_.lookup(st_cycle, in).has_value()) return false;
+  // (3) Output reserved by some input's slot entry.
+  if (const auto j = slots_.output_reserved_at(st_cycle, out)) {
+    if (!stealing) return false;
+    // Steal only when the advance signal says no circuit flit is coming.
+    if (cs_arrival_expected(*j, st_cycle)) return false;
+    ++ps_steals_;
+  }
+  // (4) A locally injected circuit flit (own circuit or hitchhiker) claims
+  // its target output outside the (input-indexed) table check above.
+  if (const auto t = local_cs_target(st_cycle)) {
+    if (*t == out) return false;
+  }
+  return true;
+}
+
+std::optional<Port> HybridRouter::compute_route(const PacketPtr& pkt, Port in,
+                                                Cycle now) {
+  switch (pkt->type) {
+    case MsgType::SetupRequest:
+      return process_setup(pkt, in, now);
+    case MsgType::Teardown:
+      return process_teardown(pkt, in, now);
+    case MsgType::Data:
+    case MsgType::AckSuccess:
+    case MsgType::AckFailure:
+      return Router::compute_route(pkt, in, now);
+  }
+  return std::nullopt;
+}
+
+std::optional<Port> HybridRouter::process_setup(const PacketPtr& pkt, Port in,
+                                                Cycle now) {
+  const Port out = (pkt->dst == id_) ? Port::Local : route_adaptive(pkt->dst);
+  const int slot = pkt->slot_id;
+  const int dur = pkt->duration;
+  HN_CHECK(slot >= 0 && dur >= 1);
+
+  // Starvation guard (Section II-B): no new reservations above the
+  // occupancy threshold.
+  const bool below_threshold =
+      slots_.occupancy() < cfg_.reservation_threshold;
+  if (below_threshold && slots_.reserve(slot, dur, in, out)) {
+    energy_.slot_table_writes += static_cast<std::uint64_t>(dur);
+    if (ni_hooks_ && cfg_.hitchhiker_sharing && in != Port::Local &&
+        out != Port::Local) {
+      ni_hooks_->on_setup_pass(pkt->dst, slot, dur, in, out, now);
+    }
+    // Two-stage circuit pipeline: the downstream router's slot is two
+    // cycles later (Section II-B).
+    pkt->slot_id = (slot + 2) & (slots_.active_size() - 1);
+    return out;
+  }
+
+  // Conflict: convert the setup in place into a failure ack headed back to
+  // the source (Section II-B). slot_id keeps the failing router's slot so
+  // diagnostics can see where the walk stopped; the source's teardown uses
+  // its own recorded starting slot.
+  pkt->type = MsgType::AckFailure;
+  pkt->dst = pkt->src;
+  pkt->src = id_;
+  pkt->final_dst = pkt->dst;
+  return (pkt->dst == id_) ? Port::Local : route_adaptive(pkt->dst);
+}
+
+std::optional<Port> HybridRouter::process_teardown(const PacketPtr& pkt, Port in,
+                                                   Cycle now) {
+  if (pkt->teardown_stop == id_) {
+    // The setup failed here: the valid entries at this router belong to the
+    // conflicting path and must not be touched.
+    ctrl_->config_retired();
+    return std::nullopt;
+  }
+  const auto out = slots_.release(pkt->slot_id, pkt->duration, in);
+  if (!out) {
+    // This is the node where the corresponding setup failed: every slot is
+    // already invalid, so the teardown evaporates (Section II-B).
+    ctrl_->config_retired();
+    return std::nullopt;
+  }
+  energy_.slot_table_writes += static_cast<std::uint64_t>(pkt->duration);
+  if (ni_hooks_) ni_hooks_->on_teardown_pass(pkt->slot_id, in, now);
+  pkt->slot_id = (pkt->slot_id + 2) & (slots_.active_size() - 1);
+  return *out;
+}
+
+void HybridRouter::traverse_circuit(Cycle now) {
+  for (auto& t : cs_now_) {
+    claim_xbar_output(t.out);
+    send_flit(t.out, t.flit, now);
+    ++cs_flits_traversed_;
+  }
+  cs_now_.clear();
+  HN_CHECK_MSG(hh_overrides_.empty() ||
+                   hh_overrides_.front().first >= now,
+               "stale hitchhiker latch");
+}
+
+void HybridRouter::leakage_tick(Cycle now) {
+  (void)now;
+  // One slot-row lookup per cycle steers the input demultiplexers.
+  ++energy_.slot_table_reads;
+  energy_.slot_entry_active_cycles +=
+      static_cast<std::uint64_t>(slots_.active_size());
+  ++energy_.cs_misc_active_cycles;
+}
+
+}  // namespace hybridnoc

@@ -1,0 +1,103 @@
+#include "tdm/slot_table.hpp"
+
+#include "common/assert.hpp"
+
+namespace hybridnoc {
+
+namespace {
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+SlotTable::SlotTable(int capacity, int active)
+    : capacity_(capacity), active_(active) {
+  HN_CHECK(is_pow2(capacity) && is_pow2(active) && active <= capacity);
+  entries_.resize(static_cast<size_t>(capacity) * kNumPorts);
+}
+
+bool SlotTable::can_reserve(int slot, int duration, Port in, Port out) const {
+  HN_CHECK(duration >= 1 && duration <= active_);
+  for (int d = 0; d < duration; ++d) {
+    const int s = wrap(slot + d);
+    if (at(s, in).valid) return false;  // input conflict (Fig 1, setup 2)
+    for (int j = 0; j < kNumPorts; ++j) {
+      const Port pj = static_cast<Port>(j);
+      if (pj == in) continue;
+      const Entry& e = at(s, pj);
+      if (e.valid && e.out == out) return false;  // output conflict (setup 3)
+    }
+  }
+  return true;
+}
+
+bool SlotTable::reserve(int slot, int duration, Port in, Port out) {
+  if (!can_reserve(slot, duration, in, out)) return false;
+  for (int d = 0; d < duration; ++d) {
+    Entry& e = at(wrap(slot + d), in);
+    e.valid = true;
+    e.out = out;
+    ++valid_count_;
+  }
+  return true;
+}
+
+std::optional<Port> SlotTable::release(int slot, int duration, Port in) {
+  std::optional<Port> first_out;
+  for (int d = 0; d < duration; ++d) {
+    Entry& e = at(wrap(slot + d), in);
+    if (!e.valid) continue;
+    if (!first_out) first_out = e.out;
+    e.valid = false;
+    --valid_count_;
+  }
+  return first_out;
+}
+
+std::optional<Port> SlotTable::lookup(Cycle cycle, Port in) const {
+  return lookup_slot(slot_of(cycle), in);
+}
+
+std::optional<Port> SlotTable::lookup_slot(int slot, Port in) const {
+  const Entry& e = at(wrap(slot), in);
+  if (!e.valid) return std::nullopt;
+  return e.out;
+}
+
+std::optional<Port> SlotTable::output_reserved_at(Cycle cycle, Port out) const {
+  const int s = slot_of(cycle);
+  for (int j = 0; j < kNumPorts; ++j) {
+    const Entry& e = at(s, static_cast<Port>(j));
+    if (e.valid && e.out == out) return static_cast<Port>(j);
+  }
+  return std::nullopt;
+}
+
+double SlotTable::occupancy() const {
+  return static_cast<double>(valid_count_) /
+         (static_cast<double>(active_) * kNumPorts);
+}
+
+bool SlotTable::input_free(int slot, int duration, Port in) const {
+  for (int d = 0; d < duration; ++d) {
+    if (at(wrap(slot + d), in).valid) return false;
+  }
+  return true;
+}
+
+void SlotTable::reset() {
+  for (auto& e : entries_) e.valid = false;
+  valid_count_ = 0;
+}
+
+bool SlotTable::grow() {
+  if (active_ == capacity_) return false;
+  set_active_size(active_ * 2);
+  return true;
+}
+
+void SlotTable::set_active_size(int active) {
+  HN_CHECK(is_pow2(active) && active <= capacity_);
+  reset();
+  active_ = active;
+}
+
+}  // namespace hybridnoc

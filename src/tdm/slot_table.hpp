@@ -1,0 +1,97 @@
+// The per-router slot table of Section II: S recurrent time slots; for each
+// slot and each input port, a valid bit plus an output-port id. A valid entry
+// at slot s means "at cycles ≡ s (mod S_active), the crossbar connection
+// in -> out is reserved for a circuit-switched flit".
+//
+// Reservation semantics follow Figure 1 exactly:
+//  * reservations cover `duration` consecutive slots, modulo the active size;
+//  * a reservation fails if any covered (slot, in) entry is already valid
+//    (input conflict, Figure 1 setup 2);
+//  * or if any other input holds the same output at a covered slot
+//    (output conflict, Figure 1 setup 3);
+//  * failed reservations leave the table untouched;
+//  * teardown resets the valid bits so slots can be reused.
+//
+// Section II-C's dynamic time-division granularity is supported through the
+// active size: only the first `active` entries participate (arithmetic is
+// modulo `active`); the rest are power-gated. Growing the active size resets
+// the table (the paper: "all slot tables are reset, and the path setup
+// procedure restarts").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hybridnoc {
+
+class SlotTable {
+ public:
+  /// `capacity` is the physical table size; `active` the initially powered
+  /// region. Both must be powers of two, active <= capacity.
+  SlotTable(int capacity, int active);
+
+  int capacity() const { return capacity_; }
+  int active_size() const { return active_; }
+
+  /// Slot index a given cycle maps to.
+  int slot_of(Cycle cycle) const { return static_cast<int>(cycle) & (active_ - 1); }
+
+  /// Would reserving [slot, slot+duration) for in->out succeed?
+  bool can_reserve(int slot, int duration, Port in, Port out) const;
+
+  /// Reserve; returns false (table unchanged) on any conflict.
+  bool reserve(int slot, int duration, Port in, Port out);
+
+  /// Invalidate [slot, slot+duration) for `in`. Entries already invalid are
+  /// ignored (a teardown may race a smaller prior release). Returns the
+  /// output port of the first valid released entry, if any.
+  std::optional<Port> release(int slot, int duration, Port in);
+
+  /// Valid entry for (cycle, in), if any.
+  std::optional<Port> lookup(Cycle cycle, Port in) const;
+  std::optional<Port> lookup_slot(int slot, Port in) const;
+
+  /// Some input holds `out` at the slot of `cycle`? Returns that input.
+  std::optional<Port> output_reserved_at(Cycle cycle, Port out) const;
+
+  /// Fraction of (active slot, input) entries that are valid.
+  double occupancy() const;
+  int valid_entries() const { return valid_count_; }
+
+  /// True if all entries [slot, slot+duration) for `in` are invalid —
+  /// the NI-side pre-check before proposing a slot id for a setup.
+  bool input_free(int slot, int duration, Port in) const;
+
+  /// Clear all reservations.
+  void reset();
+
+  /// Double the active region (clears the table). No-op at capacity.
+  /// Returns true if the size changed.
+  bool grow();
+
+  /// Set the active region explicitly (clears the table).
+  void set_active_size(int active);
+
+ private:
+  struct Entry {
+    bool valid = false;
+    Port out = Port::Local;
+  };
+  Entry& at(int slot, Port in) {
+    return entries_[static_cast<size_t>(slot) * kNumPorts + static_cast<size_t>(in)];
+  }
+  const Entry& at(int slot, Port in) const {
+    return entries_[static_cast<size_t>(slot) * kNumPorts + static_cast<size_t>(in)];
+  }
+  int wrap(int slot) const { return slot & (active_ - 1); }
+
+  int capacity_;
+  int active_;
+  int valid_count_ = 0;
+  std::vector<Entry> entries_;  ///< capacity x kNumPorts
+};
+
+}  // namespace hybridnoc

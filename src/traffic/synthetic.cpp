@@ -1,0 +1,78 @@
+#include "traffic/synthetic.hpp"
+
+namespace hybridnoc {
+
+const char* traffic_pattern_name(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::UniformRandom: return "uniform-random";
+    case TrafficPattern::Tornado: return "tornado";
+    case TrafficPattern::Transpose: return "transpose";
+    case TrafficPattern::BitComplement: return "bit-complement";
+    case TrafficPattern::Shuffle: return "shuffle";
+    case TrafficPattern::Hotspot: return "hotspot";
+  }
+  return "?";
+}
+
+std::optional<NodeId> pattern_destination(TrafficPattern pattern, const Mesh& mesh,
+                                          NodeId src, Rng& rng) {
+  const int k = mesh.k();
+  const Coord c = mesh.coord(src);
+  NodeId dst = src;
+  switch (pattern) {
+    case TrafficPattern::UniformRandom:
+      dst = static_cast<NodeId>(
+          rng.uniform_int(static_cast<std::uint64_t>(mesh.num_nodes())));
+      break;
+    case TrafficPattern::Tornado:
+      // Section IV: messages from (x, y) go to (x + k/2 - 1, y).
+      dst = mesh.node({(c.x + k / 2 - 1) % k, c.y});
+      break;
+    case TrafficPattern::Transpose:
+      dst = mesh.node({c.y, c.x});
+      break;
+    case TrafficPattern::BitComplement:
+      dst = mesh.node({k - 1 - c.x, k - 1 - c.y});
+      break;
+    case TrafficPattern::Shuffle: {
+      // Rotate the node-id bits left by one (classic perfect shuffle).
+      const auto n = static_cast<std::uint32_t>(mesh.num_nodes());
+      std::uint32_t bits = 0;
+      while ((1u << bits) < n) ++bits;
+      const auto s = static_cast<std::uint32_t>(src);
+      dst = static_cast<NodeId>(((s << 1) | (s >> (bits - 1))) & (n - 1));
+      if (dst >= mesh.num_nodes()) dst = src;  // non-power-of-two meshes
+      break;
+    }
+    case TrafficPattern::Hotspot: {
+      // 25% of traffic targets one of four fixed hotspots near the centre.
+      if (rng.bernoulli(0.25)) {
+        const int h = static_cast<int>(rng.uniform_int(4));
+        const Coord hot[4] = {{k / 2, k / 2},
+                              {k / 2 - 1, k / 2},
+                              {k / 2, k / 2 - 1},
+                              {k / 2 - 1, k / 2 - 1}};
+        dst = mesh.node(hot[h]);
+      } else {
+        dst = static_cast<NodeId>(
+            rng.uniform_int(static_cast<std::uint64_t>(mesh.num_nodes())));
+      }
+      break;
+    }
+  }
+  if (dst == src) return std::nullopt;
+  return dst;
+}
+
+SyntheticTraffic::SyntheticTraffic(const Mesh& mesh, TrafficPattern pattern,
+                                   double rate, int flits_per_packet,
+                                   std::uint64_t seed)
+    : mesh_(mesh),
+      pattern_(pattern),
+      packet_prob_(rate / static_cast<double>(flits_per_packet)),
+      rng_(seed) {
+  HN_CHECK(rate >= 0.0 && packet_prob_ <= 1.0);
+  HN_CHECK(flits_per_packet >= 1);
+}
+
+}  // namespace hybridnoc

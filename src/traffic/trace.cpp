@@ -1,0 +1,48 @@
+#include "traffic/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace hybridnoc {
+
+std::vector<TraceEntry> load_trace(std::istream& in) {
+  std::vector<TraceEntry> out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    TraceEntry e;
+    if (!(ls >> e.cycle)) continue;  // blank / comment-only line
+    HN_CHECK_MSG(static_cast<bool>(ls >> e.src >> e.dst >> e.flits),
+                 "malformed trace line");
+    HN_CHECK_MSG(e.flits >= 1 && e.src >= 0 && e.dst >= 0, "invalid trace entry");
+    HN_CHECK_MSG(out.empty() || out.back().cycle <= e.cycle,
+                 "trace entries out of cycle order");
+    out.push_back(e);
+  }
+  return out;
+}
+
+void save_trace(std::ostream& out, const std::vector<TraceEntry>& entries) {
+  out << "# hybridnoc trace: cycle src dst flits\n";
+  for (const auto& e : entries) {
+    out << e.cycle << ' ' << e.src << ' ' << e.dst << ' ' << e.flits << '\n';
+  }
+}
+
+TraceTraffic::TraceTraffic(std::vector<TraceEntry> entries, bool loop)
+    : entries_(std::move(entries)), loop_(loop) {
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    HN_CHECK_MSG(entries_[i - 1].cycle <= entries_[i].cycle,
+                 "trace entries must be sorted by cycle");
+  }
+  span_ = entries_.empty() ? 1 : entries_.back().cycle + 1;
+}
+
+}  // namespace hybridnoc

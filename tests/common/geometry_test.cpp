@@ -1,0 +1,83 @@
+#include "common/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hybridnoc {
+namespace {
+
+TEST(Mesh, CoordNodeRoundTrip) {
+  Mesh m(6);
+  for (NodeId n = 0; n < m.num_nodes(); ++n) {
+    EXPECT_EQ(m.node(m.coord(n)), n);
+  }
+}
+
+TEST(Mesh, RowMajorLayout) {
+  Mesh m(6);
+  EXPECT_EQ(m.coord(0), (Coord{0, 0}));
+  EXPECT_EQ(m.coord(5), (Coord{5, 0}));
+  EXPECT_EQ(m.coord(6), (Coord{0, 1}));
+  EXPECT_EQ(m.coord(35), (Coord{5, 5}));
+}
+
+TEST(Mesh, HopDistance) {
+  Mesh m(6);
+  EXPECT_EQ(m.hop_distance(0, 0), 0);
+  EXPECT_EQ(m.hop_distance(0, 5), 5);
+  EXPECT_EQ(m.hop_distance(0, 35), 10);
+  EXPECT_EQ(m.hop_distance(m.node({2, 3}), m.node({4, 1})), 4);
+}
+
+TEST(Mesh, AdjacencyIsDistanceOne) {
+  Mesh m(4);
+  for (NodeId a = 0; a < m.num_nodes(); ++a) {
+    for (NodeId b = 0; b < m.num_nodes(); ++b) {
+      EXPECT_EQ(m.adjacent(a, b), m.hop_distance(a, b) == 1);
+    }
+  }
+}
+
+TEST(Mesh, CornerHasTwoNeighbors) {
+  Mesh m(6);
+  int neighbors = 0;
+  for (int p = 1; p < kNumPorts; ++p)
+    if (m.has_neighbor(0, static_cast<Port>(p))) ++neighbors;
+  EXPECT_EQ(neighbors, 2);
+  EXPECT_TRUE(m.has_neighbor(0, Port::East));
+  EXPECT_TRUE(m.has_neighbor(0, Port::South));
+  EXPECT_FALSE(m.has_neighbor(0, Port::North));
+  EXPECT_FALSE(m.has_neighbor(0, Port::West));
+}
+
+TEST(Mesh, InteriorHasFourNeighbors) {
+  Mesh m(6);
+  const NodeId n = m.node({3, 3});
+  for (int p = 1; p < kNumPorts; ++p)
+    EXPECT_TRUE(m.has_neighbor(n, static_cast<Port>(p)));
+  EXPECT_EQ(m.neighbor(n, Port::North), m.node({3, 2}));
+  EXPECT_EQ(m.neighbor(n, Port::South), m.node({3, 4}));
+  EXPECT_EQ(m.neighbor(n, Port::East), m.node({4, 3}));
+  EXPECT_EQ(m.neighbor(n, Port::West), m.node({2, 3}));
+}
+
+TEST(Mesh, NeighborIsSymmetric) {
+  Mesh m(5);
+  for (NodeId n = 0; n < m.num_nodes(); ++n) {
+    for (int p = 1; p < kNumPorts; ++p) {
+      const Port port = static_cast<Port>(p);
+      if (!m.has_neighbor(n, port)) continue;
+      const NodeId nb = m.neighbor(n, port);
+      EXPECT_EQ(m.neighbor(nb, opposite(port)), n);
+    }
+  }
+}
+
+TEST(Port, OppositeIsInvolution) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    const Port port = static_cast<Port>(p);
+    EXPECT_EQ(opposite(opposite(port)), port);
+  }
+}
+
+}  // namespace
+}  // namespace hybridnoc

@@ -1,0 +1,95 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hybridnoc {
+namespace {
+
+TEST(StatAccumulator, Empty) {
+  StatAccumulator s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StatAccumulator, Basics) {
+  StatAccumulator s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of that classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatAccumulator, MergeMatchesSequential) {
+  StatAccumulator all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i * 0.7) * 10.0 + i * 0.1;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StatAccumulator, MergeWithEmpty) {
+  StatAccumulator a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(10.0, 5);
+  h.add(0.0);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(49.0);
+  h.add(50.0);   // overflow
+  h.add(999.0);  // overflow
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, NegativeClampsToZeroBucket) {
+  Histogram h(1.0, 4);
+  h.add(-5.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(Histogram, QuantileMedian) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+}
+
+TEST(EpochRate, RollsOverEpochBoundary) {
+  EpochRate r(100);
+  for (std::uint64_t c = 0; c < 100; ++c) {
+    if (c % 2 == 0) r.record();
+    r.tick(c);
+  }
+  r.tick(100);  // boundary: 50 events / 100 cycles
+  EXPECT_DOUBLE_EQ(r.rate(), 0.5);
+  // Next epoch with no events.
+  r.tick(200);
+  EXPECT_DOUBLE_EQ(r.rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace hybridnoc

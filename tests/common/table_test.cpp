@@ -1,0 +1,51 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hybridnoc {
+namespace {
+
+TEST(TextTable, AlignedOutputContainsAllCells) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"b", "22.50"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.50"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::pct(0.123, 1), "12.3%");
+  EXPECT_EQ(TextTable::pct(-0.05, 1), "-5.0%");
+}
+
+TEST(TextTableDeathTest, RowWidthMismatchAborts) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(Banner, ContainsTitleAndSubtitle) {
+  std::ostringstream os;
+  print_banner(os, "Figure 4", "load-latency");
+  EXPECT_NE(os.str().find("== Figure 4 =="), std::string::npos);
+  EXPECT_NE(os.str().find("load-latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hybridnoc

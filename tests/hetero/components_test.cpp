@@ -1,0 +1,137 @@
+// Standalone unit tests of the heterogeneous system's component models.
+#include <gtest/gtest.h>
+
+#include "hetero/cpu_core.hpp"
+#include "hetero/gpu_sm.hpp"
+
+namespace hybridnoc {
+namespace {
+
+TEST(CpuCore, RetiresAtPeakIpcWithoutMisses) {
+  CpuBenchParams p = cpu_benchmark("WUPWISE");
+  p.mpki = 0.0001;  // effectively never misses
+  p.ipc_peak = 1.5;
+  CpuCore core(0, p, Rng(1), [](std::uint64_t) {}, [](std::uint64_t) {});
+  for (Cycle c = 0; c < 1000; ++c) core.tick(c);
+  EXPECT_NEAR(static_cast<double>(core.instructions_retired()), 1500.0, 10.0);
+}
+
+TEST(CpuCore, StallsWhenMissWindowFull) {
+  CpuBenchParams p = cpu_benchmark("ART");
+  p.mpki = 100.0;  // a miss every ~10 instructions
+  p.mlp = 2;
+  int issued = 0;
+  CpuCore core(0, p, Rng(2), [&](std::uint64_t) { ++issued; },
+               [](std::uint64_t) {});
+  // No replies ever arrive: the core must stop at mlp outstanding misses.
+  for (Cycle c = 0; c < 5000; ++c) core.tick(c);
+  EXPECT_EQ(issued, 2);
+  EXPECT_TRUE(core.stalled());
+  const auto frozen = core.instructions_retired();
+  for (Cycle c = 5000; c < 6000; ++c) core.tick(c);
+  EXPECT_EQ(core.instructions_retired(), frozen);
+  // A reply reopens the window.
+  core.on_reply(6000);
+  EXPECT_FALSE(core.stalled());
+  for (Cycle c = 6000; c < 7000; ++c) core.tick(c);
+  EXPECT_GT(core.instructions_retired(), frozen);
+}
+
+TEST(CpuCore, MissRateTracksMpki) {
+  CpuBenchParams p = cpu_benchmark("APPLU");
+  p.mpki = 20.0;
+  p.mlp = 64;  // never blocks
+  p.writeback_rate = 0.0;
+  std::uint64_t misses = 0;
+  CpuCore core(0, p, Rng(3), [&](std::uint64_t) { ++misses; },
+               [](std::uint64_t) {});
+  for (Cycle c = 0; c < 50000; ++c) {
+    core.tick(c);
+    // Immediately satisfy so the window never binds.
+    while (core.outstanding() > 0) core.on_reply(c);
+  }
+  const double mpki = 1000.0 * static_cast<double>(misses) /
+                      static_cast<double>(core.instructions_retired());
+  EXPECT_NEAR(mpki, 20.0, 2.5);
+}
+
+TEST(GpuSm, IssuesAtMostOneRequestPerCycle) {
+  GpuBenchParams p = gpu_benchmark("BLACKSCHOLES");
+  p.compute_cycles = 1.0;  // every warp wants to issue constantly
+  int issued_this_cycle = 0;
+  GpuSm sm(0, p, 0, Rng(4),
+           [&](int, std::uint64_t, std::int64_t) { ++issued_this_cycle; });
+  for (Cycle c = 0; c < 100; ++c) {
+    issued_this_cycle = 0;
+    sm.tick(c);
+    EXPECT_LE(issued_this_cycle, 1);
+  }
+}
+
+TEST(GpuSm, BlockingLoadsStallTheirWarp) {
+  GpuBenchParams p = gpu_benchmark("STO");
+  p.compute_cycles = 2.0;
+  p.blocking_fraction = 1.0;  // everything blocks
+  std::vector<int> warps;
+  GpuSm sm(0, p, 0, Rng(5),
+           [&](int w, std::uint64_t, std::int64_t) { warps.push_back(w); });
+  for (Cycle c = 0; c < 2000; ++c) sm.tick(c);
+  // All 32 warps eventually block; no duplicates while waiting.
+  EXPECT_EQ(warps.size(), 32u);
+  std::set<int> uniq(warps.begin(), warps.end());
+  EXPECT_EQ(uniq.size(), 32u);
+  EXPECT_EQ(sm.waiting_warps(), 32);
+  // Replies resume and count transactions.
+  for (const int w : warps) sm.on_reply(w, 2000);
+  EXPECT_EQ(sm.transactions_completed(), 32u);
+  EXPECT_EQ(sm.waiting_warps(), 0);
+}
+
+TEST(GpuSm, NonBlockingLoadsCarryLargeSlack) {
+  GpuBenchParams p = gpu_benchmark("BLACKSCHOLES");
+  p.compute_cycles = 3.0;
+  p.blocking_fraction = 0.0;  // pure streaming
+  std::int64_t min_slack = 1 << 30;
+  int nonblocking = 0;
+  GpuSm sm(0, p, 0, Rng(6), [&](int w, std::uint64_t, std::int64_t slack) {
+    if (w < 0) {
+      ++nonblocking;
+      min_slack = std::min(min_slack, slack);
+    }
+  });
+  for (Cycle c = 0; c < 500; ++c) sm.tick(c);
+  EXPECT_GT(nonblocking, 50);
+  EXPECT_GE(min_slack, 1000);  // effectively unbounded tolerance
+  EXPECT_EQ(sm.waiting_warps(), 0);
+}
+
+TEST(GpuSm, SlackShrinksAsWarpsBlock) {
+  GpuBenchParams p = gpu_benchmark("STO");
+  p.compute_cycles = 2.0;
+  p.blocking_fraction = 1.0;
+  std::vector<std::int64_t> slacks;
+  GpuSm sm(0, p, 0, Rng(7),
+           [&](int, std::uint64_t, std::int64_t s) { slacks.push_back(s); });
+  for (Cycle c = 0; c < 3000; ++c) sm.tick(c);
+  ASSERT_EQ(slacks.size(), 32u);
+  // Each successive blocking issue sees fewer available warps.
+  EXPECT_GT(slacks.front(), slacks.back());
+  EXPECT_EQ(slacks.back(), 0);  // the last warp to block has no cover left
+}
+
+TEST(GpuSm, TransactionRateTracksComputeCycles) {
+  GpuBenchParams p = gpu_benchmark("LPS");
+  p.compute_cycles = 100.0;
+  p.blocking_fraction = 0.0;
+  std::uint64_t issued = 0;
+  GpuSm sm(0, p, 0, Rng(8),
+           [&](int, std::uint64_t, std::int64_t) { ++issued; });
+  const int cycles = 50000;
+  for (Cycle c = 0; c < static_cast<Cycle>(cycles); ++c) sm.tick(c);
+  // 32 warps, one request per ~101 cycles each, capped at 1/cycle issue.
+  const double rate = static_cast<double>(issued) / cycles;
+  EXPECT_NEAR(rate, 32.0 / 101.0, 0.05);
+}
+
+}  // namespace
+}  // namespace hybridnoc

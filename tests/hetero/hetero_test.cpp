@@ -1,0 +1,166 @@
+#include "hetero/hetero_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tdm/hybrid_network.hpp"
+
+namespace hybridnoc {
+namespace {
+
+WorkloadMix mix(const char* cpu, const char* gpu) {
+  return {cpu_benchmark(cpu), gpu_benchmark(gpu)};
+}
+
+TEST(TileMap, Hetero36Composition) {
+  const TileMap t = TileMap::hetero36();
+  EXPECT_EQ(t.num_tiles(), 36);
+  EXPECT_EQ(t.cpus().size(), 8u);       // 8 CPU tiles (8 CPU benchmarks' threads)
+  EXPECT_EQ(t.l2_banks().size(), 12u);  // banked shared L2
+  EXPECT_EQ(t.accels().size(), 12u);    // accelerator tiles
+  EXPECT_EQ(t.mems().size(), 4u);       // Table II: 4 memory controllers
+  // Memory controllers sit at the corners (Figure 7 edges).
+  EXPECT_EQ(t.type(0), TileType::Mem);
+  EXPECT_EQ(t.type(5), TileType::Mem);
+  EXPECT_EQ(t.type(30), TileType::Mem);
+  EXPECT_EQ(t.type(35), TileType::Mem);
+}
+
+TEST(TileMap, AddressInterleaving) {
+  const TileMap t = TileMap::hetero36();
+  // Home functions cover every bank/controller.
+  std::set<NodeId> banks, mems;
+  for (std::uint64_t a = 0; a < 100; ++a) {
+    banks.insert(t.l2_home(a));
+    mems.insert(t.mem_home(a));
+  }
+  EXPECT_EQ(banks.size(), 12u);
+  EXPECT_EQ(mems.size(), 4u);
+}
+
+TEST(Benchmarks, RegistryMatchesPaperLists) {
+  EXPECT_EQ(cpu_benchmarks().size(), 8u);
+  EXPECT_EQ(gpu_benchmarks().size(), 7u);
+  EXPECT_EQ(cpu_benchmark("SWIM").name, "SWIM");
+  EXPECT_DOUBLE_EQ(gpu_benchmark("BLACKSCHOLES").paper_injection, 0.18);
+  EXPECT_DOUBLE_EQ(gpu_benchmark("STO").paper_cs_percent, 18.5);
+  // 8 x 7 = 56 workload mixes, as evaluated in Section V.
+  EXPECT_EQ(cpu_benchmarks().size() * gpu_benchmarks().size(), 56u);
+}
+
+TEST(ServiceQueueTest, LatencyAndBandwidth) {
+  ServiceQueue q(200, 4);
+  EXPECT_EQ(q.push(1, 10), 210u);  // 200-cycle latency
+  EXPECT_EQ(q.push(2, 10), 214u);  // second request waits for the port
+  EXPECT_EQ(q.push(3, 100), 300u);
+  int drained = 0;
+  q.drain(250, [&](std::uint64_t) { ++drained; });
+  EXPECT_EQ(drained, 2);
+  q.drain(300, [&](std::uint64_t) { ++drained; });
+  EXPECT_EQ(drained, 3);
+}
+
+TEST(HeteroSystem, TransactionsFlowAndComplete) {
+  HeteroSystem sys(NocConfig::packet_vc4(6), mix("APPLU", "BLACKSCHOLES"), 1);
+  const auto m = sys.run(2000, 8000);
+  EXPECT_GT(m.cpu_ipc, 0.5);
+  EXPECT_LE(m.cpu_ipc, 1.4);  // bounded by APPLU's peak IPC
+  EXPECT_GT(m.gpu_throughput, 0.1);
+  EXPECT_GT(m.injection_rate, 0.05);
+  // Transactions do not leak.
+  EXPECT_LT(sys.outstanding_transactions(), 3000u);
+}
+
+TEST(HeteroSystem, GpuInjectionTracksTableIII) {
+  // The calibration target: measured GPU injection within 25% of the
+  // paper's Table III for every benchmark (at modest window sizes).
+  for (const auto& g : gpu_benchmarks()) {
+    HeteroSystem sys(NocConfig::packet_vc4(6), {cpu_benchmark("APPLU"), g}, 1);
+    const auto m = sys.run(4000, 10000);
+    EXPECT_NEAR(m.gpu_injection_rate, g.paper_injection, g.paper_injection * 0.25)
+        << g.name;
+  }
+}
+
+TEST(HeteroSystem, CpuTrafficIsModerateAndPacketSwitched) {
+  HeteroSystem sys(NocConfig::hybrid_tdm_vc4(6), mix("SWIM", "BLACKSCHOLES"), 1);
+  const auto m = sys.run(4000, 10000);
+  // CPU packets are a small portion of total on-chip traffic (Section V-B1)...
+  EXPECT_LT(m.cpu_injection_rate, 0.5 * m.gpu_injection_rate);
+  EXPECT_GT(m.cpu_injection_rate, 0.0);
+  // ...and all circuit-switched flits belong to GPU traffic: with CPU-only
+  // eligibility disabled there would be none.
+  EXPECT_GT(m.cs_flit_fraction, 0.0);
+}
+
+TEST(HeteroSystem, HybridCircuitSwitchesGpuTraffic) {
+  HeteroSystem sys(NocConfig::hybrid_tdm_vc4(6), mix("APPLU", "BLACKSCHOLES"), 1);
+  const auto m = sys.run(6000, 15000);
+  // BLACKSCHOLES: Table III reports 55.7% circuit-switched flits.
+  EXPECT_GT(m.cs_flit_fraction, 0.35);
+  EXPECT_LT(m.cs_flit_fraction, 0.75);
+  EXPECT_LT(m.config_flit_fraction, 0.01);  // <1% config traffic (Section II-B)
+}
+
+TEST(HeteroSystem, HybridSavesNetworkEnergy) {
+  const auto P = EnergyParams::nangate45();
+  HeteroSystem base(NocConfig::packet_vc4(6), mix("APPLU", "LPS"), 1);
+  HeteroSystem hyb(NocConfig::hybrid_tdm_vc4(6), mix("APPLU", "LPS"), 1);
+  const auto mb = base.run(5000, 15000);
+  const auto mh = hyb.run(5000, 15000);
+  const double eb = compute_breakdown(mb.energy, P).total();
+  const double eh = compute_breakdown(mh.energy, P).total();
+  EXPECT_LT(eh, eb);  // Figure 8(a): hybrid reduces network energy
+  // Performance is not destroyed in the process (Figure 8(b,c)).
+  EXPECT_GT(mh.cpu_ipc, 0.95 * mb.cpu_ipc);
+  EXPECT_GT(mh.gpu_throughput, 0.90 * mb.gpu_throughput);
+}
+
+TEST(HeteroSystem, VcGatingAddsStaticSavings) {
+  const auto P = EnergyParams::nangate45();
+  HeteroSystem plain(NocConfig::hybrid_tdm_hop_vc4(6), mix("GAFORT", "STO"), 1);
+  HeteroSystem gated(NocConfig::hybrid_tdm_hop_vct(6), mix("GAFORT", "STO"), 1);
+  const auto mp = plain.run(5000, 15000);
+  const auto mg = gated.run(5000, 15000);
+  const auto bp = compute_breakdown(mp.energy, P);
+  const auto bg = compute_breakdown(mg.energy, P);
+  EXPECT_LT(bg.leakage(EnergyComponent::Buffer), bp.leakage(EnergyComponent::Buffer));
+  EXPECT_LT(bg.total(), bp.total());
+}
+
+TEST(HeteroSystem, Deterministic) {
+  auto once = [] {
+    HeteroSystem sys(NocConfig::hybrid_tdm_vc4(6), mix("ART", "NN"), 7);
+    const auto m = sys.run(2000, 6000);
+    return std::make_pair(m.cpu_ipc, m.gpu_throughput);
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(HeteroSystem, BuffersDominateBaselineDynamicEnergy) {
+  // Figure 9(a) premise: input buffers are the biggest dynamic consumer in
+  // the packet-switched baseline.
+  HeteroSystem base(NocConfig::packet_vc4(6), mix("APPLU", "LPS"), 1);
+  const auto m = base.run(4000, 10000);
+  const auto b = compute_breakdown(m.energy, EnergyParams::nangate45());
+  EXPECT_GT(b.dynamic(EnergyComponent::Buffer), b.dynamic(EnergyComponent::Crossbar));
+  EXPECT_GT(b.dynamic(EnergyComponent::Buffer), b.dynamic(EnergyComponent::Arbiter));
+  EXPECT_DOUBLE_EQ(b.dynamic(EnergyComponent::CsComponent), 0.0);
+}
+
+TEST(HeteroSystem, HybridCutsBufferDynamicEnergy) {
+  // Figure 9(a): buffer read/write energy drops because circuit flits skip
+  // buffering entirely; the CS-component overhead stays small.
+  HeteroSystem base(NocConfig::packet_vc4(6), mix("APPLU", "BLACKSCHOLES"), 1);
+  HeteroSystem hyb(NocConfig::hybrid_tdm_vc4(6), mix("APPLU", "BLACKSCHOLES"), 1);
+  const auto mb = base.run(5000, 15000);
+  const auto mh = hyb.run(5000, 15000);
+  const auto bb = compute_breakdown(mb.energy, EnergyParams::nangate45());
+  const auto bh = compute_breakdown(mh.energy, EnergyParams::nangate45());
+  EXPECT_LT(bh.dynamic(EnergyComponent::Buffer),
+            0.75 * bb.dynamic(EnergyComponent::Buffer));
+  EXPECT_LT(bh.dynamic(EnergyComponent::CsComponent),
+            0.05 * bh.total_dynamic());
+}
+
+}  // namespace
+}  // namespace hybridnoc

@@ -1,0 +1,117 @@
+// VC power-gating tests beyond the basics in network_test.cpp: the latency
+// gating metric (the paper's proposed future-work policy) and gating
+// correctness under sustained churn.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+
+namespace hybridnoc {
+namespace {
+
+PacketPtr make_data(PacketId id, NodeId src, NodeId dst) {
+  auto p = std::make_shared<Packet>();
+  p->id = id;
+  p->src = src;
+  p->dst = dst;
+  p->num_flits = 5;
+  return p;
+}
+
+NocConfig latency_gated(int k) {
+  NocConfig cfg = NocConfig::packet_vc4(k);
+  cfg.vc_power_gating = true;
+  cfg.vc_gate_metric = NocConfig::VcGateMetric::Latency;
+  return cfg;
+}
+
+TEST(VcGatingLatencyMetric, GatesDownWhenResidencyIsLow) {
+  Network net(latency_gated(4));
+  // Light traffic: flits win the switch almost immediately, so the mean
+  // residency stays below the low threshold and VCs gate off.
+  Rng rng(1);
+  PacketId id = 1;
+  for (int cycle = 0; cycle < 8000; ++cycle) {
+    for (NodeId s = 0; s < net.num_nodes(); ++s) {
+      if (!rng.bernoulli(0.005)) continue;
+      const NodeId d = static_cast<NodeId>(
+          rng.uniform_int(static_cast<std::uint64_t>(net.num_nodes())));
+      if (d != s) net.ni(s).send(make_data(id++, s, d), net.now());
+    }
+    net.tick();
+  }
+  int gated = 0;
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    if (net.router(n).announced_active_vcs() == 2) ++gated;
+  }
+  EXPECT_GT(gated, net.num_nodes() / 2);
+}
+
+TEST(VcGatingLatencyMetric, ReactivatesWhenFlitsQueue) {
+  Network net(latency_gated(4));
+  for (int i = 0; i < 4000; ++i) net.tick();  // gate down while idle
+  Rng rng(2);
+  PacketId id = 1;
+  for (int cycle = 0; cycle < 6000; ++cycle) {
+    for (NodeId s = 0; s < net.num_nodes(); ++s) {
+      if (net.ni(s).inject_queue_depth() < 6 && rng.bernoulli(0.35)) {
+        const NodeId d = static_cast<NodeId>(
+            rng.uniform_int(static_cast<std::uint64_t>(net.num_nodes())));
+        if (d != s) net.ni(s).send(make_data(id++, s, d), net.now());
+      }
+    }
+    net.tick();
+  }
+  int raised = 0;
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    if (net.router(n).announced_active_vcs() > 2) ++raised;
+  }
+  EXPECT_GT(raised, net.num_nodes() / 2);
+}
+
+TEST(VcGatingLatencyMetric, ConservesUnderChurn) {
+  Network net(latency_gated(4));
+  Rng rng(3);
+  PacketId id = 1;
+  std::uint64_t injected = 0, delivered = 0;
+  net.set_deliver_handler([&](const PacketPtr&, Cycle) { ++delivered; });
+  // Alternate bursts and silence so VCs churn up and down repeatedly.
+  for (int phase = 0; phase < 6; ++phase) {
+    const double rate = (phase % 2 == 0) ? 0.3 : 0.002;
+    for (int cycle = 0; cycle < 2500; ++cycle) {
+      for (NodeId s = 0; s < net.num_nodes(); ++s) {
+        if (net.ni(s).inject_queue_depth() < 6 && rng.bernoulli(rate)) {
+          const NodeId d = static_cast<NodeId>(
+              rng.uniform_int(static_cast<std::uint64_t>(net.num_nodes())));
+          if (d == s) continue;
+          net.ni(s).send(make_data(id++, s, d), net.now());
+          ++injected;
+        }
+      }
+      net.tick();
+    }
+  }
+  for (int i = 0; i < 30000 && !net.quiescent(); ++i) net.tick();
+  EXPECT_TRUE(net.quiescent());
+  EXPECT_EQ(delivered, injected);
+}
+
+TEST(VcGating, UtilizationAndLatencyMetricsBothSaveLeakage) {
+  NocConfig off = NocConfig::packet_vc4(4);
+  NocConfig util = off;
+  util.vc_power_gating = true;
+  NocConfig lat = latency_gated(4);
+  Network n_off(off), n_util(util), n_lat(lat);
+  for (int i = 0; i < 6000; ++i) {
+    n_off.tick();
+    n_util.tick();
+    n_lat.tick();
+  }
+  EXPECT_LT(n_util.total_energy().vc_active_cycles,
+            n_off.total_energy().vc_active_cycles);
+  EXPECT_LT(n_lat.total_energy().vc_active_cycles,
+            n_off.total_energy().vc_active_cycles);
+}
+
+}  // namespace
+}  // namespace hybridnoc

@@ -1,0 +1,55 @@
+#include "power/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hybridnoc {
+namespace {
+
+TEST(AreaModel, PacketRouterMatchesPaper) {
+  const auto a = router_area(NocConfig::packet_vc4());
+  EXPECT_NEAR(a.total(), 0.177, 0.002);  // Section IV-A
+  EXPECT_DOUBLE_EQ(a.slot_table_mm2, 0.0);
+  EXPECT_DOUBLE_EQ(a.cs_latch_mm2, 0.0);
+}
+
+TEST(AreaModel, HybridRouterMatchesPaper) {
+  const auto a = router_area(NocConfig::hybrid_tdm_vc4());
+  EXPECT_NEAR(a.total(), 0.188, 0.002);
+  EXPECT_GT(a.slot_table_mm2, 0.0);
+  EXPECT_GT(a.cs_latch_mm2, 0.0);
+}
+
+TEST(AreaModel, OverheadIsAboutSixPercent) {
+  const double ps = router_area(NocConfig::packet_vc4()).total();
+  const double hy = router_area(NocConfig::hybrid_tdm_vc4()).total();
+  EXPECT_NEAR((hy - ps) / ps, 0.062, 0.01);
+}
+
+TEST(AreaModel, BuffersDominatePacketRouterStorage) {
+  const auto a = router_area(NocConfig::packet_vc4());
+  EXPECT_GT(a.buffers_mm2, a.allocators_mm2);
+  EXPECT_GT(a.buffers_mm2, 0.25 * a.total());
+}
+
+TEST(AreaModel, SlotTableAreaScalesWithEntries) {
+  NocConfig small = NocConfig::hybrid_tdm_vc4();
+  NocConfig big = small;
+  big.slot_table_size = 256;
+  EXPECT_NEAR(router_area(big).slot_table_mm2,
+              2.0 * router_area(small).slot_table_mm2, 1e-9);
+}
+
+TEST(AreaModel, DltOnlyWithPathSharing) {
+  EXPECT_DOUBLE_EQ(router_area(NocConfig::hybrid_tdm_vc4()).dlt_mm2, 0.0);
+  EXPECT_GT(router_area(NocConfig::hybrid_tdm_hop_vc4()).dlt_mm2, 0.0);
+}
+
+TEST(AreaModel, MoreVcsMoreBufferArea) {
+  NocConfig c2 = NocConfig::packet_vc4();
+  c2.num_vcs = 2;
+  const NocConfig c4 = NocConfig::packet_vc4();
+  EXPECT_NEAR(router_area(c4).buffers_mm2, 2.0 * router_area(c2).buffers_mm2, 1e-9);
+}
+
+}  // namespace
+}  // namespace hybridnoc

@@ -1,0 +1,183 @@
+#include "sdm/sdm_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace hybridnoc {
+namespace {
+
+NocConfig sdm_cfg(int k = 6) {
+  NocConfig c = NocConfig::hybrid_sdm_vc4(k);
+  c.path_freq_threshold = 4;
+  c.policy_epoch_cycles = 512;
+  return c;
+}
+
+PacketPtr make_data(PacketId id, NodeId src, NodeId dst, int flits = 5) {
+  auto p = std::make_shared<Packet>();
+  p->id = id;
+  p->src = src;
+  p->dst = dst;
+  p->num_flits = flits;
+  return p;
+}
+
+TEST(SdmNetwork, PacketSwitchedDeliveryWithSerialization) {
+  SdmNetwork net(sdm_cfg(4));
+  Cycle delivered_at = 0;
+  PacketPtr got;
+  net.set_deliver_handler([&](const PacketPtr& p, Cycle at) {
+    got = p;
+    delivered_at = at;
+  });
+  const NodeId dst = net.mesh().node({3, 0});
+  auto pkt = make_data(1, 0, dst, 5);
+  net.send(pkt);
+  for (int i = 0; i < 200; ++i) net.tick();
+  ASSERT_TRUE(got != nullptr);
+  EXPECT_EQ(got->id, 1u);
+  // 5 flits become 20 phits on a 4-byte plane: serialization dominates.
+  // Zero-load: 5 cycles/hop x 3 hops + 6 + 20 phits = 41.
+  EXPECT_EQ(delivered_at - got->created, 41u);
+}
+
+TEST(SdmNetwork, SerializationMakesSdmSlowerThanWideLinkZeroLoad) {
+  // The packet-switched path of SDM must be slower than a full-width
+  // network's 5h+6+F zero-load latency (here 5*3+6+5 = 26 vs 41).
+  SdmNetwork net(sdm_cfg(4));
+  Cycle latency = 0;
+  net.set_deliver_handler(
+      [&](const PacketPtr& p, Cycle at) { latency = at - p->created; });
+  net.send(make_data(1, 0, net.mesh().node({3, 0}), 5));
+  for (int i = 0; i < 200; ++i) net.tick();
+  EXPECT_GT(latency, 26u);
+}
+
+TEST(SdmNetwork, FrequentPairGetsCircuitWithLowLatency) {
+  SdmNetwork net(sdm_cfg(6));
+  const NodeId src = 0, dst = net.mesh().node({5, 0});
+  std::map<PacketId, Cycle> latency;
+  net.set_deliver_handler(
+      [&](const PacketPtr& p, Cycle at) { latency[p->id] = at - p->created; });
+  PacketId id = 1;
+  for (int i = 0; i < 40; ++i) {
+    net.send(make_data(id++, src, dst, 4));
+    for (int t = 0; t < 60; ++t) net.tick();
+  }
+  EXPECT_EQ(net.active_circuits(), 1);
+  EXPECT_GT(net.circuit_packets(), 0u);
+  // Circuit latency: 16 phits + 5 hops + 4 = 25, below the serialized
+  // packet-switched 5*5+6+20 = 51 and even below the wide-link 36.
+  EXPECT_EQ(latency[id - 1], 25u);
+}
+
+TEST(SdmNetwork, CircuitCountLimitedByPlanes) {
+  // Only P-1 = 3 circuit planes exist; a 4th circuit sharing the same links
+  // cannot be set up (Section I: "the number of planes becomes
+  // insufficient").
+  SdmNetwork net(sdm_cfg(6));
+  net.set_deliver_handler([](const PacketPtr&, Cycle) {});
+  PacketId id = 1;
+  // Four sources in row 0 all cross the (4,0)->(5,0) link.
+  for (int round = 0; round < 30; ++round) {
+    for (int x = 0; x < 4; ++x) {
+      net.send(make_data(id++, net.mesh().node({x, 0}), net.mesh().node({5, 0}), 4));
+    }
+    for (int t = 0; t < 50; ++t) net.tick();
+  }
+  EXPECT_EQ(net.active_circuits(), 3);
+}
+
+TEST(SdmNetwork, IdleCircuitsReleaseTheirPlanes) {
+  NocConfig cfg = sdm_cfg(6);
+  cfg.path_idle_timeout = 2000;
+  SdmNetwork net(cfg);
+  net.set_deliver_handler([](const PacketPtr&, Cycle) {});
+  PacketId id = 1;
+  for (int i = 0; i < 10; ++i) {
+    net.send(make_data(id++, 0, net.mesh().node({5, 0}), 4));
+    for (int t = 0; t < 30; ++t) net.tick();
+  }
+  ASSERT_EQ(net.active_circuits(), 1);
+  ASSERT_GT(net.reserved_links(), 0);
+  for (int t = 0; t < 6000; ++t) net.tick();
+  EXPECT_EQ(net.active_circuits(), 0);
+  EXPECT_EQ(net.reserved_links(), 0);
+}
+
+TEST(SdmNetwork, ConservationUnderRandomLoad) {
+  SdmNetwork net(sdm_cfg(4));
+  std::uint64_t injected = 0, delivered = 0;
+  net.set_deliver_handler([&](const PacketPtr&, Cycle) { ++delivered; });
+  Rng rng(4);
+  PacketId id = 1;
+  for (int cycle = 0; cycle < 5000; ++cycle) {
+    for (NodeId s = 0; s < net.num_nodes(); ++s) {
+      if (!rng.bernoulli(0.01)) continue;
+      const NodeId d = static_cast<NodeId>(
+          rng.uniform_int(static_cast<std::uint64_t>(net.num_nodes())));
+      if (d == s) continue;
+      net.send(make_data(id++, s, d, 5));
+      ++injected;
+    }
+    net.tick();
+  }
+  net.set_policy_frozen(true);
+  for (int i = 0; i < 30000 && !net.quiescent(); ++i) net.tick();
+  EXPECT_TRUE(net.quiescent());
+  EXPECT_EQ(delivered, injected);
+}
+
+TEST(SdmNetwork, CircuitPacketsSerializeOnTheirConnection) {
+  // Back-to-back packets on one circuit queue behind each other: the k-th
+  // packet is delayed by k * phit-serialization.
+  SdmNetwork net(sdm_cfg(6));
+  std::map<PacketId, Cycle> at;
+  net.set_deliver_handler([&](const PacketPtr& p, Cycle c) { at[p->id] = c; });
+  PacketId id = 1;
+  // Establish the circuit first.
+  for (int i = 0; i < 10; ++i) {
+    net.send(make_data(id++, 0, net.mesh().node({5, 0}), 4));
+    for (int t = 0; t < 60; ++t) net.tick();
+  }
+  ASSERT_EQ(net.active_circuits(), 1);
+  const PacketId burst_start = id;
+  for (int i = 0; i < 3; ++i) net.send(make_data(id++, 0, net.mesh().node({5, 0}), 4));
+  for (int t = 0; t < 200; ++t) net.tick();
+  // 16 phits of serialization between consecutive deliveries.
+  EXPECT_EQ(at[burst_start + 1] - at[burst_start], 16u);
+  EXPECT_EQ(at[burst_start + 2] - at[burst_start + 1], 16u);
+}
+
+TEST(SdmNetwork, ThroughputCollapsesUnderHighLoadVsCircuits) {
+  // Qualitative Figure 4 shape: at high injection the serialized packet
+  // planes saturate; the circuit path keeps a bounded latency for its pair.
+  SdmNetwork net(sdm_cfg(4));
+  StatAccumulator ps_lat;
+  net.set_deliver_handler([&](const PacketPtr& p, Cycle c) {
+    if (p->switching == Switching::Packet) ps_lat.add(static_cast<double>(c - p->created));
+  });
+  Rng rng(8);
+  PacketId id = 1;
+  for (int cycle = 0; cycle < 4000; ++cycle) {
+    for (NodeId s = 0; s < net.num_nodes(); ++s) {
+      if (!rng.bernoulli(0.08)) continue;
+      const NodeId d = static_cast<NodeId>(
+          rng.uniform_int(static_cast<std::uint64_t>(net.num_nodes())));
+      if (d == s) continue;
+      auto p = make_data(id++, s, d, 5);
+      p->cs_eligible = false;  // force everything packet-switched
+      net.send(p);
+    }
+    net.tick();
+  }
+  // Far above the zero-load 41 for 3 hops: the planes are saturated.
+  EXPECT_GT(ps_lat.mean(), 80.0);
+}
+
+}  // namespace
+}  // namespace hybridnoc

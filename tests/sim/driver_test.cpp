@@ -1,0 +1,121 @@
+#include "sim/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/parallel.hpp"
+
+namespace hybridnoc {
+namespace {
+
+RunParams quick(TrafficPattern p, double rate) {
+  RunParams r;
+  r.pattern = p;
+  r.injection_rate = rate;
+  r.warmup_packets = 200;
+  r.measure_packets = 2000;
+  r.max_cycles = 120000;
+  return r;
+}
+
+TEST(Driver, LowLoadLatencyNearZeroLoad) {
+  const auto r = run_synthetic(NocConfig::packet_vc4(4),
+                               quick(TrafficPattern::UniformRandom, 0.05));
+  EXPECT_FALSE(r.saturated);
+  EXPECT_EQ(r.measured_packets, 2000u);
+  // 4x4 UR average hops ~2.7 -> zero-load ~24-25; allow light queueing.
+  EXPECT_GT(r.avg_latency, 15.0);
+  EXPECT_LT(r.avg_latency, 40.0);
+  EXPECT_GT(r.accepted_rate, 0.04);
+}
+
+TEST(Driver, LatencyRisesWithLoad) {
+  const auto lo = run_synthetic(NocConfig::packet_vc4(4),
+                                quick(TrafficPattern::UniformRandom, 0.05));
+  const auto hi = run_synthetic(NocConfig::packet_vc4(4),
+                                quick(TrafficPattern::UniformRandom, 0.25));
+  EXPECT_GT(hi.avg_latency, lo.avg_latency);
+  EXPECT_GE(hi.p99_latency, lo.p99_latency);
+}
+
+TEST(Driver, OverloadIsDetectedAsSaturation) {
+  const auto r = run_synthetic(NocConfig::packet_vc4(4),
+                               quick(TrafficPattern::UniformRandom, 0.9));
+  EXPECT_TRUE(r.saturated);
+}
+
+TEST(Driver, AcceptedTracksOfferedBelowSaturation) {
+  for (double rate : {0.05, 0.1, 0.15}) {
+    const auto r = run_synthetic(NocConfig::packet_vc4(4),
+                                 quick(TrafficPattern::UniformRandom, rate));
+    EXPECT_NEAR(r.accepted_rate, rate, rate * 0.25) << "rate " << rate;
+  }
+}
+
+TEST(Driver, EnergyWindowIsPopulated) {
+  const auto r = run_synthetic(NocConfig::packet_vc4(4),
+                               quick(TrafficPattern::UniformRandom, 0.1));
+  EXPECT_GT(r.energy.cycles, 0u);
+  EXPECT_GT(r.energy.buffer_writes, 0u);
+  EXPECT_GT(r.total_energy_pj(), 0.0);
+}
+
+TEST(Driver, HybridRunReportsCircuitFraction) {
+  NocConfig cfg = NocConfig::hybrid_tdm_vc4(4);
+  cfg.slot_table_size = 32;
+  cfg.path_freq_threshold = 4;
+  const auto r = run_synthetic(cfg, quick(TrafficPattern::Tornado, 0.15));
+  EXPECT_FALSE(r.saturated);
+  EXPECT_GT(r.cs_flit_fraction, 0.0);
+  EXPECT_LT(r.config_flit_fraction, 0.02);
+}
+
+TEST(Driver, SdmRunCompletes) {
+  const auto r = run_synthetic(NocConfig::hybrid_sdm_vc4(4),
+                               quick(TrafficPattern::Tornado, 0.1));
+  EXPECT_FALSE(r.saturated);
+  EXPECT_GT(r.avg_latency, 0.0);
+}
+
+TEST(Driver, SweepStopsAfterSaturation) {
+  const auto rs =
+      sweep_load(NocConfig::packet_vc4(4), quick(TrafficPattern::UniformRandom, 0),
+                 {0.05, 0.1, 0.6, 0.8, 0.9, 1.0});
+  ASSERT_GE(rs.size(), 3u);
+  EXPECT_LT(rs.size(), 6u);  // stopped early
+  EXPECT_TRUE(rs.back().saturated);
+}
+
+TEST(Driver, SaturationThroughputIsReasonable) {
+  RunParams p = quick(TrafficPattern::UniformRandom, 0);
+  p.measure_packets = 1500;
+  const double sat =
+      saturation_throughput(NocConfig::packet_vc4(4), p, 0.1, 0.1, 1.0);
+  // 4x4 UR with XY routing saturates somewhere in 0.2..0.8 flits/node/cycle.
+  EXPECT_GT(sat, 0.15);
+  EXPECT_LT(sat, 0.9);
+}
+
+TEST(Driver, DeterministicResults) {
+  const auto a = run_synthetic(NocConfig::packet_vc4(4),
+                               quick(TrafficPattern::Transpose, 0.1));
+  const auto b = run_synthetic(NocConfig::packet_vc4(4),
+                               quick(TrafficPattern::Transpose, 0.1));
+  EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.measured_packets, b.measured_packets);
+}
+
+TEST(Parallel, MapPreservesOrderAndValues) {
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[static_cast<size_t>(i)] = i;
+  const auto out = parallel_map(items, [](int v) { return v * v; }, 4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i * i);
+}
+
+TEST(Parallel, RunsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; }, 3);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace hybridnoc

@@ -1,0 +1,170 @@
+// Unit tests of the hybrid router's configuration-protocol processing
+// (setup reservation, slot increment, nack transform, teardown walk) without
+// a full network: compute_route only needs the slot table and routing state.
+#include "tdm/hybrid_router.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hybridnoc {
+namespace {
+
+struct TestRouter : HybridRouter {
+  using HybridRouter::HybridRouter;
+  using HybridRouter::compute_route;  // expose for direct protocol tests
+};
+
+struct Fixture {
+  Fixture()
+      : cfg(make_cfg()),
+        mesh(cfg.k),
+        ctrl(cfg),
+        router(cfg, mesh.node({1, 1}), mesh, &ctrl) {}
+
+  static NocConfig make_cfg() {
+    NocConfig c = NocConfig::hybrid_tdm_vc4(3);
+    c.slot_table_size = 16;
+    return c;
+  }
+
+  PacketPtr setup(NodeId src, NodeId dst, int slot) {
+    auto p = std::make_shared<Packet>();
+    p->id = ++next_id;
+    p->type = MsgType::SetupRequest;
+    p->src = src;
+    p->dst = dst;
+    p->final_dst = dst;
+    p->slot_id = slot;
+    p->duration = cfg.reservation_duration();
+    p->num_flits = 1;
+    return p;
+  }
+
+  PacketPtr teardown(NodeId src, NodeId dst, int slot) {
+    auto p = setup(src, dst, slot);
+    p->type = MsgType::Teardown;
+    return p;
+  }
+
+  NocConfig cfg;
+  Mesh mesh;
+  TdmController ctrl;
+  TestRouter router;
+  PacketId next_id = 0;
+};
+
+TEST(HybridRouterProtocol, SetupReservesAndIncrementsSlotByTwo) {
+  Fixture f;
+  // Setup from the west neighbour heading to the east neighbour.
+  auto pkt = f.setup(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 5);
+  const auto out = f.router.compute_route(pkt, Port::West, 10);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, Port::East);
+  EXPECT_EQ(pkt->type, MsgType::SetupRequest);
+  EXPECT_EQ(pkt->slot_id, 7);  // +2: two-stage circuit pipeline per hop
+  for (int s = 5; s < 9; ++s) {
+    EXPECT_EQ(f.router.slots().lookup_slot(s, Port::West), Port::East) << s;
+  }
+  EXPECT_EQ(f.router.slots().valid_entries(), 4);
+}
+
+TEST(HybridRouterProtocol, SetupAtDestinationReservesEjection) {
+  Fixture f;
+  auto pkt = f.setup(f.mesh.node({0, 1}), f.mesh.node({1, 1}), 3);
+  const auto out = f.router.compute_route(pkt, Port::West, 10);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, Port::Local);
+  EXPECT_EQ(f.router.slots().lookup_slot(3, Port::West), Port::Local);
+}
+
+TEST(HybridRouterProtocol, InputConflictTransformsToFailureAck) {
+  Fixture f;
+  auto first = f.setup(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 5);
+  ASSERT_TRUE(f.router.compute_route(first, Port::West, 10).has_value());
+
+  // Second setup from the same input overlapping slot 8 (5..8 reserved).
+  auto second = f.setup(f.mesh.node({0, 1}), f.mesh.node({1, 0}), 8);
+  const auto out = f.router.compute_route(second, Port::West, 20);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(second->type, MsgType::AckFailure);
+  EXPECT_EQ(second->dst, f.mesh.node({0, 1}));  // back to the source
+  EXPECT_EQ(second->src, f.router.id());
+  // Table untouched by the failed attempt.
+  EXPECT_EQ(f.router.slots().valid_entries(), 4);
+}
+
+TEST(HybridRouterProtocol, OutputConflictTransformsToFailureAck) {
+  Fixture f;
+  auto first = f.setup(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 5);
+  ASSERT_TRUE(f.router.compute_route(first, Port::West, 10).has_value());
+  // From the north input toward the same East output, overlapping slots.
+  auto second = f.setup(f.mesh.node({1, 0}), f.mesh.node({2, 1}), 6);
+  (void)f.router.compute_route(second, Port::North, 20);
+  EXPECT_EQ(second->type, MsgType::AckFailure);
+}
+
+TEST(HybridRouterProtocol, OccupancyThresholdBlocksNewReservations) {
+  Fixture f;
+  // Fill >90% of the (16 slots x 5 ports) entries directly.
+  auto& slots = f.router.slots();
+  int filled = 0;
+  for (int p = 0; p < kNumPorts && slots.occupancy() <= 0.9; ++p) {
+    for (int s = 0; s < 16 && slots.occupancy() <= 0.9; s += 1) {
+      if (slots.reserve(s, 1, static_cast<Port>(p),
+                        static_cast<Port>((p + 1) % kNumPorts))) {
+        ++filled;
+      }
+    }
+  }
+  ASSERT_GT(slots.occupancy(), 0.9);
+  const int before = slots.valid_entries();
+  auto pkt = f.setup(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 3);
+  (void)f.router.compute_route(pkt, Port::West, 10);
+  EXPECT_EQ(pkt->type, MsgType::AckFailure);  // starvation guard (Section II-B)
+  EXPECT_EQ(slots.valid_entries(), before);
+}
+
+TEST(HybridRouterProtocol, TeardownWalksPathAndReleases) {
+  Fixture f;
+  auto s = f.setup(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 5);
+  ASSERT_TRUE(f.router.compute_route(s, Port::West, 10).has_value());
+  ASSERT_EQ(f.router.slots().valid_entries(), 4);
+
+  f.ctrl.config_launched();  // the teardown about to be processed
+  auto t = f.teardown(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 5);
+  const auto out = f.router.compute_route(t, Port::West, 20);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, Port::East);  // follows the reserved path's output
+  EXPECT_EQ(t->slot_id, 7);
+  EXPECT_EQ(f.router.slots().valid_entries(), 0);
+}
+
+TEST(HybridRouterProtocol, TeardownEvaporatesAtFailNode) {
+  Fixture f;
+  f.ctrl.config_launched();
+  auto t = f.teardown(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 5);
+  const auto out = f.router.compute_route(t, Port::West, 20);
+  EXPECT_FALSE(out.has_value());  // nothing reserved: setup failed here
+  EXPECT_EQ(f.ctrl.config_in_flight(), 0u);  // retired by the router
+}
+
+TEST(HybridRouterProtocol, ShareEntryOkTracksTable) {
+  Fixture f;
+  auto s = f.setup(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 4);
+  ASSERT_TRUE(f.router.compute_route(s, Port::West, 10).has_value());
+  EXPECT_TRUE(f.router.share_entry_ok(4, Port::West, Port::East));
+  EXPECT_TRUE(f.router.share_entry_ok(16 + 5, Port::West, Port::East));
+  EXPECT_FALSE(f.router.share_entry_ok(9, Port::West, Port::East));
+  EXPECT_FALSE(f.router.share_entry_ok(4, Port::West, Port::South));
+}
+
+TEST(HybridRouterProtocol, LocalInputFreePrecheck) {
+  Fixture f;
+  auto s = f.setup(f.router.id(), f.mesh.node({2, 1}), 2);
+  ASSERT_TRUE(f.router.compute_route(s, Port::Local, 10).has_value());
+  EXPECT_FALSE(f.router.local_input_free(2, 4));
+  EXPECT_FALSE(f.router.local_input_free(5, 1));
+  EXPECT_TRUE(f.router.local_input_free(6, 4));
+}
+
+}  // namespace
+}  // namespace hybridnoc

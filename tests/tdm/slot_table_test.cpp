@@ -1,0 +1,126 @@
+#include "tdm/slot_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hybridnoc {
+namespace {
+
+// Figure 1 of the paper, played back literally. The figure's in_1/in_2 map to
+// West/North and out_3/out_4 to South/East; the table has 4 slots s0..s3.
+TEST(SlotTable, Figure1Scenario) {
+  SlotTable t(4, 4);
+
+  // setup1: in_1 -> out_4, starting slot s3, duration 2. Succeeds; with
+  // modulo-S reservation both s3 and s0 are taken.
+  EXPECT_TRUE(t.reserve(3, 2, Port::West, Port::East));
+  EXPECT_EQ(t.lookup_slot(3, Port::West), Port::East);
+  EXPECT_EQ(t.lookup_slot(0, Port::West), Port::East);  // wrapped
+  EXPECT_EQ(t.lookup_slot(1, Port::West), std::nullopt);
+  EXPECT_EQ(t.lookup_slot(2, Port::West), std::nullopt);
+
+  // setup2: in_1 -> out_3 at s3 fails — the slot is already allocated for
+  // this input. Tables remain unchanged.
+  EXPECT_FALSE(t.reserve(3, 1, Port::West, Port::South));
+  EXPECT_EQ(t.lookup_slot(3, Port::West), Port::East);
+  EXPECT_EQ(t.valid_entries(), 2);
+
+  // setup3: in_2 -> out_4 at s3 fails — out_4 is reserved for in_1 at s3
+  // (conflict at the output port).
+  EXPECT_FALSE(t.reserve(3, 1, Port::North, Port::East));
+  EXPECT_EQ(t.lookup_slot(3, Port::North), std::nullopt);
+  EXPECT_EQ(t.valid_entries(), 2);
+
+  // Teardown resets the valid bits so the slots can be reused.
+  EXPECT_TRUE(t.release(3, 2, Port::West).has_value());
+  EXPECT_EQ(t.valid_entries(), 0);
+  EXPECT_TRUE(t.reserve(3, 1, Port::North, Port::East));
+}
+
+TEST(SlotTable, NonConflictingReservationsCoexist) {
+  SlotTable t(8, 8);
+  EXPECT_TRUE(t.reserve(0, 4, Port::West, Port::East));
+  // Same slots, different input AND different output: fine.
+  EXPECT_TRUE(t.reserve(0, 4, Port::North, Port::South));
+  // Same output at disjoint slots: fine.
+  EXPECT_TRUE(t.reserve(4, 4, Port::North, Port::East));
+  EXPECT_EQ(t.valid_entries(), 12);
+}
+
+TEST(SlotTable, LookupByCycleUsesModuloActive) {
+  SlotTable t(8, 8);
+  ASSERT_TRUE(t.reserve(3, 1, Port::Local, Port::East));
+  EXPECT_EQ(t.lookup(3, Port::Local), Port::East);
+  EXPECT_EQ(t.lookup(11, Port::Local), Port::East);
+  EXPECT_EQ(t.lookup(8 * 1000 + 3, Port::Local), Port::East);
+  EXPECT_EQ(t.lookup(4, Port::Local), std::nullopt);
+}
+
+TEST(SlotTable, OutputReservedAtFindsOwner) {
+  SlotTable t(8, 8);
+  ASSERT_TRUE(t.reserve(2, 2, Port::West, Port::East));
+  EXPECT_EQ(t.output_reserved_at(2, Port::East), Port::West);
+  EXPECT_EQ(t.output_reserved_at(10, Port::East), Port::West);
+  EXPECT_EQ(t.output_reserved_at(4, Port::East), std::nullopt);
+  EXPECT_EQ(t.output_reserved_at(2, Port::South), std::nullopt);
+}
+
+TEST(SlotTable, OccupancyFraction) {
+  SlotTable t(8, 8);
+  EXPECT_DOUBLE_EQ(t.occupancy(), 0.0);
+  ASSERT_TRUE(t.reserve(0, 4, Port::West, Port::East));
+  EXPECT_DOUBLE_EQ(t.occupancy(), 4.0 / (8.0 * kNumPorts));
+}
+
+TEST(SlotTable, InputFreePreCheck) {
+  SlotTable t(8, 8);
+  ASSERT_TRUE(t.reserve(2, 2, Port::Local, Port::East));
+  EXPECT_FALSE(t.input_free(2, 1, Port::Local));
+  EXPECT_FALSE(t.input_free(1, 2, Port::Local));  // covers slot 2
+  EXPECT_TRUE(t.input_free(4, 4, Port::Local));
+  EXPECT_TRUE(t.input_free(2, 2, Port::West));  // other input unaffected
+}
+
+TEST(SlotTable, ReleaseIsIdempotentAndPartial) {
+  SlotTable t(8, 8);
+  ASSERT_TRUE(t.reserve(0, 4, Port::West, Port::East));
+  EXPECT_EQ(t.release(0, 4, Port::West), Port::East);
+  EXPECT_EQ(t.release(0, 4, Port::West), std::nullopt);  // nothing left
+  EXPECT_EQ(t.valid_entries(), 0);
+}
+
+TEST(SlotTable, ActiveRegionGrowsAndResets) {
+  SlotTable t(128, 16);
+  EXPECT_EQ(t.active_size(), 16);
+  ASSERT_TRUE(t.reserve(5, 4, Port::West, Port::East));
+  EXPECT_TRUE(t.grow());
+  EXPECT_EQ(t.active_size(), 32);
+  EXPECT_EQ(t.valid_entries(), 0);  // reset on resize (Section II-C)
+  // Slots beyond the old region are now addressable.
+  EXPECT_TRUE(t.reserve(30, 2, Port::West, Port::East));
+}
+
+TEST(SlotTable, GrowSaturatesAtCapacity) {
+  SlotTable t(32, 16);
+  EXPECT_TRUE(t.grow());
+  EXPECT_FALSE(t.grow());
+  EXPECT_EQ(t.active_size(), 32);
+}
+
+TEST(SlotTable, WrapAroundDurationAtActiveBoundary) {
+  SlotTable t(128, 16);  // active 16: slot 14 + duration 4 covers 14,15,0,1
+  ASSERT_TRUE(t.reserve(14, 4, Port::Local, Port::East));
+  EXPECT_EQ(t.lookup_slot(15, Port::Local), Port::East);
+  EXPECT_EQ(t.lookup_slot(0, Port::Local), Port::East);
+  EXPECT_EQ(t.lookup_slot(1, Port::Local), Port::East);
+  EXPECT_EQ(t.lookup_slot(2, Port::Local), std::nullopt);
+  // Cycle 16 maps to slot 0 in the active region.
+  EXPECT_EQ(t.lookup(16, Port::Local), Port::East);
+}
+
+TEST(SlotTableDeathTest, DurationBeyondActiveSizeRejected) {
+  SlotTable t(8, 8);
+  EXPECT_DEATH((void)t.can_reserve(0, 9, Port::West, Port::East), "HN_CHECK");
+}
+
+}  // namespace
+}  // namespace hybridnoc

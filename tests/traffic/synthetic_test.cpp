@@ -1,0 +1,124 @@
+#include "traffic/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace hybridnoc {
+namespace {
+
+TEST(Patterns, TornadoMatchesPaperFormula) {
+  // Section IV: (x, y) -> (x + k/2 - 1, y).
+  const Mesh mesh(6);
+  Rng rng(1);
+  for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+    const Coord c = mesh.coord(src);
+    const auto dst = pattern_destination(TrafficPattern::Tornado, mesh, src, rng);
+    ASSERT_TRUE(dst.has_value());  // k/2-1 = 2 != 0, never self
+    EXPECT_EQ(mesh.coord(*dst).x, (c.x + 2) % 6);
+    EXPECT_EQ(mesh.coord(*dst).y, c.y);
+  }
+}
+
+TEST(Patterns, TransposeMapsXY) {
+  const Mesh mesh(6);
+  Rng rng(1);
+  for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+    const Coord c = mesh.coord(src);
+    const auto dst = pattern_destination(TrafficPattern::Transpose, mesh, src, rng);
+    if (c.x == c.y) {
+      EXPECT_FALSE(dst.has_value());  // diagonal maps to itself: no injection
+    } else {
+      ASSERT_TRUE(dst.has_value());
+      EXPECT_EQ(mesh.coord(*dst), (Coord{c.y, c.x}));
+    }
+  }
+}
+
+TEST(Patterns, BitComplementIsInvolution) {
+  const Mesh mesh(6);
+  Rng rng(1);
+  for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+    const auto dst =
+        pattern_destination(TrafficPattern::BitComplement, mesh, src, rng);
+    ASSERT_TRUE(dst.has_value());
+    const auto back =
+        pattern_destination(TrafficPattern::BitComplement, mesh, *dst, rng);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, src);
+  }
+}
+
+TEST(Patterns, UniformRandomCoversAllDestinations) {
+  const Mesh mesh(4);
+  Rng rng(5);
+  std::map<NodeId, int> seen;
+  for (int i = 0; i < 20000; ++i) {
+    const auto dst = pattern_destination(TrafficPattern::UniformRandom, mesh, 0, rng);
+    if (dst) ++seen[*dst];
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), mesh.num_nodes() - 1);
+  for (const auto& [node, count] : seen) {
+    EXPECT_NE(node, 0);
+    EXPECT_GT(count, 20000 / 16 / 3);  // roughly uniform
+  }
+}
+
+TEST(Patterns, HotspotConcentratesOnCenter) {
+  const Mesh mesh(6);
+  Rng rng(7);
+  std::map<NodeId, int> seen;
+  for (int i = 0; i < 40000; ++i) {
+    const auto dst = pattern_destination(TrafficPattern::Hotspot, mesh, 0, rng);
+    if (dst) ++seen[*dst];
+  }
+  const NodeId hot = mesh.node({3, 3});
+  // A hotspot receives ~25%/4 + uniform share: far above 1/36.
+  EXPECT_GT(seen[hot], 40000 / 36 * 2);
+}
+
+TEST(Patterns, ShuffleStaysInRange) {
+  const Mesh mesh(4);  // 16 nodes: power of two, shuffle is exact
+  Rng rng(1);
+  for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+    const auto dst = pattern_destination(TrafficPattern::Shuffle, mesh, src, rng);
+    if (dst) {
+      EXPECT_GE(*dst, 0);
+      EXPECT_LT(*dst, mesh.num_nodes());
+    }
+  }
+  // Perfect shuffle of 0b0001 is 0b0010.
+  const auto d1 = pattern_destination(TrafficPattern::Shuffle, mesh, 1, rng);
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_EQ(*d1, 2);
+}
+
+TEST(SyntheticTraffic, InjectionRateMatchesRequest) {
+  const Mesh mesh(6);
+  SyntheticTraffic t(mesh, TrafficPattern::UniformRandom, 0.2, 5, 3);
+  EXPECT_DOUBLE_EQ(t.packet_probability(), 0.04);
+  std::uint64_t packets = 0;
+  const int cycles = 20000;
+  for (int c = 0; c < cycles; ++c) {
+    t.generate([&](NodeId, NodeId) { ++packets; });
+  }
+  const double rate = static_cast<double>(packets) * 5.0 /
+                      (static_cast<double>(cycles) * mesh.num_nodes());
+  EXPECT_NEAR(rate, 0.2, 0.01);
+}
+
+TEST(SyntheticTraffic, DeterministicForSeed) {
+  const Mesh mesh(4);
+  auto collect = [&](std::uint64_t seed) {
+    SyntheticTraffic t(mesh, TrafficPattern::UniformRandom, 0.3, 5, seed);
+    std::vector<std::pair<NodeId, NodeId>> v;
+    for (int c = 0; c < 200; ++c)
+      t.generate([&](NodeId s, NodeId d) { v.emplace_back(s, d); });
+    return v;
+  };
+  EXPECT_EQ(collect(9), collect(9));
+  EXPECT_NE(collect(9), collect(10));
+}
+
+}  // namespace
+}  // namespace hybridnoc

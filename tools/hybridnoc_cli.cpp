@@ -1,0 +1,241 @@
+// hybridnoc — command-line front end for the simulator.
+//
+//   hybridnoc synth  --arch tdm --pattern tornado --rate 0.2 [--k 6] [--csv]
+//   hybridnoc sweep  --arch tdm --pattern uniform --from 0.05 --to 0.4 --step 0.05
+//   hybridnoc hetero --cpu APPLU --gpu BLACKSCHOLES --arch hop-vct
+//   hybridnoc trace-gen --pattern tornado --rate 0.2 --cycles 5000 --out t.trace
+//   hybridnoc trace-run --arch tdm --in t.trace
+//
+// Architectures: packet | sdm | tdm | tdm-vct | hop | hop-vct
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/table.hpp"
+#include "hetero/hetero_system.hpp"
+#include "sim/driver.hpp"
+#include "traffic/trace.hpp"
+
+using namespace hybridnoc;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> kv;
+  bool flag(const std::string& k) const { return kv.count(k) > 0; }
+  std::string get(const std::string& k, const std::string& dflt) const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? dflt : it->second;
+  }
+  double num(const std::string& k, double dflt) const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::stod(it->second);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc > 1) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      a.kv[key] = argv[++i];
+    } else {
+      a.kv[key] = "1";
+    }
+  }
+  return a;
+}
+
+NocConfig arch_config(const std::string& name, int k) {
+  if (name == "packet") return NocConfig::packet_vc4(k);
+  if (name == "sdm") return NocConfig::hybrid_sdm_vc4(k);
+  if (name == "tdm") return NocConfig::hybrid_tdm_vc4(k);
+  if (name == "tdm-vct") return NocConfig::hybrid_tdm_vct(k);
+  if (name == "hop") return NocConfig::hybrid_tdm_hop_vc4(k);
+  if (name == "hop-vct") return NocConfig::hybrid_tdm_hop_vct(k);
+  std::cerr << "unknown --arch '" << name
+            << "' (packet|sdm|tdm|tdm-vct|hop|hop-vct)\n";
+  std::exit(2);
+}
+
+TrafficPattern pattern_arg(const std::string& name) {
+  if (name == "uniform") return TrafficPattern::UniformRandom;
+  if (name == "tornado") return TrafficPattern::Tornado;
+  if (name == "transpose") return TrafficPattern::Transpose;
+  if (name == "bitcomp") return TrafficPattern::BitComplement;
+  if (name == "shuffle") return TrafficPattern::Shuffle;
+  if (name == "hotspot") return TrafficPattern::Hotspot;
+  std::cerr << "unknown --pattern '" << name << "'\n";
+  std::exit(2);
+}
+
+RunParams run_params(const Args& a, TrafficPattern pattern, double rate) {
+  RunParams p;
+  p.pattern = pattern;
+  p.injection_rate = rate;
+  p.warmup_packets = static_cast<std::uint64_t>(a.num("warmup", 1000));
+  p.measure_packets = static_cast<std::uint64_t>(a.num("packets", 20000));
+  p.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  return p;
+}
+
+void emit(const Args& a, TextTable& t) {
+  if (a.flag("csv")) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+}
+
+int cmd_synth(const Args& a) {
+  const int k = static_cast<int>(a.num("k", 6));
+  const NocConfig cfg = arch_config(a.get("arch", "tdm"), k);
+  const TrafficPattern pattern = pattern_arg(a.get("pattern", "uniform"));
+  const auto r = run_synthetic(cfg, run_params(a, pattern, a.num("rate", 0.1)));
+  TextTable t({"metric", "value"});
+  t.add_row({"config", cfg.summary()});
+  t.add_row({"pattern", traffic_pattern_name(pattern)});
+  t.add_row({"offered (flits/node/cyc)", TextTable::num(r.offered_rate, 3)});
+  t.add_row({"accepted", TextTable::num(r.accepted_rate, 3)});
+  t.add_row({"avg latency (cycles)", TextTable::num(r.avg_latency, 2)});
+  t.add_row({"p99 latency", TextTable::num(r.p99_latency, 2)});
+  t.add_row({"saturated", r.saturated ? "yes" : "no"});
+  t.add_row({"cs flits", TextTable::pct(r.cs_flit_fraction, 1)});
+  t.add_row({"config flits", TextTable::pct(r.config_flit_fraction, 2)});
+  t.add_row({"energy (uJ)", TextTable::num(r.total_energy_pj() * 1e-6, 3)});
+  emit(a, t);
+  return 0;
+}
+
+int cmd_sweep(const Args& a) {
+  const int k = static_cast<int>(a.num("k", 6));
+  const NocConfig cfg = arch_config(a.get("arch", "tdm"), k);
+  const TrafficPattern pattern = pattern_arg(a.get("pattern", "uniform"));
+  std::vector<double> rates;
+  for (double r = a.num("from", 0.05); r <= a.num("to", 0.4) + 1e-9;
+       r += a.num("step", 0.05)) {
+    rates.push_back(r);
+  }
+  const auto results = sweep_load(cfg, run_params(a, pattern, 0.0), rates);
+  TextTable t({"rate", "latency", "p99", "accepted", "cs", "saturated"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    t.add_row({TextTable::num(rates[i], 3), TextTable::num(r.avg_latency, 2),
+               TextTable::num(r.p99_latency, 2), TextTable::num(r.accepted_rate, 3),
+               TextTable::pct(r.cs_flit_fraction, 1), r.saturated ? "y" : "n"});
+  }
+  emit(a, t);
+  return 0;
+}
+
+int cmd_hetero(const Args& a) {
+  const NocConfig cfg = arch_config(a.get("arch", "hop-vct"), 6);
+  const WorkloadMix mix{cpu_benchmark(a.get("cpu", "APPLU")),
+                        gpu_benchmark(a.get("gpu", "BLACKSCHOLES"))};
+  HeteroSystem sys(cfg, mix, static_cast<std::uint64_t>(a.num("seed", 1)));
+  const auto m = sys.run(static_cast<std::uint64_t>(a.num("warmup", 6000)),
+                         static_cast<std::uint64_t>(a.num("cycles", 24000)));
+  TextTable t({"metric", "value"});
+  t.add_row({"mix", mix.name()});
+  t.add_row({"config", cfg.summary()});
+  t.add_row({"cpu ipc", TextTable::num(m.cpu_ipc, 3)});
+  t.add_row({"gpu txn/cyc", TextTable::num(m.gpu_throughput, 3)});
+  t.add_row({"gpu injection", TextTable::num(m.gpu_injection_rate, 3)});
+  t.add_row({"cpu injection", TextTable::num(m.cpu_injection_rate, 3)});
+  t.add_row({"cs flits", TextTable::pct(m.cs_flit_fraction, 1)});
+  t.add_row({"energy (uJ)",
+             TextTable::num(compute_breakdown(m.energy, EnergyParams::nangate45())
+                                    .total() *
+                                1e-6,
+                            3)});
+  emit(a, t);
+  return 0;
+}
+
+int cmd_trace_gen(const Args& a) {
+  const int k = static_cast<int>(a.num("k", 6));
+  const Mesh mesh(k);
+  SyntheticTraffic traffic(mesh, pattern_arg(a.get("pattern", "uniform")),
+                           a.num("rate", 0.1), 5,
+                           static_cast<std::uint64_t>(a.num("seed", 1)));
+  std::vector<TraceEntry> entries;
+  const auto cycles = static_cast<Cycle>(a.num("cycles", 5000));
+  for (Cycle c = 0; c < cycles; ++c) {
+    traffic.generate([&](NodeId s, NodeId d) { entries.push_back({c, s, d, 5}); });
+  }
+  const std::string path = a.get("out", "traffic.trace");
+  std::ofstream out(path);
+  save_trace(out, entries);
+  std::cout << "wrote " << entries.size() << " injections to " << path << "\n";
+  return 0;
+}
+
+int cmd_trace_run(const Args& a) {
+  const int k = static_cast<int>(a.num("k", 6));
+  auto net = make_network(arch_config(a.get("arch", "tdm"), k));
+  std::ifstream in(a.get("in", "traffic.trace"));
+  if (!in) {
+    std::cerr << "cannot open trace file\n";
+    return 2;
+  }
+  TraceTraffic traffic(load_trace(in));
+  StatAccumulator lat;
+  net->set_deliver_handler([&](const PacketPtr& p, Cycle at) {
+    lat.add(static_cast<double>(at - p->created));
+  });
+  PacketId id = 1;
+  std::uint64_t injected = 0;
+  while (!(traffic.exhausted() && net->quiescent())) {
+    traffic.generate(net->now(), [&](NodeId s, NodeId d, int flits) {
+      auto p = std::make_shared<Packet>();
+      p->id = id++;
+      p->src = s;
+      p->dst = d;
+      p->num_flits = flits;
+      net->send(std::move(p));
+      ++injected;
+    });
+    net->tick();
+    if (net->now() > 10000000) {
+      std::cerr << "giving up: network did not drain\n";
+      return 1;
+    }
+  }
+  TextTable t({"metric", "value"});
+  t.add_row({"injections", std::to_string(injected)});
+  t.add_row({"delivered", std::to_string(static_cast<std::uint64_t>(lat.count()))});
+  t.add_row({"avg latency", TextTable::num(lat.mean(), 2)});
+  t.add_row({"max latency", TextTable::num(lat.max(), 0)});
+  t.add_row({"cycles", std::to_string(net->now())});
+  t.add_row({"cs flits", std::to_string(net->cs_flits())});
+  emit(a, t);
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: hybridnoc <command> [--key value ...]\n"
+      "  synth      one synthetic run   (--arch --pattern --rate --k --csv)\n"
+      "  sweep      load sweep          (--arch --pattern --from --to --step)\n"
+      "  hetero     CPU+GPU workload    (--arch --cpu --gpu --cycles)\n"
+      "  trace-gen  record a trace      (--pattern --rate --cycles --out)\n"
+      "  trace-run  replay a trace      (--arch --in)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.command == "synth") return cmd_synth(a);
+  if (a.command == "sweep") return cmd_sweep(a);
+  if (a.command == "hetero") return cmd_hetero(a);
+  if (a.command == "trace-gen") return cmd_trace_gen(a);
+  if (a.command == "trace-run") return cmd_trace_run(a);
+  return usage();
+}
