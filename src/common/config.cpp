@@ -28,6 +28,7 @@ void NocConfig::validate() const {
   HN_CHECK(min_active_vcs >= 1 && min_active_vcs <= num_vcs);
   HN_CHECK(sdm_planes >= 2 && channel_bytes % sdm_planes == 0);
   HN_CHECK(reservation_duration() < slot_table_size);
+  HN_CHECK(pending_setup_timeout_cycles >= 1);
 }
 
 std::string NocConfig::summary() const {

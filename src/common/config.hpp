@@ -69,6 +69,16 @@ struct NocConfig {
   /// A connection unused for this many cycles becomes a teardown candidate
   /// when new setups need room.
   std::uint64_t path_idle_timeout = 8192;
+  /// A setup whose ack has not returned after this many cycles is presumed
+  /// lost: its destination is unblocked for new setups and a full-path
+  /// teardown reclaims whatever prefix the lost setup reserved.
+  std::uint64_t pending_setup_timeout_cycles = 4096;
+  /// Router-side reservation lease: slot-table entries that carry no circuit
+  /// traffic for this many cycles are reclaimed. This is the backstop that
+  /// recovers reservations orphaned by lost teardowns; it is sized well
+  /// beyond path_idle_timeout so the source always retires an idle
+  /// connection long before its entries expire. 0 disables expiry.
+  std::uint64_t reservation_lease_cycles = 32768;
 
   // --- switching decision (Sections II-A / V-A2) ---
   /// A message circuit-switches only if slot-wait + circuit flight time is

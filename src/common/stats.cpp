@@ -48,6 +48,7 @@ Histogram::Histogram(double bucket_width, int num_buckets)
 void Histogram::add(double v) {
   ++total_;
   if (v < 0.0) v = 0.0;
+  max_seen_ = std::max(max_seen_, v);
   const auto idx = static_cast<size_t>(v / bucket_width_);
   if (idx >= buckets_.size()) {
     ++overflow_;
@@ -60,6 +61,7 @@ void Histogram::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   overflow_ = 0;
   total_ = 0;
+  max_seen_ = 0.0;
 }
 
 double Histogram::quantile(double q) const {
@@ -75,7 +77,10 @@ double Histogram::quantile(double q) const {
     }
     cum = next;
   }
-  return static_cast<double>(buckets_.size()) * bucket_width_;
+  // The target mass falls in the overflow bucket: report the largest sample
+  // actually recorded instead of silently clamping to the finite range's top
+  // edge (which would understate tail quantiles arbitrarily).
+  return max_seen_;
 }
 
 }  // namespace hybridnoc

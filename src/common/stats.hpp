@@ -47,9 +47,13 @@ class Histogram {
   int num_buckets() const { return static_cast<int>(buckets_.size()); }
   std::uint64_t overflow() const { return overflow_; }
   double bucket_width() const { return bucket_width_; }
+  /// Largest sample recorded (0 when empty), including overflow samples.
+  double max_seen() const { return max_seen_; }
 
   /// Value below which `q` (0..1) of the samples fall; linear interpolation
-  /// within a bucket, overflow counted at the top edge.
+  /// within a bucket. When the target mass lies in the overflow bucket the
+  /// result is the largest recorded sample, not the (arbitrary) top edge of
+  /// the finite range.
   double quantile(double q) const;
 
  private:
@@ -57,6 +61,7 @@ class Histogram {
   std::vector<std::uint64_t> buckets_;
   std::uint64_t overflow_ = 0;
   std::uint64_t total_ = 0;
+  double max_seen_ = 0.0;
 };
 
 /// Windowed rate meter: events per cycle over the most recent epoch.

@@ -96,6 +96,11 @@ struct Packet {
   int slot_id = -1;
   /// Number of consecutive slots each reservation needs.
   int duration = 0;
+  /// Slot-table generation the message was created under. Every dynamic
+  /// resize (Section II-C) wipes all slot tables and bumps the network-wide
+  /// generation; routers and NIs discard config messages whose generation is
+  /// stale, since the state they reference no longer exists.
+  std::uint64_t table_gen = 0;
   /// Teardown only: the router at which the corresponding setup failed (the
   /// failure ack's source). The teardown evaporates there WITHOUT releasing —
   /// the entries at the fail node belong to the conflicting connection, not

@@ -99,11 +99,8 @@ RunResult run_synthetic(const NocConfig& cfg, const RunParams& params) {
     const double ps = static_cast<double>(net->ps_flits() - ps_start);
     const double cs = static_cast<double>(net->cs_flits() - cs_start);
     const double cf = static_cast<double>(net->config_flits() - cfgf_start);
-    const double all = ps + cs + cf;
-    if (all > 0) {
-      r.cs_flit_fraction = cs / (ps + cs);
-      r.config_flit_fraction = cf / all;
-    }
+    r.cs_flit_fraction = safe_ratio(cs, ps + cs);
+    r.config_flit_fraction = safe_ratio(cf, ps + cs + cf);
   }
   return r;
 }

@@ -15,6 +15,13 @@
 
 namespace hybridnoc {
 
+/// num/den, or 0 when den is 0. Flit-mix fractions must stay finite even
+/// when a measurement window carries none of the relevant flit classes
+/// (e.g. only config traffic).
+inline double safe_ratio(double num, double den) {
+  return den > 0.0 ? num / den : 0.0;
+}
+
 struct RunParams {
   TrafficPattern pattern = TrafficPattern::UniformRandom;
   /// Offered load in flits/node/cycle (payload-equivalent 5-flit packets).

@@ -5,13 +5,19 @@
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace hybridnoc {
 
 /// Apply `fn(i)` for i in [0, n) across up to `threads` workers (default:
-/// hardware concurrency). fn must only touch per-i state.
+/// hardware concurrency). fn must only touch per-i state. If a worker
+/// throws, the first exception is captured and rethrown on the calling
+/// thread after all workers have joined; iterations not yet claimed are
+/// abandoned (throwing from a worker thread would otherwise terminate the
+/// whole process).
 template <typename Fn>
 void parallel_for(std::size_t n, Fn fn, unsigned threads = 0) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -20,6 +26,9 @@ void parallel_for(std::size_t n, Fn fn, unsigned threads = 0) {
     return;
   }
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::thread> pool;
   const unsigned workers = static_cast<unsigned>(
       std::min<std::size_t>(threads, n));
@@ -27,13 +36,21 @@ void parallel_for(std::size_t n, Fn fn, unsigned threads = 0) {
   for (unsigned w = 0; w < workers; ++w) {
     pool.emplace_back([&] {
       for (;;) {
+        if (failed.load(std::memory_order_relaxed)) return;
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
       }
     });
   }
   for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 /// Map `fn(item)` over `items` in parallel, preserving order of results.

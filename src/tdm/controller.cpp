@@ -9,11 +9,17 @@ TdmController::TdmController(const NocConfig& cfg)
 
 void TdmController::tick(Cycle now) {
   if (reset_pending_) {
-    const bool quiet = cs_in_flight_ == 0 && config_in_flight_ == 0 &&
-                       (!quiesced_check_ || quiesced_check_());
+    // Only circuit-switched flits must drain: they physically need their
+    // reserved slots. Config messages keep flowing — they carry the table
+    // generation and are discarded wherever they arrive stale.
+    const bool quiet =
+        cs_in_flight_ == 0 && (!quiesced_check_ || quiesced_check_());
     if (quiet) {
-      active_slots_ *= 2;
-      ++resizes_;
+      if (active_slots_ < cfg_.slot_table_size) {
+        active_slots_ *= 2;
+        ++resizes_;
+      }
+      ++generation_;
       if (reset_hook_) reset_hook_(active_slots_);
       reset_pending_ = false;
       failures_ = 0;

@@ -7,7 +7,10 @@
 // while a resize is pending, NIs stop scheduling new circuit traffic and the
 // controller waits for the fabric's CS population to drain to zero. (In
 // hardware the reset would be sequenced the same way: quiesce, flash-clear,
-// restart.)
+// restart.) Configuration messages (setup/ack/teardown) do NOT block the
+// reset: they are packet-switched and carry the table generation they were
+// created under, so any message that straddles a reset is discarded at the
+// next protocol endpoint instead of acting on wiped state.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +27,17 @@ class TdmController {
 
   /// Powered slots per table right now.
   int active_slots() const { return active_slots_; }
+
+  /// Monotonically increasing slot-table generation: bumped every time the
+  /// tables are wiped (dynamic grow or forced reset). Config messages and
+  /// reservation state are stamped with it; anything stamped with an older
+  /// generation is stale and must be discarded.
+  std::uint64_t table_generation() const { return generation_; }
+
+  /// Request a table reset (doubling the active size when below capacity).
+  /// Executes at the next tick on which the circuit fabric is quiescent.
+  /// Exposed for tests and external resize policies.
+  void request_resize() { reset_pending_ = true; }
 
   /// May NIs schedule new circuit-switched traffic / setups?
   bool cs_allowed() const { return !reset_pending_; }
@@ -72,6 +86,7 @@ class TdmController {
  private:
   const NocConfig cfg_;
   int active_slots_;
+  std::uint64_t generation_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t successes_ = 0;
   std::uint64_t total_failures_ = 0;

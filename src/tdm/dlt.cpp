@@ -18,7 +18,7 @@ int DestinationLookupTable::index_of(NodeId dest) const {
 }
 
 void DestinationLookupTable::observe(NodeId dest, int slot, int duration, Port in,
-                                     Port out, Cycle now) {
+                                     Port out, Cycle now, std::uint64_t generation) {
   ++accesses_;
   int idx = index_of(dest);
   if (idx < 0) {
@@ -34,7 +34,15 @@ void DestinationLookupTable::observe(NodeId dest, int slot, int duration, Port i
     }
     idx = lru;
   }
-  entries_[static_cast<size_t>(idx)] = {dest, slot, duration, in, out, 0, now};
+  DltEntry e;
+  e.dest = dest;
+  e.slot = slot;
+  e.duration = duration;
+  e.in = in;
+  e.out = out;
+  e.last_used = now;
+  e.generation = generation;
+  entries_[static_cast<size_t>(idx)] = e;
 }
 
 std::optional<DltEntry> DestinationLookupTable::find(NodeId dest) const {

@@ -23,6 +23,11 @@ struct DltEntry {
   Port out = Port::Local;
   std::uint8_t fail_count = 0;  ///< 2-bit saturating counter
   Cycle last_used = 0;          ///< for LRU replacement
+  /// Slot-table generation the underlying reservation was made under; an
+  /// entry from an older generation refers to wiped slots and must never be
+  /// ridden (the table is cleared on reset, so this is a belt-and-braces
+  /// check at the point of use).
+  std::uint64_t generation = 0;
   /// A setup passing through only makes the entry provisional — the setup
   /// may still fail downstream, leaving a partial path that must never be
   /// ridden. The entry activates when the local router first forwards a
@@ -36,8 +41,10 @@ class DestinationLookupTable {
 
   /// Record a connection observed passing through the local router
   /// (replaces an existing entry for the same destination; LRU-evicts when
-  /// full). Resets the failure counter.
-  void observe(NodeId dest, int slot, int duration, Port in, Port out, Cycle now);
+  /// full). Resets the failure counter. `generation` is the slot-table
+  /// generation the reservation was made under.
+  void observe(NodeId dest, int slot, int duration, Port in, Port out,
+               Cycle now, std::uint64_t generation = 0);
 
   /// Active entry whose path leads to `dest`, if any.
   std::optional<DltEntry> find(NodeId dest) const;

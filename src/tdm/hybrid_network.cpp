@@ -1,5 +1,9 @@
 #include "tdm/hybrid_network.hpp"
 
+#include <algorithm>
+#include <optional>
+#include <vector>
+
 namespace hybridnoc {
 
 HybridNetwork::HybridNetwork(const NocConfig& cfg)
@@ -35,6 +39,117 @@ HybridNetwork::HybridNetwork(const NocConfig& cfg)
 void HybridNetwork::tick() {
   Network::tick();
   controller().tick(now());
+}
+
+// ---------------------------------------------------------------------------
+// Config-message fault injection
+// ---------------------------------------------------------------------------
+
+ConfigFaultDecision HybridNetwork::next_fault() {
+  ConfigFaultDecision d;
+  if (fault_rng_.bernoulli(fault_params_.drop_prob)) {
+    d.action = ConfigFaultDecision::Action::Drop;
+    ++faults_dropped_;
+  } else if (fault_rng_.bernoulli(fault_params_.delay_prob)) {
+    d.action = ConfigFaultDecision::Action::Delay;
+    d.delay = 1 + fault_rng_.uniform_int(
+                      std::max<Cycle>(fault_params_.max_delay_cycles, 1));
+    ++faults_delayed_;
+  } else if (fault_rng_.bernoulli(fault_params_.dup_prob)) {
+    d.action = ConfigFaultDecision::Action::Duplicate;
+    ++faults_duplicated_;
+  }
+  return d;
+}
+
+void HybridNetwork::enable_config_faults(const ConfigFaultParams& p) {
+  fault_params_ = p;
+  fault_rng_.reseed(p.seed);
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    hybrid_ni(n).set_config_fault_hook(
+        [this](const PacketPtr&, Cycle) { return next_fault(); });
+  }
+}
+
+void HybridNetwork::disable_config_faults() {
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    hybrid_ni(n).set_config_fault_hook(nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reservation consistency audit
+// ---------------------------------------------------------------------------
+
+ReservationAudit HybridNetwork::audit_reservations() const {
+  ReservationAudit a;
+  const int S = controller().active_slots();
+  std::vector<std::vector<bool>> visited(static_cast<size_t>(num_nodes()));
+  for (auto& v : visited) v.assign(static_cast<size_t>(S) * kNumPorts, false);
+
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    const auto& src = static_cast<const HybridNi&>(ni(n));
+    for (const NodeId dst : src.connection_dsts()) {
+      const int dur = src.connection_duration(dst);
+      for (const auto& [first_slot, owner] : src.connection_windows(dst)) {
+        ++a.windows_walked;
+        NodeId node = n;
+        Port in = Port::Local;
+        int slot = first_slot;
+        bool ok = true;
+        bool done = false;
+        // A minimal path visits at most num_nodes() routers; anything longer
+        // means the tables describe a loop.
+        for (int hop = 0; hop < num_nodes() && ok && !done; ++hop) {
+          const auto& st =
+              static_cast<const HybridRouter&>(router(node)).slots();
+          std::optional<Port> out;
+          for (int d = 0; d < dur; ++d) {
+            const int s = (slot + d) & (S - 1);
+            const auto o = st.lookup_slot(s, in);
+            const auto ow = st.owner_at(s, in);
+            if (!o || !ow || *ow != owner || (out && *o != *out)) {
+              ok = false;
+              break;
+            }
+            out = o;
+            visited[static_cast<size_t>(node)]
+                   [static_cast<size_t>(s) * kNumPorts +
+                    static_cast<size_t>(in)] = true;
+          }
+          if (!ok) break;
+          if (*out == Port::Local) {
+            done = (node == dst);
+            ok = done;
+            break;
+          }
+          if (!mesh().has_neighbor(node, *out)) {
+            ok = false;
+            break;
+          }
+          node = mesh().neighbor(node, *out);
+          in = opposite(*out);
+          slot = (slot + 2) & (S - 1);
+        }
+        if (!ok || !done) ++a.broken_windows;
+      }
+    }
+  }
+
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    const auto& st = static_cast<const HybridRouter&>(router(n)).slots();
+    for (int s = 0; s < S; ++s) {
+      for (int j = 0; j < kNumPorts; ++j) {
+        if (st.lookup_slot(s, static_cast<Port>(j)).has_value() &&
+            !visited[static_cast<size_t>(n)]
+                    [static_cast<size_t>(s) * kNumPorts +
+                     static_cast<size_t>(j)]) {
+          ++a.orphan_entries;
+        }
+      }
+    }
+  }
+  return a;
 }
 
 std::uint64_t HybridNetwork::total_cs_packets() const {
@@ -90,6 +205,36 @@ int HybridNetwork::total_active_connections() const {
   int t = 0;
   for (NodeId n = 0; n < num_nodes(); ++n)
     t += static_cast<const HybridNi&>(ni(n)).active_connections();
+  return t;
+}
+
+std::uint64_t HybridNetwork::total_stale_config_drops() const {
+  std::uint64_t t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    t += static_cast<const HybridRouter&>(router(n)).stale_config_drops();
+    t += static_cast<const HybridNi&>(ni(n)).stale_config_drops();
+  }
+  return t;
+}
+
+std::uint64_t HybridNetwork::total_pending_timeouts() const {
+  std::uint64_t t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    t += static_cast<const HybridNi&>(ni(n)).pending_timeouts();
+  return t;
+}
+
+std::uint64_t HybridNetwork::total_expired_reservations() const {
+  std::uint64_t t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    t += static_cast<const HybridRouter&>(router(n)).expired_reservations();
+  return t;
+}
+
+int HybridNetwork::total_valid_slot_entries() const {
+  int t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    t += static_cast<const HybridRouter&>(router(n)).slots().valid_entries();
   return t;
 }
 

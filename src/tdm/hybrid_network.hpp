@@ -5,12 +5,36 @@
 
 #include <memory>
 
+#include "common/rng.hpp"
 #include "noc/network.hpp"
 #include "tdm/controller.hpp"
 #include "tdm/hybrid_ni.hpp"
 #include "tdm/hybrid_router.hpp"
 
 namespace hybridnoc {
+
+/// Seeded parameters for the config-message fault-injection harness: every
+/// outgoing setup/teardown/ack is independently dropped, delayed or
+/// duplicated with the given probabilities.
+struct ConfigFaultParams {
+  double drop_prob = 0.0;
+  double delay_prob = 0.0;
+  double dup_prob = 0.0;
+  Cycle max_delay_cycles = 64;  ///< delays are uniform in [1, max]
+  std::uint64_t seed = 1;
+};
+
+/// Result of the network-wide reservation consistency audit: every installed
+/// connection window is walked hop by hop against the routers' slot tables.
+struct ReservationAudit {
+  int windows_walked = 0;
+  /// Windows whose walk left the reserved path before its destination
+  /// (missing entry, foreign owner, or inconsistent output ports).
+  int broken_windows = 0;
+  /// Valid slot-table entries no connection window accounts for.
+  int orphan_entries = 0;
+  bool clean() const { return broken_windows == 0 && orphan_entries == 0; }
+};
 
 namespace detail {
 /// Holds the controller so it is constructed before the Network base class
@@ -36,6 +60,18 @@ class HybridNetwork : private detail::ControllerHolder, public Network {
   }
   HybridNi& hybrid_ni(NodeId n) { return static_cast<HybridNi&>(ni(n)); }
 
+  // --- config-message fault injection (testing harness) ---
+  void enable_config_faults(const ConfigFaultParams& p);
+  void disable_config_faults();
+  std::uint64_t faults_dropped() const { return faults_dropped_; }
+  std::uint64_t faults_delayed() const { return faults_delayed_; }
+  std::uint64_t faults_duplicated() const { return faults_duplicated_; }
+
+  /// Walk every NI's reservation windows against every router's slot table;
+  /// see ReservationAudit. Meant for quiesced networks (tests), but safe to
+  /// call at any time.
+  ReservationAudit audit_reservations() const;
+
   // --- aggregate circuit statistics ---
   std::uint64_t total_cs_packets() const;
   std::uint64_t total_setups_sent() const;
@@ -45,6 +81,21 @@ class HybridNetwork : private detail::ControllerHolder, public Network {
   std::uint64_t total_hitchhike_bounces() const;
   std::uint64_t total_ps_steals() const;
   int total_active_connections() const;
+  /// Generation-fence discards, summed over routers and NIs.
+  std::uint64_t total_stale_config_drops() const;
+  std::uint64_t total_pending_timeouts() const;
+  /// Slot-table entries reclaimed by the routers' reservation lease.
+  std::uint64_t total_expired_reservations() const;
+  int total_valid_slot_entries() const;
+
+ private:
+  ConfigFaultDecision next_fault();
+
+  ConfigFaultParams fault_params_;
+  Rng fault_rng_;
+  std::uint64_t faults_dropped_ = 0;
+  std::uint64_t faults_delayed_ = 0;
+  std::uint64_t faults_duplicated_ = 0;
 };
 
 }  // namespace hybridnoc

@@ -20,7 +20,8 @@ void HybridNi::attach_router(HybridRouter* r) {
 }
 
 bool HybridNi::idle() const {
-  return NetworkInterface::idle() && cs_plan_.empty();
+  return NetworkInterface::idle() && cs_plan_.empty() &&
+         delayed_config_.empty();
 }
 
 void HybridNi::reset_circuit_state() {
@@ -28,9 +29,35 @@ void HybridNi::reset_circuit_state() {
   connections_.clear();
   pending_.clear();
   pending_dsts_.clear();
+  // Held-back config messages reference the wiped tables; a router would
+  // discard them as stale anyway, so drop them at the source.
+  delayed_config_.clear();
   dlt_.clear();
   freq_.clear();
   cooldown_until_.clear();
+}
+
+std::vector<std::pair<int, PacketId>> HybridNi::connection_windows(
+    NodeId dst) const {
+  std::vector<std::pair<int, PacketId>> out;
+  const auto it = connections_.find(dst);
+  if (it == connections_.end()) return out;
+  for (size_t i = 0; i < it->second.slots.size(); ++i) {
+    out.emplace_back(it->second.slots[i], it->second.setup_ids[i]);
+  }
+  return out;
+}
+
+std::vector<NodeId> HybridNi::connection_dsts() const {
+  std::vector<NodeId> out;
+  out.reserve(connections_.size());
+  for (const auto& [dst, conn] : connections_) out.push_back(dst);
+  return out;
+}
+
+int HybridNi::connection_duration(NodeId dst) const {
+  const auto it = connections_.find(dst);
+  return it == connections_.end() ? 0 : it->second.duration;
 }
 
 void HybridNi::send(PacketPtr pkt, Cycle now) {
@@ -159,8 +186,12 @@ bool HybridNi::try_circuit(const PacketPtr& pkt, Cycle now) {
   }
 
   // 2. Hitchhike a path through this node toward the same destination.
+  // (The DLT is cleared on every table reset, so entries are always from
+  // the current generation; the stored generation is the belt-and-braces
+  // guard against riding a wiped reservation.)
   if (cfg_.hitchhiker_sharing) {
-    if (auto e = dlt_.find(dst)) {
+    if (auto e = dlt_.find(dst);
+        e && e->generation == ctrl_->table_generation()) {
       if (schedule_cs(pkt, {e->slot}, mesh_.hop_distance(id_, dst), 0,
                       static_cast<int>(e->in), static_cast<int>(e->out),
                       now) == CsAttempt::Scheduled) {
@@ -201,7 +232,8 @@ bool HybridNi::try_circuit(const PacketPtr& pkt, Cycle now) {
     // is adjacent to dst.
     if (cfg_.hitchhiker_sharing) {
       if (auto e = dlt_.find_adjacent(
-              dst, [this](NodeId a, NodeId b) { return mesh_.adjacent(a, b); })) {
+              dst, [this](NodeId a, NodeId b) { return mesh_.adjacent(a, b); });
+          e && e->generation == ctrl_->table_generation()) {
         pkt->dst = e->dest;
         if (schedule_cs(pkt, {e->slot}, mesh_.hop_distance(id_, e->dest),
                         hopoff_cost, static_cast<int>(e->in),
@@ -221,6 +253,12 @@ bool HybridNi::try_circuit(const PacketPtr& pkt, Cycle now) {
 
 bool HybridNi::circuit_inject(Cycle now) {
   epoch_tick(now);
+  while (!delayed_config_.empty() && delayed_config_.begin()->first <= now) {
+    auto p = std::move(delayed_config_.begin()->second);
+    delayed_config_.erase(delayed_config_.begin());
+    ctrl_->config_launched();
+    NetworkInterface::send(std::move(p), now);
+  }
   const auto it = cs_plan_.find(now);
   if (it == cs_plan_.end()) {
     HN_CHECK_MSG(cs_plan_.empty() || cs_plan_.begin()->first > now,
@@ -296,7 +334,63 @@ PacketPtr HybridNi::make_config(MsgType type, NodeId dst, Cycle now) const {
   p->traffic_class = TrafficClass::Config;
   p->cs_eligible = false;
   p->created = now;
+  p->table_gen = ctrl_->table_generation();
   return p;
+}
+
+void HybridNi::dispatch_config(PacketPtr p, Cycle now) {
+  using Action = ConfigFaultDecision::Action;
+  if (fault_hook_) {
+    const ConfigFaultDecision d = fault_hook_(p, now);
+    switch (d.action) {
+      case Action::Drop:
+        // The message vanishes before it is ever counted in flight; the
+        // protocol's timeout/lease machinery must recover on its own.
+        return;
+      case Action::Delay:
+        delayed_config_.emplace(now + std::max<Cycle>(d.delay, 1),
+                                std::move(p));
+        return;
+      case Action::Duplicate: {
+        // A second, independent walker with the same id and payload —
+        // routers mutate slot_id in place, so it must be a distinct object.
+        auto clone = std::make_shared<Packet>(*p);
+        ctrl_->config_launched();
+        NetworkInterface::send(std::move(clone), now);
+        break;
+      }
+      case Action::None:
+        break;
+    }
+  }
+  ctrl_->config_launched();
+  NetworkInterface::send(std::move(p), now);
+}
+
+bool HybridNi::window_installed(NodeId dst, PacketId setup_id) const {
+  const auto it = connections_.find(dst);
+  if (it == connections_.end()) return false;
+  const auto& ids = it->second.setup_ids;
+  return std::find(ids.begin(), ids.end(), setup_id) != ids.end();
+}
+
+void HybridNi::expire_pending(Cycle now) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second.sent_at <= cfg_.pending_setup_timeout_cycles) {
+      ++it;
+      continue;
+    }
+    // The setup or its ack was lost. Reclaim whatever prefix the setup
+    // reserved (the owner tag makes this safe even if the setup is merely
+    // late: it releases only that setup's entries) and unblock the
+    // destination so traffic toward it can request a fresh path.
+    const PendingSetup p = it->second;
+    const PacketId setup_id = it->first;
+    it = pending_.erase(it);
+    pending_dsts_.erase(p.dst);
+    ++pending_timeouts_;
+    send_teardown(p.dst, p.slot, setup_id, now);
+  }
 }
 
 void HybridNi::maybe_initiate_setup(NodeId dst, Cycle now, bool force,
@@ -331,25 +425,46 @@ void HybridNi::maybe_initiate_setup(NodeId dst, Cycle now, bool force,
     }
     if (now - idlest->second.last_used >
         static_cast<Cycle>(cfg_.policy_epoch_cycles)) {
-      for (const int slot : idlest->second.slots)
-        send_teardown(idlest->first, slot, now);
+      for (size_t i = 0; i < idlest->second.slots.size(); ++i) {
+        send_teardown(idlest->first, idlest->second.slots[i],
+                      idlest->second.setup_ids[i], now);
+      }
       connections_.erase(idlest);
     }
   }
   send_setup(dst, 0, now);
 }
 
-void HybridNi::send_setup(NodeId dst, int retries, Cycle now) {
-  const int dur = cfg_.reservation_duration();
+int HybridNi::choose_setup_slot(int duration, int avoid_slot) {
   const int S = ctrl_->active_slots();
-  int slot = static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(S)));
+  // Fallback draw first, then up to 8 candidates preferring a free local
+  // input — the draw order matters for run-to-run reproducibility.
+  int slot =
+      static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(S)));
+  if (slot == avoid_slot) slot = -1;  // a retry must pick a different slot
   for (int attempt = 0; attempt < 8; ++attempt) {
-    const int cand = static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(S)));
-    if (!hrouter_ || hrouter_->local_input_free(cand, dur)) {
-      slot = cand;
-      break;
+    const int cand =
+        static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(S)));
+    if (cand == avoid_slot) continue;
+    if (slot < 0) slot = cand;
+    if (!hrouter_ || hrouter_->local_input_free(cand, duration)) {
+      return cand;
     }
   }
+  if (slot < 0) {
+    // Every draw hit avoid_slot: pick a distinct slot directly (S >= 4, so
+    // one always exists).
+    slot = (avoid_slot + 1 +
+            static_cast<int>(
+                rng_.uniform_int(static_cast<std::uint64_t>(S - 1)))) %
+           S;
+  }
+  return slot;
+}
+
+void HybridNi::send_setup(NodeId dst, int retries, Cycle now, int avoid_slot) {
+  const int dur = cfg_.reservation_duration();
+  const int slot = choose_setup_slot(dur, avoid_slot);
   auto p = make_config(MsgType::SetupRequest, dst, now);
   p->slot_id = slot;
   p->duration = dur;
@@ -357,22 +472,31 @@ void HybridNi::send_setup(NodeId dst, int retries, Cycle now) {
   pending_dsts_.insert(dst);
   p->payload = p->id;
   ++setups_sent_;
-  ctrl_->config_launched();
-  NetworkInterface::send(std::move(p), now);
+  dispatch_config(std::move(p), now);
 }
 
-void HybridNi::send_teardown(NodeId dst, int slot, Cycle now, NodeId stop_at) {
+void HybridNi::send_teardown(NodeId dst, int slot, PacketId owner, Cycle now,
+                             NodeId stop_at) {
   if (stop_at == id_) return;  // setup failed at our own router: nothing reserved
   auto p = make_config(MsgType::Teardown, dst, now);
   p->slot_id = slot;
   p->duration = cfg_.reservation_duration();
   p->teardown_stop = stop_at;
-  ctrl_->config_launched();
-  NetworkInterface::send(std::move(p), now);
+  p->payload = owner;
+  dispatch_config(std::move(p), now);
 }
 
 void HybridNi::handle_config(const PacketPtr& pkt, Cycle now) {
   ctrl_->config_retired();
+  if (pkt->table_gen != ctrl_->table_generation()) {
+    // The message was created under a slot-table generation that a dynamic
+    // resize has since wiped: every reservation it references is gone, and
+    // its slot arithmetic used the old active size. Discard it — the
+    // pending/connection state it would have updated was cleared by the
+    // reset as well.
+    ++stale_config_drops_;
+    return;
+  }
   switch (pkt->type) {
     case MsgType::SetupRequest: {
       // The setup walked the whole path: every hop is reserved. Acknowledge.
@@ -380,8 +504,10 @@ void HybridNi::handle_config(const PacketPtr& pkt, Cycle now) {
       ack->payload = pkt->payload;
       ack->slot_id = pkt->slot_id;  // slot after the destination router
       ack->duration = pkt->duration;
-      ctrl_->config_launched();
-      NetworkInterface::send(std::move(ack), now);
+      // The ack vouches for reservations made under the *setup's*
+      // generation; carry it so the source can tell whether they survived.
+      ack->table_gen = pkt->table_gen;
+      dispatch_config(std::move(ack), now);
       break;
     }
     case MsgType::AckSuccess: {
@@ -389,18 +515,37 @@ void HybridNi::handle_config(const PacketPtr& pkt, Cycle now) {
       const int S = ctrl_->active_slots();
       const int hops = mesh_.hop_distance(id_, pkt->src);
       // Reconstruct the source-router slot from the destination-side slot:
-      // the setup incremented by 2 at each of hops+1 routers.
+      // the setup incremented by 2 at each of hops+1 routers. The generation
+      // fence above guarantees S is the same active size the setup used, so
+      // the arithmetic is sound.
       const int src_slot =
           (pkt->slot_id - 2 * (hops + 1)) & (S - 1);
       if (it == pending_.end()) {
-        // Orphaned ack (state lost): release the path we no longer want.
-        send_teardown(pkt->src, src_slot, now);
+        if (window_installed(pkt->src, pkt->payload)) {
+          // Duplicate of an ack we already processed; the window is live.
+          ++duplicate_acks_;
+          break;
+        }
+        // Orphaned ack (pending state timed out or was lost): release the
+        // path we no longer want. The owner tag confines the teardown to
+        // that setup's entries.
+        ++orphan_ack_teardowns_;
+        send_teardown(pkt->src, src_slot, pkt->payload, now);
         break;
       }
-      HN_CHECK_MSG(src_slot == it->second.slot,
-                   "ack slot does not match the recorded setup slot");
+      if (src_slot != it->second.slot) {
+        // The ack's slot walk disagrees with what we recorded — the message
+        // is damaged or mis-sequenced. Do not install a connection from it;
+        // reclaim via the recorded slot and let the source retry later.
+        const PendingSetup p = it->second;
+        pending_.erase(it);
+        pending_dsts_.erase(p.dst);
+        send_teardown(p.dst, p.slot, pkt->payload, now);
+        break;
+      }
       Connection& conn = connections_[it->second.dst];
       conn.slots.push_back(it->second.slot);
+      conn.setup_ids.push_back(pkt->payload);
       conn.duration = pkt->duration;
       conn.last_used = now;
       pending_dsts_.erase(it->second.dst);
@@ -418,10 +563,10 @@ void HybridNi::handle_config(const PacketPtr& pkt, Cycle now) {
       ctrl_->record_setup_failure();
       // Destroy the partially reserved prefix (Section II-B), stopping at
       // the router where the setup failed (the failure ack's source).
-      send_teardown(p.dst, p.slot, now, pkt->src);
+      send_teardown(p.dst, p.slot, pkt->payload, now, pkt->src);
       // ...and re-send with a different slot id, or back off.
       if (p.retries < cfg_.max_setup_retries && !frozen_ && ctrl_->cs_allowed()) {
-        send_setup(p.dst, p.retries + 1, now);
+        send_setup(p.dst, p.retries + 1, now, /*avoid_slot=*/p.slot);
       } else {
         cooldown_until_[p.dst] =
             now + 4 * static_cast<Cycle>(cfg_.policy_epoch_cycles);
@@ -468,7 +613,9 @@ void HybridNi::on_eject_flit(const Flit& flit, Cycle now) {
 
 void HybridNi::on_setup_pass(NodeId dest, int slot, int duration, Port in,
                              Port out, Cycle now) {
-  dlt_.observe(dest, slot, duration, in, out, now);
+  // The setup already passed the router's generation fence, so the current
+  // generation is the one its reservations were made under.
+  dlt_.observe(dest, slot, duration, in, out, now, ctrl_->table_generation());
 }
 
 void HybridNi::on_teardown_pass(int slot, Port in, Cycle now) {
@@ -491,13 +638,17 @@ void HybridNi::epoch_tick(Cycle now) {
   if (now < epoch_start_ + static_cast<Cycle>(cfg_.policy_epoch_cycles)) return;
   epoch_start_ = now;
   freq_.clear();
+  expire_pending(now);
   // Retire connections idle beyond the timeout.
   std::vector<NodeId> idle_list;
   for (const auto& [dst, conn] : connections_) {
     if (now - conn.last_used > cfg_.path_idle_timeout) idle_list.push_back(dst);
   }
   for (const NodeId dst : idle_list) {
-    for (const int slot : connections_[dst].slots) send_teardown(dst, slot, now);
+    const Connection& conn = connections_[dst];
+    for (size_t i = 0; i < conn.slots.size(); ++i) {
+      send_teardown(dst, conn.slots[i], conn.setup_ids[i], now);
+    }
     connections_.erase(dst);
   }
 }

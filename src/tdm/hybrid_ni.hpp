@@ -18,9 +18,12 @@
 //    dedicated-path escalation on saturation.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <set>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "noc/network_interface.hpp"
@@ -29,6 +32,17 @@
 #include "tdm/hybrid_router.hpp"
 
 namespace hybridnoc {
+
+/// Fault-injection verdict for one outgoing config message (setup, teardown
+/// or ack). Returned by a hook installed on the NI; used by the harness to
+/// exercise the protocol's loss/duplication recovery paths.
+struct ConfigFaultDecision {
+  enum class Action : std::uint8_t { None, Drop, Delay, Duplicate };
+  Action action = Action::None;
+  Cycle delay = 0;  ///< injection delay in cycles (Delay only)
+};
+using ConfigFaultHook =
+    std::function<ConfigFaultDecision(const PacketPtr&, Cycle)>;
 
 class HybridNi : public NetworkInterface, public CircuitNiHooks {
  public:
@@ -41,6 +55,14 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   void send(PacketPtr pkt, Cycle now) override;
   bool idle() const override;
   void set_policy_frozen(bool frozen) override { frozen_ = frozen; }
+
+  /// Install (or clear, with nullptr) the config-message fault injector.
+  /// Every outgoing setup/teardown/ack is offered to the hook just before
+  /// injection; the returned decision may drop it, delay it, or inject a
+  /// duplicate copy alongside it.
+  void set_config_fault_hook(ConfigFaultHook hook) {
+    fault_hook_ = std::move(hook);
+  }
 
   /// Drop all circuit state (slot-table reset, Section II-C). Only called
   /// when no circuit flit is planned or in flight.
@@ -69,6 +91,20 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   /// Switching-decision outcomes for circuit attempts on existing paths.
   std::uint64_t cs_rejected_no_window() const { return cs_rejected_no_window_; }
   std::uint64_t cs_rejected_latency() const { return cs_rejected_latency_; }
+  /// Config messages discarded at this NI because their table generation
+  /// predated a slot-table reset.
+  std::uint64_t stale_config_drops() const { return stale_config_drops_; }
+  /// Pending setups abandoned because their ack never returned.
+  std::uint64_t pending_timeouts() const { return pending_timeouts_; }
+  /// Success acks with no pending entry that released an unwanted path.
+  std::uint64_t orphan_ack_teardowns() const { return orphan_ack_teardowns_; }
+  /// Success acks recognised as duplicates of an already-installed window.
+  std::uint64_t duplicate_acks() const { return duplicate_acks_; }
+  /// Crossbar slots (and owning setup ids) of every reservation window this
+  /// NI holds toward `dst` — consumed by the network-wide consistency audit.
+  std::vector<std::pair<int, PacketId>> connection_windows(NodeId dst) const;
+  std::vector<NodeId> connection_dsts() const;
+  int connection_duration(NodeId dst) const;
 
  protected:
   bool circuit_inject(Cycle now) override;
@@ -83,6 +119,10 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
     /// this pair holds. Multiple windows = finer time-division granularity
     /// = more of the path's bandwidth (Section II-C).
     std::vector<int> slots;
+    /// Id of the setup that reserved each window (same index as `slots`).
+    /// Stamped into teardowns so they release only their own slot-table
+    /// entries, and used to recognise duplicated success acks.
+    std::vector<PacketId> setup_ids;
     int duration = 0;
     Cycle last_used = 0;
     std::uint8_t vicinity_fail = 0;  ///< 2-bit saturating counter
@@ -116,12 +156,25 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   /// connection whose windows are oversubscribed (Section II-C granularity).
   void maybe_initiate_setup(NodeId dst, Cycle now, bool force,
                             bool supplement = false);
-  void send_setup(NodeId dst, int retries, Cycle now);
-  /// `stop_at` = the router the corresponding setup failed at (failure
-  /// teardowns), kInvalidNode for full-path teardowns.
-  void send_teardown(NodeId dst, int slot, Cycle now,
+  /// `avoid_slot` >= 0 forces the draw away from that slot — a retry after a
+  /// conflict must probe a *different* slot id (Section II-B).
+  int choose_setup_slot(int duration, int avoid_slot);
+  void send_setup(NodeId dst, int retries, Cycle now, int avoid_slot = -1);
+  /// `owner` = id of the setup whose reservations the teardown may release
+  /// (0 releases unconditionally). `stop_at` = the router the corresponding
+  /// setup failed at (failure teardowns), kInvalidNode for full-path
+  /// teardowns.
+  void send_teardown(NodeId dst, int slot, PacketId owner, Cycle now,
                      NodeId stop_at = kInvalidNode);
   PacketPtr make_config(MsgType type, NodeId dst, Cycle now) const;
+  /// Inject a config message, applying the fault hook (drop/delay/duplicate)
+  /// if one is installed. The single exit point for all config traffic.
+  void dispatch_config(PacketPtr p, Cycle now);
+  /// Is `setup_id` the owner of an installed window toward `dst`?
+  bool window_installed(NodeId dst, PacketId setup_id) const;
+  /// Abandon pending setups whose ack is overdue; reclaims whatever prefix
+  /// the lost setup reserved and unblocks the destination for new setups.
+  void expire_pending(Cycle now);
 
   double ps_latency_estimate(int hops) const;
   bool decide_cs(const PacketPtr& pkt, double cs_latency, int hops) const;
@@ -138,6 +191,9 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   std::unordered_map<NodeId, int> freq_;
   std::unordered_map<NodeId, Cycle> cooldown_until_;
   std::map<Cycle, Flit> cs_plan_;  ///< injection-channel write schedule
+  /// Config messages held back by a Delay fault verdict: release cycle -> pkt.
+  std::multimap<Cycle, PacketPtr> delayed_config_;
+  ConfigFaultHook fault_hook_;
   DestinationLookupTable dlt_;
 
   HybridRouter* hrouter_ = nullptr;
@@ -155,6 +211,10 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   std::uint64_t vicinity_hopoffs_ = 0;
   std::uint64_t cs_rejected_no_window_ = 0;
   std::uint64_t cs_rejected_latency_ = 0;
+  std::uint64_t stale_config_drops_ = 0;
+  std::uint64_t pending_timeouts_ = 0;
+  std::uint64_t orphan_ack_teardowns_ = 0;
+  std::uint64_t duplicate_acks_ = 0;
 };
 
 }  // namespace hybridnoc

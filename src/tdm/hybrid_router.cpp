@@ -51,10 +51,15 @@ bool HybridRouter::handle_arrival(Flit& flit, Port in, Cycle now) {
     const auto out = slots_.lookup(now, in);
     HN_CHECK_MSG(out.has_value(),
                  "circuit-switched flit arrived in an unreserved slot");
-    if (flit.is_head() && ni_hooks_ && cfg_.hitchhiker_sharing) {
-      // Evidence the circuit completed: provisional DLT entries on this
-      // reservation may now be shared.
-      ni_hooks_->on_circuit_use(slots_.slot_of(now), in, now);
+    if (flit.is_head()) {
+      // Heads arrive at the window-start slot; renew the whole window's
+      // reservation lease.
+      slots_.refresh(slots_.slot_of(now), cfg_.reservation_duration(), in, now);
+      if (ni_hooks_ && cfg_.hitchhiker_sharing) {
+        // Evidence the circuit completed: provisional DLT entries on this
+        // reservation may now be shared.
+        ni_hooks_->on_circuit_use(slots_.slot_of(now), in, now);
+      }
     }
     cs_now_.push_back({flit, *out});
     return true;
@@ -64,6 +69,10 @@ bool HybridRouter::handle_arrival(Flit& flit, Port in, Cycle now) {
   if (!flit.pkt->is_hitchhiker()) {
     const auto out = slots_.lookup(now, Port::Local);
     HN_CHECK_MSG(out.has_value(), "local circuit flit without a reservation");
+    if (flit.is_head()) {
+      slots_.refresh(slots_.slot_of(now), cfg_.reservation_duration(),
+                     Port::Local, now);
+    }
     cs_now_.push_back({flit, *out});
     return true;
   }
@@ -89,6 +98,7 @@ bool HybridRouter::handle_arrival(Flit& flit, Port in, Cycle now) {
     if (ni_hooks_) ni_hooks_->on_hitchhike_bounce(flit.pkt, now);
     return true;
   }
+  slots_.refresh(slots_.slot_of(now), cfg_.reservation_duration(), sin, now);
   for (int d = 1; d < flit.pkt->num_flits; ++d) {
     hh_overrides_.emplace_back(now + static_cast<Cycle>(d), sout);
   }
@@ -134,6 +144,14 @@ std::optional<Port> HybridRouter::compute_route(const PacketPtr& pkt, Port in,
 
 std::optional<Port> HybridRouter::process_setup(const PacketPtr& pkt, Port in,
                                                 Cycle now) {
+  if (pkt->table_gen != ctrl_->table_generation()) {
+    // The tables this setup was walking were wiped by a dynamic resize while
+    // it was in flight; its slot arithmetic no longer means anything, and any
+    // prefix it reserved is gone too. Discard instead of reserving garbage.
+    ++stale_config_drops_;
+    ctrl_->config_retired();
+    return std::nullopt;
+  }
   const Port out = (pkt->dst == id_) ? Port::Local : route_adaptive(pkt->dst);
   const int slot = pkt->slot_id;
   const int dur = pkt->duration;
@@ -143,7 +161,9 @@ std::optional<Port> HybridRouter::process_setup(const PacketPtr& pkt, Port in,
   // occupancy threshold.
   const bool below_threshold =
       slots_.occupancy() < cfg_.reservation_threshold;
-  if (below_threshold && slots_.reserve(slot, dur, in, out)) {
+  if (below_threshold &&
+      slots_.reserve(slot, dur, in, out, static_cast<PacketId>(pkt->payload),
+                     now)) {
     energy_.slot_table_writes += static_cast<std::uint64_t>(dur);
     if (ni_hooks_ && cfg_.hitchhiker_sharing && in != Port::Local &&
         out != Port::Local) {
@@ -168,16 +188,25 @@ std::optional<Port> HybridRouter::process_setup(const PacketPtr& pkt, Port in,
 
 std::optional<Port> HybridRouter::process_teardown(const PacketPtr& pkt, Port in,
                                                    Cycle now) {
+  if (pkt->table_gen != ctrl_->table_generation()) {
+    // Stale teardown: the reservations it would release were already wiped
+    // by the resize that bumped the generation.
+    ++stale_config_drops_;
+    ctrl_->config_retired();
+    return std::nullopt;
+  }
   if (pkt->teardown_stop == id_) {
     // The setup failed here: the valid entries at this router belong to the
     // conflicting path and must not be touched.
     ctrl_->config_retired();
     return std::nullopt;
   }
-  const auto out = slots_.release(pkt->slot_id, pkt->duration, in);
+  const auto out = slots_.release(pkt->slot_id, pkt->duration, in,
+                                  static_cast<PacketId>(pkt->payload));
   if (!out) {
-    // This is the node where the corresponding setup failed: every slot is
-    // already invalid, so the teardown evaporates (Section II-B).
+    // Either this is the node where the corresponding setup failed (every
+    // slot already invalid, Section II-B), or the entries here belong to a
+    // different setup (duplicate/late teardown, owner fence). Evaporate.
     ctrl_->config_retired();
     return std::nullopt;
   }
@@ -200,12 +229,26 @@ void HybridRouter::traverse_circuit(Cycle now) {
 }
 
 void HybridRouter::leakage_tick(Cycle now) {
-  (void)now;
   // One slot-row lookup per cycle steers the input demultiplexers.
   ++energy_.slot_table_reads;
   energy_.slot_entry_active_cycles +=
       static_cast<std::uint64_t>(slots_.active_size());
   ++energy_.cs_misc_active_cycles;
+  // Reservation-lease backstop: reclaim entries whose last traversal is
+  // older than the lease — these were orphaned by a lost teardown (a live
+  // connection is idle-retired by its source long before the lease runs
+  // out). Swept at a coarse cadence; the exact phase is irrelevant.
+  const Cycle lease = cfg_.reservation_lease_cycles;
+  if (lease > 0 && now > lease && (now & 1023) == 0) {
+    const int n =
+        slots_.expire_older_than(now - lease, [&](int slot, Port in) {
+          if (ni_hooks_) ni_hooks_->on_teardown_pass(slot, in, now);
+        });
+    if (n > 0) {
+      expired_reservations_ += static_cast<std::uint64_t>(n);
+      energy_.slot_table_writes += static_cast<std::uint64_t>(n);
+    }
+  }
 }
 
 }  // namespace hybridnoc

@@ -69,6 +69,11 @@ class HybridRouter : public Router {
 
   std::uint64_t cs_flits_traversed() const { return cs_flits_traversed_; }
   std::uint64_t ps_steals() const { return ps_steals_; }
+  /// Setup/teardown messages discarded because their table generation
+  /// predated a slot-table reset.
+  std::uint64_t stale_config_drops() const { return stale_config_drops_; }
+  /// Reservation entries reclaimed by lease expiry (orphan backstop).
+  std::uint64_t expired_reservations() const { return expired_reservations_; }
 
  protected:
   bool handle_arrival(Flit& flit, Port in, Cycle now) override;
@@ -105,6 +110,8 @@ class HybridRouter : public Router {
   std::vector<std::pair<Cycle, Port>> hh_overrides_;
   std::uint64_t cs_flits_traversed_ = 0;
   std::uint64_t ps_steals_ = 0;
+  std::uint64_t stale_config_drops_ = 0;
+  std::uint64_t expired_reservations_ = 0;
 };
 
 }  // namespace hybridnoc

@@ -29,22 +29,27 @@ bool SlotTable::can_reserve(int slot, int duration, Port in, Port out) const {
   return true;
 }
 
-bool SlotTable::reserve(int slot, int duration, Port in, Port out) {
+bool SlotTable::reserve(int slot, int duration, Port in, Port out,
+                        PacketId owner, Cycle now) {
   if (!can_reserve(slot, duration, in, out)) return false;
   for (int d = 0; d < duration; ++d) {
     Entry& e = at(wrap(slot + d), in);
     e.valid = true;
     e.out = out;
+    e.owner = owner;
+    e.stamp = now;
     ++valid_count_;
   }
   return true;
 }
 
-std::optional<Port> SlotTable::release(int slot, int duration, Port in) {
+std::optional<Port> SlotTable::release(int slot, int duration, Port in,
+                                       PacketId owner) {
   std::optional<Port> first_out;
   for (int d = 0; d < duration; ++d) {
     Entry& e = at(wrap(slot + d), in);
     if (!e.valid) continue;
+    if (owner != 0 && e.owner != owner) continue;  // someone else's entry
     if (!first_out) first_out = e.out;
     e.valid = false;
     --valid_count_;
@@ -60,6 +65,19 @@ std::optional<Port> SlotTable::lookup_slot(int slot, Port in) const {
   const Entry& e = at(wrap(slot), in);
   if (!e.valid) return std::nullopt;
   return e.out;
+}
+
+std::optional<PacketId> SlotTable::owner_at(int slot, Port in) const {
+  const Entry& e = at(wrap(slot), in);
+  if (!e.valid) return std::nullopt;
+  return e.owner;
+}
+
+void SlotTable::refresh(int slot, int count, Port in, Cycle now) {
+  for (int d = 0; d < count; ++d) {
+    Entry& e = at(wrap(slot + d), in);
+    if (e.valid) e.stamp = now;
+  }
 }
 
 std::optional<Port> SlotTable::output_reserved_at(Cycle cycle, Port out) const {

@@ -12,6 +12,14 @@
 //  * failed reservations leave the table untouched;
 //  * teardown resets the valid bits so slots can be reused.
 //
+// Each entry additionally records the id of the setup message that created
+// it (its *owner*) and the cycle it was last reserved or used. The owner tag
+// fences teardowns: a teardown releases only entries its own setup wrote, so
+// a late, duplicated or mis-addressed teardown can never destroy another
+// connection's reservations. The use stamp backs a lease: entries that carry
+// no circuit traffic for a long time are reclaimed (expire_older_than),
+// bounding the damage of a lost teardown.
+//
 // Section II-C's dynamic time-division granularity is supported through the
 // active size: only the first `active` entries participate (arithmetic is
 // modulo `active`); the rest are power-gated. Growing the active size resets
@@ -42,17 +50,50 @@ class SlotTable {
   /// Would reserving [slot, slot+duration) for in->out succeed?
   bool can_reserve(int slot, int duration, Port in, Port out) const;
 
-  /// Reserve; returns false (table unchanged) on any conflict.
-  bool reserve(int slot, int duration, Port in, Port out);
+  /// Reserve; returns false (table unchanged) on any conflict. `owner` tags
+  /// the entries with the reserving setup's packet id (0 = untagged); `now`
+  /// initialises the lease stamp.
+  bool reserve(int slot, int duration, Port in, Port out, PacketId owner = 0,
+               Cycle now = 0);
 
   /// Invalidate [slot, slot+duration) for `in`. Entries already invalid are
-  /// ignored (a teardown may race a smaller prior release). Returns the
+  /// ignored (a teardown may race a smaller prior release), and when
+  /// `owner` is nonzero so are entries written by a different setup — a
+  /// stale teardown must not release a newer connection's slots. Returns the
   /// output port of the first valid released entry, if any.
-  std::optional<Port> release(int slot, int duration, Port in);
+  std::optional<Port> release(int slot, int duration, Port in,
+                              PacketId owner = 0);
 
   /// Valid entry for (cycle, in), if any.
   std::optional<Port> lookup(Cycle cycle, Port in) const;
   std::optional<Port> lookup_slot(int slot, Port in) const;
+
+  /// Owner tag of the valid entry at (slot, in), if any.
+  std::optional<PacketId> owner_at(int slot, Port in) const;
+
+  /// Refresh the lease stamp of the valid entries [slot, slot+count) for
+  /// `in`; called when circuit traffic traverses a reservation window.
+  void refresh(int slot, int count, Port in, Cycle now);
+
+  /// Release every valid entry whose lease stamp is older than `cutoff`,
+  /// invoking `on_expire(slot, in)` for each released entry. Returns the
+  /// number of entries released. This is the backstop that reclaims
+  /// reservations orphaned by lost teardown messages.
+  template <typename ExpireFn>
+  int expire_older_than(Cycle cutoff, ExpireFn&& on_expire) {
+    int expired = 0;
+    for (int s = 0; s < active_; ++s) {
+      for (int j = 0; j < kNumPorts; ++j) {
+        Entry& e = at(s, static_cast<Port>(j));
+        if (!e.valid || e.stamp >= cutoff) continue;
+        e.valid = false;
+        --valid_count_;
+        ++expired;
+        on_expire(s, static_cast<Port>(j));
+      }
+    }
+    return expired;
+  }
 
   /// Some input holds `out` at the slot of `cycle`? Returns that input.
   std::optional<Port> output_reserved_at(Cycle cycle, Port out) const;
@@ -79,6 +120,8 @@ class SlotTable {
   struct Entry {
     bool valid = false;
     Port out = Port::Local;
+    PacketId owner = 0;  ///< id of the setup that wrote the entry
+    Cycle stamp = 0;     ///< last reserve/traversal cycle (lease clock)
   };
   Entry& at(int slot, Port in) {
     return entries_[static_cast<size_t>(slot) * kNumPorts + static_cast<size_t>(in)];

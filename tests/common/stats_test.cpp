@@ -78,6 +78,29 @@ TEST(Histogram, QuantileMedian) {
   EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
 }
 
+TEST(Histogram, QuantileExtremes) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);  // right edge of last bucket
+}
+
+TEST(Histogram, QuantileInOverflowReturnsRecordedMax) {
+  Histogram h(1.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(750.0);
+  h.add(900.0);
+  // Half the mass sits past the finite range; tail quantiles must report the
+  // recorded maximum rather than clamping to the top bucket edge (4.0).
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 900.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 900.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 900.0);
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.max_seen(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
 TEST(EpochRate, RollsOverEpochBoundary) {
   EpochRate r(100);
   for (std::uint64_t c = 0; c < 100; ++c) {

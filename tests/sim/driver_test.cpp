@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+
 #include "sim/parallel.hpp"
 
 namespace hybridnoc {
@@ -104,6 +107,24 @@ TEST(Driver, DeterministicResults) {
   EXPECT_EQ(a.measured_packets, b.measured_packets);
 }
 
+TEST(Driver, FlitFractionsStayFiniteWithoutTraffic) {
+  // Regression: a hybrid run whose measurement window carries no packet- or
+  // circuit-switched flits used to report NaN fractions (0/0).
+  EXPECT_DOUBLE_EQ(safe_ratio(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_ratio(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_ratio(1.0, 4.0), 0.25);
+  NocConfig cfg = NocConfig::hybrid_tdm_vc4(4);
+  cfg.slot_table_size = 32;
+  RunParams p = quick(TrafficPattern::UniformRandom, 0.01);
+  p.warmup_packets = 10;
+  p.measure_packets = 50;
+  const auto r = run_synthetic(cfg, p);
+  EXPECT_TRUE(std::isfinite(r.cs_flit_fraction));
+  EXPECT_TRUE(std::isfinite(r.config_flit_fraction));
+  EXPECT_GE(r.cs_flit_fraction, 0.0);
+  EXPECT_LE(r.cs_flit_fraction, 1.0);
+}
+
 TEST(Parallel, MapPreservesOrderAndValues) {
   std::vector<int> items(100);
   for (int i = 0; i < 100; ++i) items[static_cast<size_t>(i)] = i;
@@ -115,6 +136,41 @@ TEST(Parallel, RunsEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(257);
   parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; }, 3);
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, WorkerExceptionIsRethrownOnJoin) {
+  // A throwing worker used to std::terminate the whole process; the first
+  // exception must instead surface on the calling thread after joins.
+  EXPECT_THROW(parallel_for(
+                   64,
+                   [](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+}
+
+TEST(Parallel, FirstExceptionWinsAndWorkAlreadyDoneSticks) {
+  std::vector<std::atomic<int>> hits(32);
+  try {
+    parallel_for(
+        hits.size(),
+        [&](std::size_t i) {
+          if (i % 2 == 1) throw std::runtime_error("odd index");
+          ++hits[i];
+        },
+        2);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "odd index");
+  }
+  for (std::size_t i = 0; i < hits.size(); i += 2) EXPECT_LE(hits[i].load(), 1);
+}
+
+TEST(Parallel, SerialFallbackAlsoPropagates) {
+  EXPECT_THROW(
+      parallel_for(4, [](std::size_t) { throw std::runtime_error("x"); }, 1),
+      std::runtime_error);
 }
 
 }  // namespace

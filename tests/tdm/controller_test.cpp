@@ -59,15 +59,33 @@ TEST(TdmController, ResetWaitsForCircuitQuiescence) {
   EXPECT_TRUE(c.cs_allowed());
 }
 
-TEST(TdmController, ResetWaitsForConfigQuiescence) {
+TEST(TdmController, ConfigInFlightDoesNotBlockReset) {
   TdmController c(dyn_cfg());
+  EXPECT_EQ(c.table_generation(), 0u);
   c.config_launched();
   for (int i = 0; i < 10; ++i) c.record_setup_failure();
   for (Cycle t = 0; t <= 300; ++t) c.tick(t);
-  EXPECT_EQ(c.active_slots(), 16);
-  c.config_retired();
-  c.tick(301);
+  // Config messages are generation-fenced, so the reset proceeds with one
+  // still in flight; the straggler is discarded at its next endpoint.
   EXPECT_EQ(c.active_slots(), 32);
+  EXPECT_EQ(c.table_generation(), 1u);
+  c.config_retired();  // the stale message eventually drains and retires
+  EXPECT_EQ(c.config_in_flight(), 0u);
+}
+
+TEST(TdmController, RequestResizeBumpsGenerationEachReset) {
+  TdmController c(dyn_cfg());
+  c.request_resize();
+  EXPECT_FALSE(c.cs_allowed());
+  c.tick(1);
+  EXPECT_EQ(c.table_generation(), 1u);
+  EXPECT_EQ(c.active_slots(), 32);
+  EXPECT_TRUE(c.cs_allowed());
+  c.request_resize();
+  c.tick(2);
+  EXPECT_EQ(c.table_generation(), 2u);
+  EXPECT_EQ(c.active_slots(), 64);
+  EXPECT_EQ(c.resizes(), 2);
 }
 
 TEST(TdmController, ResetHonoursQuiescedCheck) {

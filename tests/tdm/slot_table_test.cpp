@@ -117,6 +117,42 @@ TEST(SlotTable, WrapAroundDurationAtActiveBoundary) {
   EXPECT_EQ(t.lookup(16, Port::Local), Port::East);
 }
 
+TEST(SlotTable, OwnerFencesRelease) {
+  SlotTable t(16, 16);
+  ASSERT_TRUE(t.reserve(4, 2, Port::West, Port::East, /*owner=*/7));
+  EXPECT_EQ(t.owner_at(4, Port::West), PacketId{7});
+  // A teardown tagged with a different setup id must not touch the entries.
+  EXPECT_EQ(t.release(4, 2, Port::West, /*owner=*/9), std::nullopt);
+  EXPECT_EQ(t.valid_entries(), 2);
+  // The owning teardown releases them and reports the output port.
+  EXPECT_EQ(t.release(4, 2, Port::West, /*owner=*/7), Port::East);
+  EXPECT_EQ(t.valid_entries(), 0);
+}
+
+TEST(SlotTable, UntaggedReleaseIgnoresOwners) {
+  SlotTable t(16, 16);
+  ASSERT_TRUE(t.reserve(0, 2, Port::North, Port::South, /*owner=*/5));
+  // owner 0 = untagged release (legacy callers): releases regardless.
+  EXPECT_EQ(t.release(0, 2, Port::North), Port::South);
+  EXPECT_EQ(t.valid_entries(), 0);
+}
+
+TEST(SlotTable, LeaseExpiryReclaimsStaleEntriesOnly) {
+  SlotTable t(16, 16);
+  ASSERT_TRUE(t.reserve(0, 2, Port::West, Port::East, 1, /*now=*/100));
+  ASSERT_TRUE(t.reserve(8, 2, Port::North, Port::South, 2, /*now=*/100));
+  // Circuit traffic keeps the second window fresh.
+  t.refresh(8, 2, Port::North, /*now=*/900);
+  int expired_slots = 0;
+  const int n = t.expire_older_than(/*cutoff=*/500,
+                                    [&](int, Port) { ++expired_slots; });
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(expired_slots, 2);
+  EXPECT_EQ(t.lookup_slot(0, Port::West), std::nullopt);
+  EXPECT_EQ(t.lookup_slot(8, Port::North), Port::South);
+  EXPECT_EQ(t.valid_entries(), 2);
+}
+
 TEST(SlotTableDeathTest, DurationBeyondActiveSizeRejected) {
   SlotTable t(8, 8);
   EXPECT_DEATH((void)t.can_reserve(0, 9, Port::West, Port::East), "HN_CHECK");
