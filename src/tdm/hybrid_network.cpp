@@ -42,8 +42,45 @@ void HybridNetwork::tick() {
 }
 
 // ---------------------------------------------------------------------------
-// Config-message fault injection
+// Config-message fault injection, recording and replay
 // ---------------------------------------------------------------------------
+
+namespace {
+
+ConfigKind config_kind_of(MsgType t) {
+  switch (t) {
+    case MsgType::SetupRequest: return ConfigKind::Setup;
+    case MsgType::Teardown: return ConfigKind::Teardown;
+    case MsgType::AckSuccess: return ConfigKind::AckSuccess;
+    case MsgType::AckFailure:
+    case MsgType::Data:
+      break;  // failure acks are minted in place by routers, never dispatched
+  }
+  HN_CHECK_MSG(false, "unexpected message type at config dispatch");
+  return ConfigKind::Setup;
+}
+
+FaultAction to_fault_action(ConfigFaultDecision::Action a) {
+  switch (a) {
+    case ConfigFaultDecision::Action::None: return FaultAction::None;
+    case ConfigFaultDecision::Action::Drop: return FaultAction::Drop;
+    case ConfigFaultDecision::Action::Delay: return FaultAction::Delay;
+    case ConfigFaultDecision::Action::Duplicate: return FaultAction::Duplicate;
+  }
+  return FaultAction::None;
+}
+
+ConfigFaultDecision::Action from_fault_action(FaultAction a) {
+  switch (a) {
+    case FaultAction::None: return ConfigFaultDecision::Action::None;
+    case FaultAction::Drop: return ConfigFaultDecision::Action::Drop;
+    case FaultAction::Delay: return ConfigFaultDecision::Action::Delay;
+    case FaultAction::Duplicate: return ConfigFaultDecision::Action::Duplicate;
+  }
+  return ConfigFaultDecision::Action::None;
+}
+
+}  // namespace
 
 ConfigFaultDecision HybridNetwork::next_fault() {
   ConfigFaultDecision d;
@@ -62,19 +99,144 @@ ConfigFaultDecision HybridNetwork::next_fault() {
   return d;
 }
 
-void HybridNetwork::enable_config_faults(const ConfigFaultParams& p) {
-  fault_params_ = p;
-  fault_rng_.reseed(p.seed);
+ConfigFaultDecision HybridNetwork::on_config_dispatch(const PacketPtr& pkt,
+                                                      Cycle now) {
+  const ConfigKind kind = config_kind_of(pkt->type);
+  ConfigFaultDecision d;
+  if (fault_mode_ == FaultMode::Seeded) {
+    d = next_fault();
+  } else if (fault_mode_ == FaultMode::Replay) {
+    ++replay_events_;
+    const int occ = replay_occurrence_[fault_record_key(kind, pkt->src,
+                                                        pkt->dst, 0)]++;
+    const auto it = replay_index_.find(
+        fault_record_key(kind, pkt->src, pkt->dst, occ));
+    if (it != replay_index_.end()) {
+      const FaultRecord& r = replay_trace_.records[it->second];
+      d.action = from_fault_action(r.action);
+      d.delay = r.delay;
+      ++replay_applied_;
+      switch (r.action) {
+        case FaultAction::Drop: ++faults_dropped_; break;
+        case FaultAction::Delay: ++faults_delayed_; break;
+        case FaultAction::Duplicate: ++faults_duplicated_; break;
+        case FaultAction::None: break;
+      }
+    }
+    if (replay_audit_each_event_) {
+      // The per-event invariant is "every installed window still walks its
+      // path" — orphan entries are legal mid-flight (a setup reserves hop
+      // by hop before its window is installed by the returning ack).
+      if (audit_reservations().broken_windows > 0) ++replay_audit_failures_;
+    }
+  }
+  if (recording_) {
+    const int occ = record_occurrence_[fault_record_key(kind, pkt->src,
+                                                        pkt->dst, 0)]++;
+    recorded_trace_.records.push_back({now, pkt->id, kind, pkt->src, pkt->dst,
+                                       occ, to_fault_action(d.action),
+                                       d.delay});
+  }
+  return d;
+}
+
+void HybridNetwork::update_fault_hooks() {
+  ConfigFaultHook hook;
+  if (fault_mode_ != FaultMode::Off || recording_) {
+    hook = [this](const PacketPtr& p, Cycle at) {
+      return on_config_dispatch(p, at);
+    };
+  }
   for (NodeId n = 0; n < num_nodes(); ++n) {
-    hybrid_ni(n).set_config_fault_hook(
-        [this](const PacketPtr&, Cycle) { return next_fault(); });
+    hybrid_ni(n).set_config_fault_hook(hook);
   }
 }
 
+void HybridNetwork::reset_fault_counters() {
+  faults_dropped_ = 0;
+  faults_delayed_ = 0;
+  faults_duplicated_ = 0;
+}
+
+void HybridNetwork::enable_config_faults(const ConfigFaultParams& p) {
+  HN_CHECK_MSG(fault_mode_ != FaultMode::Replay,
+               "seeded faults and replay are mutually exclusive");
+  fault_params_ = p;
+  fault_rng_.reseed(p.seed);
+  reset_fault_counters();
+  fault_mode_ = FaultMode::Seeded;
+  update_fault_hooks();
+}
+
 void HybridNetwork::disable_config_faults() {
-  for (NodeId n = 0; n < num_nodes(); ++n) {
-    hybrid_ni(n).set_config_fault_hook(nullptr);
+  if (fault_mode_ == FaultMode::Seeded) fault_mode_ = FaultMode::Off;
+  update_fault_hooks();
+}
+
+void HybridNetwork::start_fault_trace_recording() {
+  recording_ = true;
+  recorded_trace_ = FaultTrace{};
+  record_occurrence_.clear();
+  update_fault_hooks();
+}
+
+void HybridNetwork::stop_fault_trace_recording() {
+  recording_ = false;
+  update_fault_hooks();
+}
+
+void HybridNetwork::enable_config_fault_replay(const FaultTrace& trace,
+                                               bool audit_each_event) {
+  HN_CHECK_MSG(fault_mode_ != FaultMode::Seeded,
+               "seeded faults and replay are mutually exclusive");
+  replay_trace_ = trace;
+  replay_index_.clear();
+  replay_occurrence_.clear();
+  for (std::size_t i = 0; i < replay_trace_.records.size(); ++i) {
+    const FaultRecord& r = replay_trace_.records[i];
+    const auto [it, inserted] = replay_index_.emplace(
+        fault_record_key(r.kind, r.src, r.dst, r.occurrence), i);
+    (void)it;
+    HN_CHECK_MSG(inserted, "duplicate (kind, src, dst, occurrence) key in fault trace");
   }
+  replay_audit_each_event_ = audit_each_event;
+  replay_events_ = 0;
+  replay_applied_ = 0;
+  replay_audit_failures_ = 0;
+  reset_fault_counters();
+  fault_mode_ = FaultMode::Replay;
+  update_fault_hooks();
+}
+
+void HybridNetwork::disable_config_fault_replay() {
+  if (fault_mode_ == FaultMode::Replay) fault_mode_ = FaultMode::Off;
+  update_fault_hooks();
+}
+
+std::uint64_t HybridNetwork::slot_state_digest() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;  // FNV prime
+  };
+  const int S = controller().active_slots();
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    const auto& st = static_cast<const HybridRouter&>(router(n)).slots();
+    for (int s = 0; s < S; ++s) {
+      for (int j = 0; j < kNumPorts; ++j) {
+        const Port in = static_cast<Port>(j);
+        const auto out = st.lookup_slot(s, in);
+        if (!out) continue;
+        const auto owner = st.owner_at(s, in);
+        mix(static_cast<std::uint64_t>(n));
+        mix(static_cast<std::uint64_t>(s));
+        mix(static_cast<std::uint64_t>(j));
+        mix(static_cast<std::uint64_t>(*out));
+        mix(owner ? *owner : 0);
+      }
+    }
+  }
+  return h;
 }
 
 // ---------------------------------------------------------------------------

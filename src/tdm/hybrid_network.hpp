@@ -4,25 +4,16 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 
 #include "common/rng.hpp"
 #include "noc/network.hpp"
 #include "tdm/controller.hpp"
+#include "tdm/fault_trace.hpp"
 #include "tdm/hybrid_ni.hpp"
 #include "tdm/hybrid_router.hpp"
 
 namespace hybridnoc {
-
-/// Seeded parameters for the config-message fault-injection harness: every
-/// outgoing setup/teardown/ack is independently dropped, delayed or
-/// duplicated with the given probabilities.
-struct ConfigFaultParams {
-  double drop_prob = 0.0;
-  double delay_prob = 0.0;
-  double dup_prob = 0.0;
-  Cycle max_delay_cycles = 64;  ///< delays are uniform in [1, max]
-  std::uint64_t seed = 1;
-};
 
 /// Result of the network-wide reservation consistency audit: every installed
 /// connection window is walked hop by hop against the routers' slot tables.
@@ -61,11 +52,47 @@ class HybridNetwork : private detail::ControllerHolder, public Network {
   HybridNi& hybrid_ni(NodeId n) { return static_cast<HybridNi&>(ni(n)); }
 
   // --- config-message fault injection (testing harness) ---
+  /// Seeded-random faults. Resets the fault counters so back-to-back
+  /// harness runs start from zero.
   void enable_config_faults(const ConfigFaultParams& p);
   void disable_config_faults();
   std::uint64_t faults_dropped() const { return faults_dropped_; }
   std::uint64_t faults_delayed() const { return faults_delayed_; }
   std::uint64_t faults_duplicated() const { return faults_duplicated_; }
+
+  // --- fault-decision record/replay (src/tdm/fault_trace.hpp) ---
+  /// Capture every config-protocol dispatch (faulted or not) as a
+  /// FaultRecord. Composes with enable_config_faults: enable faults first,
+  /// then recording, and the captured trace holds the seeded harness's
+  /// exact decision sequence.
+  void start_fault_trace_recording();
+  void stop_fault_trace_recording();
+  bool fault_trace_recording() const { return recording_; }
+  const FaultTrace& recorded_fault_trace() const { return recorded_trace_; }
+
+  /// Re-drive a recorded decision sequence with no RNG involved: each
+  /// dispatched config message is matched by (kind, src, dst, occurrence)
+  /// and the recorded action applied; unmatched events are unfaulted.
+  /// Mutually exclusive with enable_config_faults. With
+  /// `audit_each_event`, the reservation audit runs after every replayed
+  /// event and replay_audit_failures() counts the events after which an
+  /// installed window failed its hop-by-hop walk.
+  void enable_config_fault_replay(const FaultTrace& trace,
+                                  bool audit_each_event = false);
+  void disable_config_fault_replay();
+  /// Config-protocol dispatches seen while replay was armed.
+  std::uint64_t replay_events() const { return replay_events_; }
+  /// Trace records whose action was re-applied to a matching dispatch.
+  std::uint64_t replay_applied() const { return replay_applied_; }
+  /// Events after which the audit reported a broken window (see above).
+  std::uint64_t replay_audit_failures() const {
+    return replay_audit_failures_;
+  }
+
+  /// FNV-1a digest over every valid slot-table entry
+  /// (node, slot, in-port, out-port, owner) — a cheap fingerprint for
+  /// record-vs-replay final-state comparison.
+  std::uint64_t slot_state_digest() const;
 
   /// Walk every NI's reservation windows against every router's slot table;
   /// see ReservationAudit. Meant for quiesced networks (tests), but safe to
@@ -89,13 +116,38 @@ class HybridNetwork : private detail::ControllerHolder, public Network {
   int total_valid_slot_entries() const;
 
  private:
+  enum class FaultMode : std::uint8_t { Off, Seeded, Replay };
+
   ConfigFaultDecision next_fault();
+  /// The single interception point: draws (Seeded) or looks up (Replay) the
+  /// decision for one dispatched config message, records it when recording,
+  /// and audits when replaying with audit_each_event.
+  ConfigFaultDecision on_config_dispatch(const PacketPtr& pkt, Cycle now);
+  /// Install the dispatch interceptor on every NI while any of
+  /// seeded faults / recording / replay is active; clear it otherwise.
+  void update_fault_hooks();
+  void reset_fault_counters();
 
   ConfigFaultParams fault_params_;
   Rng fault_rng_;
   std::uint64_t faults_dropped_ = 0;
   std::uint64_t faults_delayed_ = 0;
   std::uint64_t faults_duplicated_ = 0;
+
+  FaultMode fault_mode_ = FaultMode::Off;
+  bool recording_ = false;
+  bool replay_audit_each_event_ = false;
+  FaultTrace recorded_trace_;
+  FaultTrace replay_trace_;
+  /// (kind, src, dst) -> dispatches seen, independent streams for the
+  /// recording and replay sides so they can coexist.
+  std::unordered_map<std::uint64_t, int> record_occurrence_;
+  std::unordered_map<std::uint64_t, int> replay_occurrence_;
+  /// Full (kind, src, dst, occurrence) key -> index into replay_trace_.
+  std::unordered_map<std::uint64_t, std::size_t> replay_index_;
+  std::uint64_t replay_events_ = 0;
+  std::uint64_t replay_applied_ = 0;
+  std::uint64_t replay_audit_failures_ = 0;
 };
 
 }  // namespace hybridnoc

@@ -5,11 +5,15 @@
 // protocol-quiescence accounting.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "sim/net_adapter.hpp"
+#include "tdm/fault_trace.hpp"
 #include "tdm/hybrid_network.hpp"
 #include "traffic/synthetic.hpp"
 
@@ -244,6 +248,89 @@ INSTANTIATE_TEST_SUITE_P(
       return "cap" + std::to_string(std::get<0>(i.param)) + "_act" +
              std::to_string(std::get<1>(i.param)) + "_dur" +
              std::to_string(std::get<2>(i.param));
+    });
+
+// --- fault-trace replay property: a recorded storm replays bit-identically
+// with no RNG, and the reservation audit passes after every config event ---
+
+struct ReplayCase {
+  std::uint64_t seed;
+  std::vector<Cycle> resizes;
+  double drop, delay, dup;
+};
+
+FaultScenario make_replay_scenario(const ReplayCase& c) {
+  FaultScenario s;
+  s.k = 5;
+  s.run_cycles = 4000;
+  s.cooldown_cycles = 3000;
+  s.resizes = c.resizes;
+  s.dynamic_slot_sizing = !c.resizes.empty();
+  s.fault_params.drop_prob = c.drop;
+  s.fault_params.delay_prob = c.delay;
+  s.fault_params.dup_prob = c.dup;
+  s.fault_params.seed = c.seed;
+  // Hot far-apart pairs with staggered bursts keep config traffic flowing.
+  Rng rng(c.seed * 1000003 + 17);
+  const NodeId nodes = static_cast<NodeId>(s.k * s.k);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  while (pairs.size() < 5) {
+    const NodeId a = static_cast<NodeId>(rng.uniform_int(nodes));
+    const NodeId b = static_cast<NodeId>(rng.uniform_int(nodes));
+    const int hops = std::abs(a % s.k - b % s.k) + std::abs(a / s.k - b / s.k);
+    if (hops < s.k / 2 + 1) continue;
+    pairs.emplace_back(a, b);
+  }
+  for (Cycle cy = 0; cy < s.run_cycles + s.cooldown_cycles; ++cy) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (((cy >> 8) + i) % 3 != 0) continue;
+      if (rng.bernoulli(0.25)) {
+        s.traffic.push_back({cy, pairs[i].first, pairs[i].second, 5});
+      }
+    }
+  }
+  return s;
+}
+
+class FaultReplayProperty : public testing::TestWithParam<ReplayCase> {};
+
+TEST_P(FaultReplayProperty, ReplayMatchesRecordingAndAuditsClean) {
+  FaultScenario s = make_replay_scenario(GetParam());
+  const ScenarioOutcome rec =
+      run_fault_scenario(s, ScenarioMode::Record, false, &s.faults);
+  ASSERT_GE(s.faults.records.size(), 10u) << "storm produced no config traffic";
+  ASSERT_GT(s.faults.active_faults(), 0u) << "storm injected no faults";
+
+  const ScenarioOutcome rep =
+      run_fault_scenario(s, ScenarioMode::Replay, /*audit_each_event=*/true);
+  // Every recorded decision lands on its protocol event again...
+  EXPECT_EQ(rep.replay_applied, s.faults.records.size());
+  // ...the fault counters come out identical without any RNG involved...
+  EXPECT_EQ(rep.faults_dropped, rec.faults_dropped);
+  EXPECT_EQ(rep.faults_delayed, rec.faults_delayed);
+  EXPECT_EQ(rep.faults_duplicated, rec.faults_duplicated);
+  // ...the protocol takes the same recovery path...
+  EXPECT_EQ(rep.stale_config_drops, rec.stale_config_drops);
+  EXPECT_EQ(rep.pending_timeouts, rec.pending_timeouts);
+  EXPECT_EQ(rep.expired_reservations, rec.expired_reservations);
+  EXPECT_EQ(rep.setup_failures, rec.setup_failures);
+  // ...and both runs converge to the same final slot-table state.
+  EXPECT_EQ(rep.quiesced, rec.quiesced);
+  EXPECT_EQ(rep.slot_state_digest, rec.slot_state_digest);
+  EXPECT_EQ(rep.broken_windows, rec.broken_windows);
+  EXPECT_EQ(rep.orphan_entries, rec.orphan_entries);
+  // The network-wide reservation audit held after every replayed event.
+  EXPECT_EQ(rep.replay_audit_failures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storms, FaultReplayProperty,
+    testing::Values(ReplayCase{3, {}, 0.08, 0.0, 0.0},
+                    ReplayCase{7, {1500}, 0.03, 0.06, 0.03},
+                    ReplayCase{11, {1000, 2600}, 0.02, 0.04, 0.05}),
+    [](const testing::TestParamInfo<ReplayCase>& i) {
+      return "seed" + std::to_string(i.param.seed) + "_resizes" +
+             std::to_string(i.param.resizes.size());
     });
 
 }  // namespace

@@ -30,11 +30,60 @@ TEST(Trace, SaveLoadRoundTrip) {
   EXPECT_EQ(load_trace(buf), orig);
 }
 
+TEST(Trace, ParseWriteParseEquality) {
+  // Starting from text (not a TraceEntry vector): parse, re-serialize, parse
+  // again — the two parses must agree even though comments and spacing are
+  // normalized away.
+  std::istringstream in(
+      "# captured from a hetero run\n"
+      "0 1 2 5\n"
+      "\n"
+      "7 3 4 1   # burst start\n"
+      "7 3 4 1\n"
+      "12 0 15 9\n");
+  const auto first = load_trace(in);
+  ASSERT_EQ(first.size(), 4u);
+  std::stringstream buf;
+  save_trace(buf, first);
+  const auto second = load_trace(buf);
+  EXPECT_EQ(second, first);
+  // And the normalized form is a fixed point: writing again changes nothing.
+  std::stringstream buf2;
+  save_trace(buf2, second);
+  EXPECT_EQ(buf2.str(), buf.str());
+}
+
+TEST(Trace, RoundTripPreservesBoundaryValues) {
+  const std::vector<TraceEntry> orig = {
+      {0, 0, 0, 1},  // min flits, self-loop node ids
+      {0, 63, 63, 1},
+      {1000000000, 5, 6, 1000},  // large cycle and payload
+  };
+  std::stringstream buf;
+  save_trace(buf, orig);
+  EXPECT_EQ(load_trace(buf), orig);
+}
+
 TEST(TraceDeathTest, RejectsOutOfOrderAndMalformed) {
   std::istringstream bad_order("5 0 1 5\n3 0 1 5\n");
   EXPECT_DEATH((void)load_trace(bad_order), "cycle order");
   std::istringstream malformed("1 2\n");
   EXPECT_DEATH((void)load_trace(malformed), "malformed");
+}
+
+TEST(TraceDeathTest, RejectsInvalidFieldValues) {
+  std::istringstream zero_flits("0 1 2 0\n");
+  EXPECT_DEATH((void)load_trace(zero_flits), "invalid");
+  std::istringstream negative_flits("0 1 2 -3\n");
+  EXPECT_DEATH((void)load_trace(negative_flits), "invalid");
+  std::istringstream negative_src("0 -1 2 5\n");
+  EXPECT_DEATH((void)load_trace(negative_src), "invalid");
+  std::istringstream negative_dst("0 1 -2 5\n");
+  EXPECT_DEATH((void)load_trace(negative_dst), "invalid");
+  std::istringstream garbage_tokens("0 one 2 5\n");
+  EXPECT_DEATH((void)load_trace(garbage_tokens), "malformed");
+  std::istringstream comment_mid_fields("0 1 # 2 5\n");
+  EXPECT_DEATH((void)load_trace(comment_mid_fields), "malformed");
 }
 
 TEST(TraceTraffic, EmitsAtScheduledCycles) {
