@@ -31,56 +31,74 @@ void BM_SlotTableReserveRelease(benchmark::State& state) {
 }
 BENCHMARK(BM_SlotTableReserveRelease);
 
+/// state.range(0) selects the engine: 1 = active-set scheduler (default),
+/// 0 = legacy full sweep — kept benchmarkable so regressions in either
+/// engine (or in their gap) show up in BENCH_simspeed.json diffs.
+NocConfig engine_cfg(NocConfig cfg, benchmark::State& state) {
+  cfg.active_set_scheduler = state.range(0) != 0;
+  return cfg;
+}
+
+/// state.range(1), where present, is the per-node injection probability in
+/// permille. 40 is the historical near-saturation point; 5 is the sparse
+/// regime (most components idle most cycles) the active-set engine targets.
+template <typename Net>
+void run_injected_cycles(Net& net, benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(1)) / 1000.0;
+  Rng rng(1);
+  PacketId id = 1;
+  for (auto _ : state) {
+    for (NodeId s = 0; s < net.num_nodes(); ++s) {
+      if (net.ni(s).inject_queue_depth() < 4 && rng.bernoulli(rate)) {
+        auto p = std::make_shared<Packet>();
+        p->id = id++;
+        p->src = s;
+        p->dst = static_cast<NodeId>(rng.uniform_int(36));
+        if (p->dst == s) continue;
+        p->num_flits = 5;
+        net.ni(s).send(std::move(p), net.now());
+      }
+    }
+    net.tick();
+  }
+  state.SetItemsProcessed(state.iterations() * 36);
+}
+
 void BM_IdleNetworkCycle(benchmark::State& state) {
-  Network net(NocConfig::packet_vc4(6));
+  Network net(engine_cfg(NocConfig::packet_vc4(6), state));
   for (auto _ : state) net.tick();
   state.SetItemsProcessed(state.iterations() * 36);
 }
-BENCHMARK(BM_IdleNetworkCycle);
+BENCHMARK(BM_IdleNetworkCycle)->Arg(1)->Arg(0);
 
 void BM_LoadedNetworkCycle(benchmark::State& state) {
-  Network net(NocConfig::packet_vc4(6));
-  Rng rng(1);
-  PacketId id = 1;
-  for (auto _ : state) {
-    for (NodeId s = 0; s < net.num_nodes(); ++s) {
-      if (net.ni(s).inject_queue_depth() < 4 && rng.bernoulli(0.04)) {
-        auto p = std::make_shared<Packet>();
-        p->id = id++;
-        p->src = s;
-        p->dst = static_cast<NodeId>(rng.uniform_int(36));
-        if (p->dst == s) continue;
-        p->num_flits = 5;
-        net.ni(s).send(std::move(p), net.now());
-      }
-    }
-    net.tick();
-  }
-  state.SetItemsProcessed(state.iterations() * 36);
+  Network net(engine_cfg(NocConfig::packet_vc4(6), state));
+  run_injected_cycles(net, state);
 }
-BENCHMARK(BM_LoadedNetworkCycle);
+BENCHMARK(BM_LoadedNetworkCycle)
+    ->Args({1, 40})
+    ->Args({0, 40})
+    ->Args({1, 5})
+    ->Args({0, 5});
 
 void BM_HybridNetworkCycle(benchmark::State& state) {
-  HybridNetwork net(NocConfig::hybrid_tdm_vc4(6));
-  Rng rng(1);
-  PacketId id = 1;
-  for (auto _ : state) {
-    for (NodeId s = 0; s < net.num_nodes(); ++s) {
-      if (net.ni(s).inject_queue_depth() < 4 && rng.bernoulli(0.04)) {
-        auto p = std::make_shared<Packet>();
-        p->id = id++;
-        p->src = s;
-        p->dst = static_cast<NodeId>(rng.uniform_int(36));
-        if (p->dst == s) continue;
-        p->num_flits = 5;
-        net.ni(s).send(std::move(p), net.now());
-      }
-    }
-    net.tick();
-  }
-  state.SetItemsProcessed(state.iterations() * 36);
+  HybridNetwork net(engine_cfg(NocConfig::hybrid_tdm_vc4(6), state));
+  run_injected_cycles(net, state);
 }
-BENCHMARK(BM_HybridNetworkCycle);
+BENCHMARK(BM_HybridNetworkCycle)
+    ->Args({1, 40})
+    ->Args({0, 40})
+    ->Args({1, 5})
+    ->Args({0, 5});
+
+void BM_IdleFastForward(benchmark::State& state) {
+  // Whole-window skip: what an idle stretch costs when the driver may jump
+  // instead of ticking cycle by cycle.
+  Network net(engine_cfg(NocConfig::packet_vc4(6), state));
+  for (auto _ : state) net.fast_forward(net.now() + 4096);
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_IdleFastForward)->Arg(1)->Arg(0);
 
 }  // namespace
 }  // namespace hybridnoc

@@ -114,6 +114,14 @@ struct NocConfig {
   // --- SDM baseline ---
   int sdm_planes = 4;  ///< physical link planes (channel_bytes / planes each)
 
+  // --- simulation engine ---
+  /// Active-set scheduling: skip idle routers/NIs each cycle and
+  /// fast-forward over fully idle stretches, with lazily folded energy
+  /// integrals. Bit-identical to the legacy full sweep (asserted by the
+  /// scheduler-equivalence property tests); set false to force the legacy
+  /// every-component-every-cycle sweep.
+  bool active_set_scheduler = true;
+
   std::uint64_t seed = 1;
 
   int num_nodes() const { return k * k; }

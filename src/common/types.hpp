@@ -15,6 +15,8 @@ using NodeId = std::int32_t;
 using PacketId = std::uint64_t;
 
 constexpr NodeId kInvalidNode = -1;
+/// "No event pending" sentinel for next-event-cycle computations.
+constexpr Cycle kCycleNever = ~Cycle{0};
 
 /// Router port directions on a 2D mesh. Local is the NI injection/ejection
 /// port; the four cardinal ports connect to neighbouring routers.

@@ -16,6 +16,7 @@
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
+#include "noc/scheduler.hpp"
 
 namespace hybridnoc {
 
@@ -27,11 +28,20 @@ class Channel {
  public:
   explicit Channel(int latency) : latency_(latency) { HN_CHECK(latency >= 1); }
 
+  /// Register the component that drains this channel, so every send wakes it
+  /// at the item's ready cycle (the active-set scheduler's wake source).
+  void set_consumer(TickScheduler* sched, int consumer_id) {
+    sched_ = sched;
+    consumer_ = consumer_id;
+  }
+
   /// Enqueue `item` at the end of cycle `now`; readable at now + latency.
   void send(T item, Cycle now) {
-    HN_CHECK_MSG(queue_.empty() || queue_.back().ready <= now + static_cast<Cycle>(latency_),
+    const Cycle ready = now + static_cast<Cycle>(latency_);
+    HN_CHECK_MSG(queue_.empty() || queue_.back().ready <= ready,
                  "channel writes must be issued in cycle order");
-    queue_.push_back({now + static_cast<Cycle>(latency_), std::move(item)});
+    queue_.push_back({ready, std::move(item)});
+    if (sched_) sched_->wake_at(consumer_, ready);
   }
 
   /// Pop the item readable at `now`, if any.
@@ -45,21 +55,24 @@ class Channel {
 
   /// Non-destructive check: will an item become readable exactly at `cycle`?
   /// Models the one-bit circuit-switched advance signal of Section II-D.
+  /// O(1): the queue is ready-cycle ordered and consumers drain every item
+  /// the cycle it matures, so once entries older than `cycle` are impossible
+  /// only the front can match.
   bool arrival_at(Cycle cycle) const {
-    for (const auto& e : queue_) {
-      if (e.ready == cycle) return true;
-      if (e.ready > cycle) break;
-    }
-    return false;
+    HN_CHECK_MSG(queue_.empty() || queue_.front().ready >= cycle,
+                 "arrival_at queried past an unconsumed item");
+    return !queue_.empty() && queue_.front().ready == cycle;
   }
 
   const T* peek_arrival(Cycle cycle) const {
-    for (const auto& e : queue_) {
-      if (e.ready == cycle) return &e.item;
-      if (e.ready > cycle) break;
-    }
+    HN_CHECK_MSG(queue_.empty() || queue_.front().ready >= cycle,
+                 "peek_arrival queried past an unconsumed item");
+    if (!queue_.empty() && queue_.front().ready == cycle) return &queue_.front().item;
     return nullptr;
   }
+
+  /// Ready cycle of the oldest in-flight item, kCycleNever when empty.
+  Cycle next_ready() const { return queue_.empty() ? kCycleNever : queue_.front().ready; }
 
   bool empty() const { return queue_.empty(); }
   size_t in_flight() const { return queue_.size(); }
@@ -72,6 +85,8 @@ class Channel {
   };
   std::deque<Entry> queue_;
   int latency_;
+  TickScheduler* sched_ = nullptr;  ///< null under the legacy full sweep
+  int consumer_ = -1;
 };
 
 using FlitChannel = Channel<Flit>;

@@ -1,5 +1,7 @@
 #include "noc/network.hpp"
 
+#include <algorithm>
+
 namespace hybridnoc {
 
 Network::Network(const NocConfig& cfg)
@@ -13,7 +15,7 @@ Network::Network(const NocConfig& cfg)
           }) {}
 
 Network::Network(const NocConfig& cfg, RouterFactory make_router, NiFactory make_ni)
-    : cfg_(cfg), mesh_(cfg.k) {
+    : cfg_(cfg), mesh_(cfg.k), use_sched_(cfg.active_set_scheduler) {
   cfg_.validate();
   routers_.reserve(static_cast<size_t>(num_nodes()));
   nis_.reserve(static_cast<size_t>(num_nodes()));
@@ -21,6 +23,7 @@ Network::Network(const NocConfig& cfg, RouterFactory make_router, NiFactory make
     routers_.push_back(make_router(cfg_, n, mesh_));
     nis_.push_back(make_ni(cfg_, n, mesh_));
   }
+  if (use_sched_) sched_.reset(2 * num_nodes());
   build();
 }
 
@@ -34,15 +37,22 @@ void Network::build() {
     return credit_channels_.back().get();
   };
 
+  TickScheduler* sched = use_sched_ ? &sched_ : nullptr;
   for (NodeId n = 0; n < num_nodes(); ++n) {
     Router& r = *routers_[static_cast<size_t>(n)];
     NetworkInterface& ni = *nis_[static_cast<size_t>(n)];
+    ni.set_scheduler(sched, ni_sched_id(n));
 
-    // NI <-> router local port.
+    // NI <-> router local port. Every channel registers its consumer so
+    // sends wake the right component at the item's ready cycle.
     FlitChannel* inj = new_flit_ch(kDataChannelLatency);
     CreditChannel* inj_cr = new_credit_ch();
     FlitChannel* ej = new_flit_ch(kDataChannelLatency);
     CreditChannel* ej_cr = new_credit_ch();
+    inj->set_consumer(sched, router_sched_id(n));
+    inj_cr->set_consumer(sched, ni_sched_id(n));
+    ej->set_consumer(sched, ni_sched_id(n));
+    ej_cr->set_consumer(sched, router_sched_id(n));
     r.connect_input(Port::Local, inj, inj_cr, &ni, Port::Local);
     r.connect_output(Port::Local, ej, ej_cr);
     r.set_downstream_active_vcs(Port::Local, ni.eject_active_vcs_ptr());
@@ -58,6 +68,8 @@ void Network::build() {
       Router& nb = *routers_[static_cast<size_t>(m)];
       FlitChannel* data = new_flit_ch(kDataChannelLatency);
       CreditChannel* cr = new_credit_ch();
+      data->set_consumer(sched, router_sched_id(m));
+      cr->set_consumer(sched, router_sched_id(n));
       r.connect_output(p, data, cr);
       nb.connect_input(opposite(p), data, cr, &r, p);
       r.set_downstream_active_vcs(p, nb.announced_active_vcs_ptr());
@@ -66,9 +78,56 @@ void Network::build() {
 }
 
 void Network::tick() {
-  for (auto& ni : nis_) ni->tick(now_);
-  for (auto& r : routers_) r->tick(now_);
+  if (!use_sched_) {
+    for (auto& ni : nis_) ni->tick(now_);
+    for (auto& r : routers_) r->tick(now_);
+    ++now_;
+    return;
+  }
+  sched_.begin_cycle(now_);
+  if (sched_.anything_active()) {
+    // Walk the fixed sweep order (NIs then routers — scheduler ids are
+    // assigned so ascending id == legacy order) and tick the active ones.
+    // Checking the flag at each position means a component activated
+    // mid-sweep is handled exactly as under the full sweep: still ahead ->
+    // ticks this cycle, already passed -> ticks next cycle.
+    const int nn = num_nodes();
+    for (int id = 0; id < nn; ++id) {
+      if (sched_.component_active(id)) nis_[static_cast<size_t>(id)]->tick(now_);
+    }
+    for (int id = nn; id < 2 * nn; ++id) {
+      if (sched_.component_active(id)) routers_[static_cast<size_t>(id - nn)]->tick(now_);
+    }
+    sched_.compact(
+        [&](int id) {
+          return id < nn ? nis_[static_cast<size_t>(id)]->sched_busy()
+                         : routers_[static_cast<size_t>(id - nn)]->sched_busy();
+        },
+        [&](int id) {
+          return id < nn
+                     ? nis_[static_cast<size_t>(id)]->sched_next_event(now_)
+                     : routers_[static_cast<size_t>(id - nn)]->sched_next_event(now_);
+        });
+  }
   ++now_;
+}
+
+void Network::fast_forward(Cycle target) {
+  while (now_ < target) {
+    if (use_sched_) {
+      sched_.begin_cycle(now_);
+      if (!sched_.anything_active()) {
+        // Nothing can happen until the earliest component wake or external
+        // (controller) event: jump there in one step. Skipped cycles are
+        // provably no-ops, and their energy constants fold in lazily.
+        const Cycle jump = std::min(
+            {target, sched_.next_wake_cycle(), external_next_event(now_)});
+        if (jump > now_) now_ = jump;
+        if (now_ >= target) break;
+      }
+    }
+    tick();
+  }
 }
 
 void Network::set_deliver_handler(const DeliverFn& fn) {
@@ -91,8 +150,8 @@ bool Network::quiescent() const {
 
 EnergyCounters Network::total_energy() const {
   EnergyCounters total;
-  for (const auto& r : routers_) total += r->energy();
-  for (const auto& ni : nis_) total += ni->energy();
+  for (const auto& r : routers_) total += r->settled_energy(now_);
+  for (const auto& ni : nis_) total += ni->settled_energy(now_);
   return total;
 }
 

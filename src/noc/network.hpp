@@ -13,6 +13,7 @@
 #include "noc/channel.hpp"
 #include "noc/network_interface.hpp"
 #include "noc/router.hpp"
+#include "noc/scheduler.hpp"
 
 namespace hybridnoc {
 
@@ -32,8 +33,17 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   /// Advance one cycle: NIs first, then routers (all communication is
-  /// channel-pipelined, so intra-cycle order is not observable).
+  /// channel-pipelined, so intra-cycle order is not observable). With
+  /// cfg.active_set_scheduler, only components with pending work are
+  /// ticked — bit-identical to the full sweep, since idle ticks are
+  /// deterministic no-ops whose energy constants are folded lazily.
   virtual void tick();
+
+  /// Advance until now() == target, skipping fully idle stretches in one
+  /// step when the active-set scheduler is on (falls back to per-cycle
+  /// ticking otherwise). Never skips a cycle where any component, or the
+  /// subclass's external machinery (controller timers), has work.
+  void fast_forward(Cycle target);
 
   Cycle now() const { return now_; }
   const Mesh& mesh() const { return mesh_; }
@@ -62,8 +72,21 @@ class Network {
   std::uint64_t total_config_flits() const;
   std::uint64_t total_flits_of_class(TrafficClass c) const;
 
+ protected:
+  /// Earliest cycle > now at which machinery outside the NIs/routers (e.g.
+  /// the TDM controller's epoch/resize timers) has observable work; bounds
+  /// how far fast_forward may jump. Base network: none.
+  virtual Cycle external_next_event(Cycle now) const {
+    (void)now;
+    return kCycleNever;
+  }
+
  private:
   void build();
+  /// Component ids for the scheduler: NIs are [0, N), routers [N, 2N), so
+  /// ascending-id order reproduces the legacy NIs-then-routers sweep.
+  int ni_sched_id(NodeId n) const { return n; }
+  int router_sched_id(NodeId n) const { return num_nodes() + n; }
 
   const NocConfig cfg_;
   Mesh mesh_;
@@ -73,6 +96,9 @@ class Network {
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   std::vector<std::unique_ptr<FlitChannel>> flit_channels_;
   std::vector<std::unique_ptr<CreditChannel>> credit_channels_;
+
+  TickScheduler sched_;
+  bool use_sched_ = false;
 };
 
 }  // namespace hybridnoc

@@ -23,13 +23,14 @@ void NetworkInterface::send(PacketPtr pkt, Cycle now) {
   pkt->created = (pkt->created == 0) ? now : pkt->created;
   if (pkt->final_dst == kInvalidNode) pkt->final_dst = pkt->dst;
   queue_.push_back(std::move(pkt));
+  sched_wake(now);  // new work: make sure this NI ticks at `now`
 }
 
 void NetworkInterface::send_priority(PacketPtr pkt, Cycle now) {
   HN_CHECK(pkt && mesh_.valid(pkt->dst));
   if (pkt->final_dst == kInvalidNode) pkt->final_dst = pkt->dst;
-  (void)now;
   queue_.push_front(std::move(pkt));
+  sched_wake(now);
 }
 
 bool NetworkInterface::idle() const {
@@ -45,6 +46,11 @@ bool NetworkInterface::holds_vc_allocation(Port out_port, int vc) const {
 }
 
 void NetworkInterface::tick(Cycle now) {
+  if (now > accounted_until_) {
+    accumulate_idle_energy(energy_, now - accounted_until_);
+    align_epochs(now);
+  }
+  accounted_until_ = now + 1;
   receive_credits(now);
   eject_tick(now);
   inject_tick(now);
@@ -158,6 +164,38 @@ void NetworkInterface::inject_tick(Cycle now) {
     inject_->send(std::move(f), now);
     inject_rr_ = (v + 1) % n;
     return;
+  }
+}
+
+bool NetworkInterface::sched_busy() const {
+  // Anything queued or mid-injection needs a tick every cycle. The ejection
+  // side is purely reactive: assembly only advances on channel arrivals,
+  // which carry their own wakes.
+  if (!queue_.empty()) return true;
+  for (const auto& v : out_vcs_)
+    if (v.pkt) return true;
+  return false;
+}
+
+Cycle NetworkInterface::sched_next_event(Cycle now) const {
+  (void)now;
+  Cycle next = kCycleNever;
+  if (inject_credits_in_) next = std::min(next, inject_credits_in_->next_ready());
+  if (eject_) next = std::min(next, eject_->next_ready());
+  return next;
+}
+
+EnergyCounters NetworkInterface::settled_energy(Cycle now) const {
+  EnergyCounters e = energy_;
+  if (now > accounted_until_) accumulate_idle_energy(e, now - accounted_until_);
+  finalize_energy(e);
+  return e;
+}
+
+void NetworkInterface::settle_energy(Cycle through) {
+  if (through + 1 > accounted_until_) {
+    accumulate_idle_energy(energy_, through + 1 - accounted_until_);
+    accounted_until_ = through + 1;
   }
 }
 

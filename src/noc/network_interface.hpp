@@ -61,6 +61,23 @@ class NetworkInterface : public VcHolder {
 
   const int* eject_active_vcs_ptr() const { return &eject_active_vcs_; }
 
+  // --- active-set scheduling (see noc/scheduler.hpp for the contract) ---
+  /// The scheduler the NI wakes itself through when work is handed to it
+  /// from outside the tick loop (send / send_priority).
+  void set_scheduler(TickScheduler* sched, int self_id) {
+    sched_ = sched;
+    sched_id_ = self_id;
+  }
+  /// Must this NI be ticked next cycle regardless of channel activity?
+  virtual bool sched_busy() const;
+  /// Next cycle > now with observable work no Channel::send wake covers.
+  virtual Cycle sched_next_event(Cycle now) const;
+  /// energy() plus lazily folded idle-cycle constants as of cycle `now`.
+  EnergyCounters settled_energy(Cycle now) const;
+  /// Fold idle-cycle constants through cycle `through` inclusive (call
+  /// before a per-cycle energy rate changes under a sleeping NI).
+  void settle_energy(Cycle through);
+
   // --- statistics ---
   std::uint64_t data_packets_sent() const { return data_packets_sent_; }
   std::uint64_t data_packets_delivered() const { return data_packets_delivered_; }
@@ -100,6 +117,22 @@ class NetworkInterface : public VcHolder {
   /// intercepts vicinity-shared packets for their hop-off re-injection.
   virtual void handle_delivery(const PacketPtr& pkt, Cycle now);
   virtual void leakage_tick(Cycle now) { (void)now; }
+  /// Per-idle-cycle energy constants for `ncycles` slept cycles. The base
+  /// NI accrues none (its counters are all event counts); the hybrid NI
+  /// adds its DLT leakage integral.
+  virtual void accumulate_idle_energy(EnergyCounters& e, std::uint64_t ncycles) const {
+    (void)e;
+    (void)ncycles;
+  }
+  /// Re-anchor epoch state after a sleep (hybrid NI: the policy epoch).
+  virtual void align_epochs(Cycle now) { (void)now; }
+  /// Patch derived counters at query time (hybrid NI: dlt_accesses, which
+  /// the full sweep refreshes from the DLT every cycle).
+  virtual void finalize_energy(EnergyCounters& e) const { (void)e; }
+  /// Wake this NI at `at` (no-op under the legacy full sweep).
+  void sched_wake(Cycle at) {
+    if (sched_) sched_->wake_at(sched_id_, at);
+  }
 
   void deliver(const PacketPtr& pkt, Cycle now);
   /// Enqueue at the front (used for hop-off / bounced packets).
@@ -127,6 +160,10 @@ class NetworkInterface : public VcHolder {
   std::deque<PacketPtr> queue_;
   std::vector<OutVc> out_vcs_;
   int inject_rr_ = 0;
+  /// See Router::accounted_until_: cycles with energy constants folded in.
+  Cycle accounted_until_ = 0;
+  TickScheduler* sched_ = nullptr;
+  int sched_id_ = -1;
 
   EnergyCounters energy_;
   std::array<std::uint64_t, 4> flits_by_class_{};

@@ -48,12 +48,25 @@ bool Router::holds_vc_allocation(Port out_port, int vc) const {
 int Router::free_credits(Port out) const {
   const auto& op = out_[static_cast<size_t>(out)];
   const int active = op.downstream_active_vcs ? *op.downstream_active_vcs : cfg_.num_vcs;
-  int total = 0;
-  for (int v = 0; v < active; ++v) total += op.credits[static_cast<size_t>(v)];
-  return total;
+  if (op.cached_active != active) {
+    // Downstream VC-gating moved the active boundary (or first call):
+    // rebuild the prefix sum; afterwards receive/spend keep it incremental.
+    int total = 0;
+    for (int v = 0; v < active; ++v) total += op.credits[static_cast<size_t>(v)];
+    op.cached_free_credits = total;
+    op.cached_active = active;
+  }
+  return op.cached_free_credits;
 }
 
 void Router::tick(Cycle now) {
+  if (now > accounted_until_) {
+    // Slept through [accounted_until_, now): fold the idle-cycle energy
+    // constants in closed form and re-anchor the gating epoch.
+    accumulate_idle_energy(energy_, now - accounted_until_);
+    align_epochs(now);
+  }
+  accounted_until_ = now + 1;
   receive_credits(now);
   receive_flits(now);
   vc_allocate(now);
@@ -71,6 +84,7 @@ void Router::receive_credits(Cycle now) {
       const auto v = static_cast<size_t>(c->vc);
       HN_CHECK(v < op.credits.size());
       ++op.credits[v];
+      if (c->vc < op.cached_active) ++op.cached_free_credits;
       HN_CHECK_MSG(op.credits[v] <= cfg_.vc_buffer_depth, "credit overflow");
       if (op.tail_sent[v] && op.credits[v] == cfg_.vc_buffer_depth) {
         op.vc_busy[v] = false;
@@ -210,6 +224,7 @@ void Router::switch_allocate(Cycle now) {
     Flit flit = bf.flit;
     flit.vc = st.out_vc;
     --op.credits[static_cast<size_t>(st.out_vc)];
+    if (st.out_vc < op.cached_active) --op.cached_free_credits;
     if (flit.is_tail()) {
       HN_CHECK_MSG(st.fifo.empty(), "flits behind a tail in a wormhole VC");
       op.tail_sent[static_cast<size_t>(st.out_vc)] = true;
@@ -374,6 +389,71 @@ void Router::accounting_tick(Cycle now) {
   for (int o = 1; o < kNumPorts; ++o)  // skip Local
     if (out_[static_cast<size_t>(o)].data) ++links_out;
   energy_.link_active_cycles += static_cast<std::uint64_t>(links_out);
+}
+
+void Router::accumulate_idle_energy(EnergyCounters& e, std::uint64_t ncycles) const {
+  // Exactly what accounting_tick adds per cycle for an idle router. The
+  // gating state (powered_vcs) cannot change while asleep: activation and
+  // drain both require an epoch boundary, and sched_next_event keeps the
+  // router awake across every boundary where they could fire.
+  e.cycles += ncycles;
+  e.vc_active_cycles += ncycles * static_cast<std::uint64_t>(powered_vcs()) *
+                        static_cast<std::uint64_t>(kNumPorts);
+  int links_out = 0;
+  for (int o = 1; o < kNumPorts; ++o)  // skip Local
+    if (out_[static_cast<size_t>(o)].data) ++links_out;
+  e.link_active_cycles += ncycles * static_cast<std::uint64_t>(links_out);
+}
+
+void Router::align_epochs(Cycle now) {
+  if (!cfg_.vc_power_gating) return;
+  const auto epoch = static_cast<Cycle>(cfg_.vc_gate_epoch_cycles);
+  // Advance epoch_start_ past the boundaries that fell inside the sleep;
+  // those fired as no-ops (zero integrals, no drain, announced == resting
+  // level) under the full sweep. The `now - 1` keeps a boundary landing
+  // exactly on the wake cycle for the live vc_gating_tick to process.
+  if (now > epoch_start_)
+    epoch_start_ += epoch * ((now - 1 - epoch_start_) / epoch);
+}
+
+bool Router::sched_busy() const { return draining_vc_ >= 0 || !idle(); }
+
+Cycle Router::sched_next_event(Cycle now) const {
+  Cycle next = kCycleNever;
+  for (const auto& ip : in_)
+    if (ip.data) next = std::min(next, ip.data->next_ready());
+  for (const auto& op : out_)
+    if (op.credit_in) next = std::min(next, op.credit_in->next_ready());
+  if (cfg_.vc_power_gating) {
+    // Wake for the next gating-epoch boundary whenever it is not provably a
+    // no-op: pending integrals to fold, a drain in flight, a VC that could
+    // be gated off, or thresholds degenerate enough that an all-idle epoch
+    // still powers VCs on.
+    const bool high_fires_idle =
+        (cfg_.vc_gate_metric == NocConfig::VcGateMetric::Latency
+             ? cfg_.vc_latency_high
+             : cfg_.vc_threshold_high) < 0.0;
+    if (busy_vc_integral_ > 0 || residency_count_ > 0 || residency_sum_ > 0 ||
+        draining_vc_ >= 0 || announced_active_vcs_ > cfg_.min_active_vcs ||
+        (high_fires_idle && announced_active_vcs_ < cfg_.num_vcs)) {
+      const auto epoch = static_cast<Cycle>(cfg_.vc_gate_epoch_cycles);
+      next = std::min(next, epoch_start_ + epoch * ((now - epoch_start_) / epoch + 1));
+    }
+  }
+  return next;
+}
+
+EnergyCounters Router::settled_energy(Cycle now) const {
+  EnergyCounters e = energy_;
+  if (now > accounted_until_) accumulate_idle_energy(e, now - accounted_until_);
+  return e;
+}
+
+void Router::settle_energy(Cycle through) {
+  if (through + 1 > accounted_until_) {
+    accumulate_idle_energy(energy_, through + 1 - accounted_until_);
+    accounted_until_ = through + 1;
+  }
 }
 
 }  // namespace hybridnoc

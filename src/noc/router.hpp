@@ -92,6 +92,20 @@ class Router : public VcHolder {
   /// congestion metric for adaptive route selection.
   int free_credits(Port out) const;
 
+  // --- active-set scheduling (see noc/scheduler.hpp for the contract) ---
+  /// Must this router be ticked next cycle regardless of channel activity?
+  virtual bool sched_busy() const;
+  /// Next cycle > now at which this (currently idle) router can have
+  /// observable work that no Channel::send wake would cover.
+  virtual Cycle sched_next_event(Cycle now) const;
+  /// energy() plus the per-cycle constants for cycles slept through but not
+  /// yet folded in, as of network cycle `now` (i.e. cycles [0, now)).
+  EnergyCounters settled_energy(Cycle now) const;
+  /// Fold idle-cycle constants through cycle `through` inclusive into the
+  /// live counters. Must be called before any per-cycle energy *rate*
+  /// changes underneath a sleeping component (e.g. a slot-table resize).
+  void settle_energy(Cycle through);
+
  protected:
   struct BufferedFlit {
     Flit flit;
@@ -128,6 +142,12 @@ class Router : public VcHolder {
     std::vector<bool> tail_sent;  ///< tail gone; waiting for credits to refill
     int sa_rr = 0;   ///< round-robin pointer over input ports
     int va_rr = 0;   ///< round-robin pointer over downstream VCs
+    /// Incrementally maintained sum of credits[0..cached_active), the
+    /// adaptive-routing congestion metric. cached_active == -1 until the
+    /// first free_credits() call (and after the downstream active-VC count
+    /// changes), which recomputes the prefix from scratch.
+    mutable int cached_free_credits = 0;
+    mutable int cached_active = -1;
   };
 
   /// A switch-allocation winner waiting for its crossbar cycle.
@@ -155,6 +175,16 @@ class Router : public VcHolder {
   virtual void traverse_circuit(Cycle now) { (void)now; }
   /// Extra per-cycle leakage integrals (slot tables, DLT, CS latches).
   virtual void leakage_tick(Cycle now) { (void)now; }
+  /// Add `ncycles` worth of the per-idle-cycle energy constants (what
+  /// accounting_tick + leakage_tick would have accrued had this router been
+  /// ticked while idle) to `e` in closed form. Subclasses extend it with
+  /// their own leakage integrals.
+  virtual void accumulate_idle_energy(EnergyCounters& e, std::uint64_t ncycles) const;
+  /// Re-anchor epoch state after a sleep so the boundary check in this tick
+  /// sees the same phase the full sweep would. Skipped boundaries were
+  /// no-ops by construction: sched_next_event keeps the router awake at
+  /// every boundary where gating state could change.
+  virtual void align_epochs(Cycle now);
 
   // --- services shared with subclasses ---
   void send_flit(Port out, Flit flit, Cycle now);  ///< crossbar + link + channel
@@ -173,6 +203,10 @@ class Router : public VcHolder {
   std::array<InputPort, kNumPorts> in_;
   std::array<OutputPort, kNumPorts> out_;
   EnergyCounters energy_;
+  /// Number of cycles whose per-cycle energy constants are already in
+  /// energy_ (== the cycle after the last accounted one). Cycles in
+  /// [accounted_until_, now) were slept through and are folded lazily.
+  Cycle accounted_until_ = 0;
 
  private:
   void receive_credits(Cycle now);

@@ -1,0 +1,158 @@
+// Active-set tick scheduler: tracks which components (NIs, routers) need
+// their tick() called this cycle, so the network can skip idle ones and
+// fast-forward over cycles where nothing at all happens.
+//
+// Correctness contract (what keeps the active-set path bit-identical to the
+// legacy full sweep):
+//  * A spurious wake is harmless: ticking an idle component is a
+//    deterministic no-op — the per-cycle energy constants it would accrue
+//    are folded in closed form when it sleeps (see accumulate_idle_energy).
+//  * A missed wake is a bug. Every Channel::send registers a wake for the
+//    channel's consumer at the item's ready cycle, and a component is only
+//    deactivated when it reports itself not busy, together with a
+//    recomputed next-event cycle covering everything not channel-driven
+//    (epoch boundaries, lease expiry, scheduled circuit injections).
+//  * Wakes later than a component's recorded next wake are dropped: the
+//    next wake is always a lower bound on the first cycle where the
+//    component can have observable work, and on *every* wake the component
+//    either stays active or re-derives a fresh next-event from scratch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace hybridnoc {
+
+class TickScheduler {
+ public:
+  /// (Re)initialize for `num_components` components, all active. Starting
+  /// everyone active means the first tick behaves exactly like a full sweep
+  /// and components earn their way out of the active set.
+  void reset(int num_components) {
+    num_ = num_components;
+    active_count_ = num_components;
+    active_.assign(static_cast<size_t>(num_components), 1);
+    next_wake_.assign(static_cast<size_t>(num_components), kCycleNever);
+    heap_ = {};
+    now_ = 0;
+  }
+
+  /// Start cycle `now`: promote every component whose wake is due.
+  void begin_cycle(Cycle now) {
+    now_ = now;
+    while (!heap_.empty() && heap_.top().first <= now) {
+      const auto [cycle, id] = heap_.top();
+      heap_.pop();
+      // Stale entries (superseded by an earlier wake, or the component was
+      // activated through another path meanwhile) are simply dropped.
+      if (!active_[static_cast<size_t>(id)] &&
+          next_wake_[static_cast<size_t>(id)] == cycle) {
+        activate(id);
+      }
+    }
+  }
+
+  /// Component `id` has (or may have) observable work at cycle `at`.
+  /// Conservative: spurious wakes are harmless, missed wakes are not.
+  void wake_at(int id, Cycle at) {
+    const auto i = static_cast<size_t>(id);
+    if (active_[i]) return;
+    if (at <= now_) {
+      activate(id);
+      return;
+    }
+    if (at < next_wake_[i]) {
+      next_wake_[i] = at;
+      heap_.emplace(at, id);
+    }
+  }
+
+  /// Should the network tick component `id` when its turn in the fixed
+  /// sweep order comes around? The network walks ids ascending (NIs then
+  /// routers, matching the legacy sweep) and skips unset flags. A component
+  /// activated mid-sweep behaves exactly as under the full sweep: if its
+  /// position is still ahead it ticks this cycle (and, like the legacy
+  /// sweep, sees the same-cycle work), if already passed it ticks next
+  /// cycle (like the legacy sweep, which had already ticked it).
+  bool component_active(int id) const {
+    return active_[static_cast<size_t>(id)] != 0;
+  }
+
+  /// Post-tick compaction: keep `busy(id)` components active; put the rest
+  /// to sleep until `next_event(id)` (kCycleNever = wait for a channel wake).
+  ///
+  /// Each component is only *considered* for sleep on its sampling slot —
+  /// once every kSamplePeriod cycles, staggered by id. Deactivating on an
+  /// instantaneous not-busy reading is always safe (next_event re-derives
+  /// the wake from scratch, channel fronts included), so sampling changes
+  /// nothing about correctness; it just bounds the busy-polling cost to
+  /// 1/kSamplePeriod of the active set per cycle, and doubles as
+  /// hysteresis: components flickering between busy and idle (the common
+  /// case under load) skip the sleep/wake round-trip — a next-event
+  /// recomputation plus heap traffic that dwarfs the spurious no-op ticks
+  /// sampling admits (harmless by the contract above). A fully idle network
+  /// still quiesces within kSamplePeriod cycles of its last event.
+  template <typename BusyFn, typename NextEventFn>
+  void compact(BusyFn&& busy, NextEventFn&& next_event) {
+    for (int id = 0; id < num_; ++id) {
+      const auto i = static_cast<size_t>(id);
+      if (!active_[i]) continue;
+      if ((static_cast<Cycle>(id) & (kSamplePeriod - 1)) !=
+          (now_ & (kSamplePeriod - 1))) {
+        continue;
+      }
+      if (busy(id)) continue;
+      active_[i] = 0;
+      --active_count_;
+      next_wake_[i] = kCycleNever;
+      const Cycle at = next_event(id);
+      if (at != kCycleNever) {
+        HN_CHECK_MSG(at > now_, "next-event cycle must lie in the future");
+        next_wake_[i] = at;
+        heap_.emplace(at, id);
+      }
+    }
+  }
+
+  /// Earliest pending wake, or kCycleNever. Discards stale heap entries.
+  Cycle next_wake_cycle() {
+    while (!heap_.empty()) {
+      const auto [cycle, id] = heap_.top();
+      if (!active_[static_cast<size_t>(id)] &&
+          next_wake_[static_cast<size_t>(id)] == cycle) {
+        return cycle;
+      }
+      heap_.pop();
+    }
+    return kCycleNever;
+  }
+
+  bool anything_active() const { return active_count_ > 0; }
+
+ private:
+  /// Cycles between sleep-eligibility checks per component (power of two).
+  static constexpr Cycle kSamplePeriod = 8;
+
+  void activate(int id) {
+    active_[static_cast<size_t>(id)] = 1;
+    next_wake_[static_cast<size_t>(id)] = kCycleNever;
+    ++active_count_;
+  }
+
+  using HeapEntry = std::pair<Cycle, int>;
+  std::vector<std::uint8_t> active_;
+  std::vector<Cycle> next_wake_;  ///< valid pending wake, kCycleNever if none
+  int num_ = 0;
+  int active_count_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>>
+      heap_;
+  Cycle now_ = 0;
+};
+
+}  // namespace hybridnoc

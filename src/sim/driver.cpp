@@ -41,6 +41,20 @@ RunResult run_synthetic(const NocConfig& cfg, const RunParams& params) {
   bool saturated = false;
   const int n_nodes = net->mesh().num_nodes();
 
+  const auto inject = [&](NodeId src, NodeId dst) {
+    if (net->inject_queue_depth(src) > 2000) {
+      saturated = true;  // source queues diverging: deep saturation
+      return;
+    }
+    if (measuring) ++window_generated;
+    auto p = std::make_shared<Packet>();
+    p->id = next_id++;
+    p->src = src;
+    p->dst = dst;
+    p->num_flits = cfg.ps_data_flits;
+    net->send(std::move(p));
+  };
+
   while (net->now() < params.max_cycles) {
     if (!measuring && delivered_total >= params.warmup_packets &&
         net->now() >= params.warmup_min_cycles) {
@@ -53,19 +67,7 @@ RunResult run_synthetic(const NocConfig& cfg, const RunParams& params) {
     }
     if (measuring && measured >= params.measure_packets) break;
 
-    traffic.generate([&](NodeId src, NodeId dst) {
-      if (net->inject_queue_depth(src) > 2000) {
-        saturated = true;  // source queues diverging: deep saturation
-        return;
-      }
-      if (measuring) ++window_generated;
-      auto p = std::make_shared<Packet>();
-      p->id = next_id++;
-      p->src = src;
-      p->dst = dst;
-      p->num_flits = cfg.ps_data_flits;
-      net->send(std::move(p));
-    });
+    traffic.generate(inject);
     net->tick();
 
     // Early exit once mean latency shows the knee is far behind us.

@@ -29,7 +29,15 @@ void TdmController::tick(Cycle now) {
     return;
   }
 
-  if (now < epoch_start_ + static_cast<Cycle>(cfg_.policy_epoch_cycles)) return;
+  const auto period = static_cast<Cycle>(cfg_.policy_epoch_cycles);
+  // Re-anchor after fast-forwarded idle stretches. Skipped boundaries were
+  // no-ops: next_event() pins the network to every boundary with non-zero
+  // counters or an armed resize heuristic, so anything skipped would only
+  // have folded zeros and advanced epoch_start_. The `now - 1` keeps a
+  // boundary landing exactly on this cycle processable below.
+  if (now > epoch_start_) epoch_start_ += period * ((now - 1 - epoch_start_) / period);
+
+  if (now < epoch_start_ + period) return;
   total_failures_ += failures_;
   total_successes_ += successes_;
   if (cfg_.dynamic_slot_sizing && active_slots_ < cfg_.slot_table_size &&
@@ -39,6 +47,18 @@ void TdmController::tick(Cycle now) {
   failures_ = 0;
   successes_ = 0;
   epoch_start_ = now;
+}
+
+Cycle TdmController::next_event(Cycle now) const {
+  // Pending reset: poll quiescence every cycle, like the per-cycle tick.
+  if (reset_pending_) return now + 1;
+  const bool boundary_matters =
+      failures_ > 0 || successes_ > 0 ||
+      (cfg_.dynamic_slot_sizing && active_slots_ < cfg_.slot_table_size &&
+       failures_ >= static_cast<std::uint64_t>(cfg_.resize_failure_threshold));
+  if (!boundary_matters) return kCycleNever;
+  const auto period = static_cast<Cycle>(cfg_.policy_epoch_cycles);
+  return epoch_start_ + period * ((now - epoch_start_) / period + 1);
 }
 
 }  // namespace hybridnoc

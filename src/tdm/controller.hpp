@@ -79,6 +79,12 @@ class TdmController {
   /// Called once per cycle by the hybrid network, after all components.
   void tick(Cycle now);
 
+  /// Earliest cycle > now at which a tick would do observable work (poll a
+  /// pending reset, fold non-zero epoch counters, or arm the resize
+  /// heuristic); kCycleNever when every upcoming tick is a provable no-op.
+  /// Bounds how far the network's fast-forward may jump.
+  Cycle next_event(Cycle now) const;
+
   int resizes() const { return resizes_; }
   std::uint64_t total_setup_failures() const { return total_failures_; }
   std::uint64_t total_setup_successes() const { return total_successes_; }

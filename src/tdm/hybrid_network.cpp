@@ -23,7 +23,15 @@ HybridNetwork::HybridNetwork(const NocConfig& cfg)
     hybrid_ni(n).attach_router(&hybrid_router(n));
   }
   controller().set_reset_hook([this](int new_active) {
+    // The controller ticks with now() already advanced past the components'
+    // last cycle (now() - 1). Settle lazily accounted energy through that
+    // cycle first: the slot-table active size is a per-cycle leakage rate,
+    // so slept-through cycles must be folded at the OLD size before it
+    // changes underneath a sleeping component.
+    const Cycle through = now() == 0 ? 0 : now() - 1;
     for (NodeId n = 0; n < num_nodes(); ++n) {
+      hybrid_router(n).settle_energy(through);
+      hybrid_ni(n).settle_energy(through);
       hybrid_router(n).slots().set_active_size(new_active);
       hybrid_ni(n).reset_circuit_state();
     }
@@ -39,6 +47,14 @@ HybridNetwork::HybridNetwork(const NocConfig& cfg)
 void HybridNetwork::tick() {
   Network::tick();
   controller().tick(now());
+}
+
+Cycle HybridNetwork::external_next_event(Cycle now) const {
+  // The controller ticks with now()+1 right after the components run cycle
+  // now(), so to land a controller tick on clock value `ev` the network must
+  // execute component cycle ev-1.
+  const Cycle ev = controller().next_event(now);
+  return ev == kCycleNever ? kCycleNever : ev - 1;
 }
 
 // ---------------------------------------------------------------------------

@@ -115,6 +115,11 @@ class HybridNetwork : private detail::ControllerHolder, public Network {
   std::uint64_t total_expired_reservations() const;
   int total_valid_slot_entries() const;
 
+ protected:
+  /// Fast-forward must never jump past a controller epoch boundary or a
+  /// pending-resize quiescence poll.
+  Cycle external_next_event(Cycle now) const override;
+
  private:
   enum class FaultMode : std::uint8_t { Off, Seeded, Replay };
 

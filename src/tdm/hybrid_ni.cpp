@@ -62,6 +62,10 @@ int HybridNi::connection_duration(NodeId dst) const {
 
 void HybridNi::send(PacketPtr pkt, Cycle now) {
   HN_CHECK(pkt && pkt->src == id_);
+  // Wake before any early return: a circuit-scheduled packet bypasses
+  // NetworkInterface::send (and its wake), but still mutated freq_ — the NI
+  // must tick this cycle so the policy epoch sees what the full sweep sees.
+  sched_wake(now);
   if (pkt->created == 0) pkt->created = now;
   if (pkt->final_dst == kInvalidNode) pkt->final_dst = pkt->dst;
   if (!pkt->is_config() && pkt->cs_eligible && !frozen_ && ctrl_->cs_allowed()) {
@@ -657,8 +661,50 @@ void HybridNi::leakage_tick(Cycle now) {
   (void)now;
   if (cfg_.hitchhiker_sharing || cfg_.vicinity_sharing) {
     ++energy_.dlt_active_cycles;
-    energy_.dlt_accesses = dlt_.accesses();
+    // dlt_accesses is refreshed from the DLT at query time (finalize_energy)
+    // so sleeping through cycles cannot leave it stale.
   }
+}
+
+void HybridNi::accumulate_idle_energy(EnergyCounters& e,
+                                      std::uint64_t ncycles) const {
+  if (cfg_.hitchhiker_sharing || cfg_.vicinity_sharing)
+    e.dlt_active_cycles += ncycles;
+}
+
+void HybridNi::finalize_energy(EnergyCounters& e) const {
+  if (cfg_.hitchhiker_sharing || cfg_.vicinity_sharing)
+    e.dlt_accesses = dlt_.accesses();
+}
+
+void HybridNi::align_epochs(Cycle now) {
+  // Boundaries skipped while asleep were no-ops: the NI only sleeps across
+  // one when freq_, pending_ and connections_ are all empty (see
+  // sched_next_event), and an empty epoch_tick only advances epoch_start_.
+  // The `now - 1` leaves a boundary landing exactly on the wake cycle for
+  // this tick's epoch_tick to fire.
+  const auto period = static_cast<Cycle>(cfg_.policy_epoch_cycles);
+  if (now > epoch_start_)
+    epoch_start_ += period * ((now - 1 - epoch_start_) / period);
+}
+
+Cycle HybridNi::sched_next_event(Cycle now) const {
+  Cycle next = NetworkInterface::sched_next_event(now);
+  // Slot-timed circuit injections and delayed (fault-injected) config
+  // releases happen at exact cycles; waking late would trip the
+  // missed-injection-slot check and diverge from the full sweep.
+  if (!cs_plan_.empty()) next = std::min(next, cs_plan_.begin()->first);
+  if (!delayed_config_.empty())
+    next = std::min(next, delayed_config_.begin()->first);
+  // Policy-epoch boundaries matter whenever they would do more than advance
+  // epoch_start_: fold frequency counts, time out pending setups, or retire
+  // idle connections.
+  if (!freq_.empty() || !pending_.empty() || !connections_.empty()) {
+    const auto period = static_cast<Cycle>(cfg_.policy_epoch_cycles);
+    next = std::min(next,
+                    epoch_start_ + period * ((now - epoch_start_) / period + 1));
+  }
+  return next;
 }
 
 }  // namespace hybridnoc

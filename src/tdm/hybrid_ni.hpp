@@ -56,6 +56,10 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   bool idle() const override;
   void set_policy_frozen(bool frozen) override { frozen_ = frozen; }
 
+  /// Active-set scheduling: wakes for scheduled circuit injections, delayed
+  /// config releases, and policy-epoch boundaries that are not no-ops.
+  Cycle sched_next_event(Cycle now) const override;
+
   /// Install (or clear, with nullptr) the config-message fault injector.
   /// Every outgoing setup/teardown/ack is offered to the hook just before
   /// injection; the returned decision may drop it, delay it, or inject a
@@ -112,6 +116,9 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   void handle_delivery(const PacketPtr& pkt, Cycle now) override;
   void on_eject_flit(const Flit& flit, Cycle now) override;
   void leakage_tick(Cycle now) override;
+  void accumulate_idle_energy(EnergyCounters& e, std::uint64_t ncycles) const override;
+  void align_epochs(Cycle now) override;
+  void finalize_energy(EnergyCounters& e) const override;
 
  private:
   struct Connection {

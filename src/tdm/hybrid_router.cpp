@@ -11,6 +11,8 @@ HybridRouter::HybridRouter(const NocConfig& cfg, NodeId id, const Mesh& mesh,
              ctrl ? ctrl->active_slots() : cfg.slot_table_size),
       ctrl_(ctrl) {
   HN_CHECK(ctrl_ != nullptr);
+  // The expiry-bucket index only pays for itself when leases can expire.
+  slots_.set_expiry_tracking(cfg.reservation_lease_cycles > 0);
 }
 
 const Flit* HybridRouter::peek_arrival(Port port, Cycle cycle) const {
@@ -249,6 +251,35 @@ void HybridRouter::leakage_tick(Cycle now) {
       energy_.slot_table_writes += static_cast<std::uint64_t>(n);
     }
   }
+}
+
+void HybridRouter::accumulate_idle_energy(EnergyCounters& e,
+                                          std::uint64_t ncycles) const {
+  Router::accumulate_idle_energy(e, ncycles);
+  // What leakage_tick accrues per cycle regardless of traffic. active_size
+  // cannot change while asleep: resizes go through the reset hook, which
+  // settles every component's energy first.
+  e.slot_table_reads += ncycles;
+  e.slot_entry_active_cycles +=
+      ncycles * static_cast<std::uint64_t>(slots_.active_size());
+  e.cs_misc_active_cycles += ncycles;
+}
+
+bool HybridRouter::sched_busy() const {
+  // hh_overrides_ only ever covers cycles with circuit body flits already in
+  // flight toward this router (channel wakes cover those), but keeping the
+  // router hot for the whole override window is the cheap, safe choice.
+  return Router::sched_busy() || !hh_overrides_.empty();
+}
+
+Cycle HybridRouter::sched_next_event(Cycle now) const {
+  Cycle next = Router::sched_next_event(now);
+  // Lease reclaim runs at every multiple-of-1024 cycle while any reservation
+  // exists; whether an entry is actually old enough is the sweep's business.
+  // ~32 wakes per default 32k lease — noise next to the sweeps they replace.
+  if (cfg_.reservation_lease_cycles > 0 && slots_.valid_entries() > 0)
+    next = std::min(next, (now | Cycle{1023}) + 1);
+  return next;
 }
 
 }  // namespace hybridnoc

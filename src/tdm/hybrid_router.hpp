@@ -75,12 +75,17 @@ class HybridRouter : public Router {
   /// Reservation entries reclaimed by lease expiry (orphan backstop).
   std::uint64_t expired_reservations() const { return expired_reservations_; }
 
+  // --- active-set scheduling ---
+  bool sched_busy() const override;
+  Cycle sched_next_event(Cycle now) const override;
+
  protected:
   bool handle_arrival(Flit& flit, Port in, Cycle now) override;
   bool st_ok(Port in, Port out, Cycle st_cycle) override;
   std::optional<Port> compute_route(const PacketPtr& pkt, Port in, Cycle now) override;
   void traverse_circuit(Cycle now) override;
   void leakage_tick(Cycle now) override;
+  void accumulate_idle_energy(EnergyCounters& e, std::uint64_t ncycles) const override;
 
  private:
   std::optional<Port> process_setup(const PacketPtr& pkt, Port in, Cycle now);

@@ -33,12 +33,14 @@ bool SlotTable::reserve(int slot, int duration, Port in, Port out,
                         PacketId owner, Cycle now) {
   if (!can_reserve(slot, duration, in, out)) return false;
   for (int d = 0; d < duration; ++d) {
-    Entry& e = at(wrap(slot + d), in);
+    const int s = wrap(slot + d);
+    Entry& e = at(s, in);
     e.valid = true;
     e.out = out;
     e.owner = owner;
     e.stamp = now;
     ++valid_count_;
+    note_expiry(s, in, e);
   }
   return true;
 }
@@ -52,6 +54,7 @@ std::optional<Port> SlotTable::release(int slot, int duration, Port in,
     if (owner != 0 && e.owner != owner) continue;  // someone else's entry
     if (!first_out) first_out = e.out;
     e.valid = false;
+    e.bucket = kNoExpiryBucket;  // its bucket reference is now stale
     --valid_count_;
   }
   return first_out;
@@ -75,8 +78,11 @@ std::optional<PacketId> SlotTable::owner_at(int slot, Port in) const {
 
 void SlotTable::refresh(int slot, int count, Port in, Cycle now) {
   for (int d = 0; d < count; ++d) {
-    Entry& e = at(wrap(slot + d), in);
-    if (e.valid) e.stamp = now;
+    const int s = wrap(slot + d);
+    Entry& e = at(s, in);
+    if (!e.valid) continue;
+    e.stamp = now;
+    note_expiry(s, in, e);
   }
 }
 
@@ -102,8 +108,26 @@ bool SlotTable::input_free(int slot, int duration, Port in) const {
 }
 
 void SlotTable::reset() {
-  for (auto& e : entries_) e.valid = false;
+  for (auto& e : entries_) {
+    e.valid = false;
+    e.bucket = kNoExpiryBucket;
+  }
   valid_count_ = 0;
+  expiry_buckets_.clear();
+}
+
+void SlotTable::set_expiry_tracking(bool on) {
+  if (track_expiry_ == on) return;
+  track_expiry_ = on;
+  expiry_buckets_.clear();
+  for (auto& e : entries_) e.bucket = kNoExpiryBucket;
+  if (!on) return;
+  for (int s = 0; s < capacity_; ++s) {
+    for (int j = 0; j < kNumPorts; ++j) {
+      Entry& e = at(s, static_cast<Port>(j));
+      if (e.valid) note_expiry(s, static_cast<Port>(j), e);
+    }
+  }
 }
 
 bool SlotTable::grow() {

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -79,21 +80,63 @@ class SlotTable {
   /// invoking `on_expire(slot, in)` for each released entry. Returns the
   /// number of entries released. This is the backstop that reclaims
   /// reservations orphaned by lost teardown messages.
+  ///
+  /// With expiry tracking on (the default), entries are bucketed by
+  /// stamp >> kExpiryBucketShift, so a sweep visits only buckets that can
+  /// hold expirable stamps — O(expired + stale refs retired + one straddling
+  /// bucket) instead of a full active x kNumPorts scan. Bucket references go
+  /// stale when an entry is released or re-stamped; they are validated (and
+  /// discarded) lazily here, which keeps reserve/refresh O(1).
   template <typename ExpireFn>
   int expire_older_than(Cycle cutoff, ExpireFn&& on_expire) {
     int expired = 0;
-    for (int s = 0; s < active_; ++s) {
-      for (int j = 0; j < kNumPorts; ++j) {
-        Entry& e = at(s, static_cast<Port>(j));
-        if (!e.valid || e.stamp >= cutoff) continue;
+    if (!track_expiry_) {
+      for (int s = 0; s < active_; ++s) {
+        for (int j = 0; j < kNumPorts; ++j) {
+          Entry& e = at(s, static_cast<Port>(j));
+          if (!e.valid || e.stamp >= cutoff) continue;
+          e.valid = false;
+          --valid_count_;
+          ++expired;
+          on_expire(s, static_cast<Port>(j));
+        }
+      }
+      return expired;
+    }
+    auto it = expiry_buckets_.begin();
+    // A bucket with key K holds stamps in [K << shift, (K+1) << shift); it
+    // can contain expirable entries only if its lowest stamp is < cutoff.
+    while (it != expiry_buckets_.end() &&
+           (it->first << kExpiryBucketShift) < cutoff) {
+      std::vector<std::uint32_t> survivors;
+      for (const std::uint32_t code : it->second) {
+        Entry& e = entries_[code];
+        if (!e.valid || e.bucket != it->first) continue;  // stale reference
+        if (e.stamp >= cutoff) {  // straddling bucket: not old enough yet
+          survivors.push_back(code);
+          continue;
+        }
         e.valid = false;
+        e.bucket = kNoExpiryBucket;
         --valid_count_;
         ++expired;
-        on_expire(s, static_cast<Port>(j));
+        on_expire(static_cast<int>(code) / kNumPorts,
+                  static_cast<Port>(code % kNumPorts));
+      }
+      if (survivors.empty()) {
+        it = expiry_buckets_.erase(it);
+      } else {
+        it->second = std::move(survivors);
+        ++it;
       }
     }
     return expired;
   }
+
+  /// Enable/disable the expiry-bucket index. Routers disable it when the
+  /// reservation lease is off so reserve/refresh carry no bookkeeping;
+  /// enabling it (re)builds the index from the current valid entries.
+  void set_expiry_tracking(bool on);
 
   /// Some input holds `out` at the slot of `cycle`? Returns that input.
   std::optional<Port> output_reserved_at(Cycle cycle, Port out) const;
@@ -117,11 +160,18 @@ class SlotTable {
   void set_active_size(int active);
 
  private:
+  /// 1024-cycle expiry buckets, matching the routers' sweep cadence.
+  static constexpr int kExpiryBucketShift = 10;
+  static constexpr Cycle kNoExpiryBucket = kCycleNever;
+
   struct Entry {
     bool valid = false;
     Port out = Port::Local;
     PacketId owner = 0;  ///< id of the setup that wrote the entry
     Cycle stamp = 0;     ///< last reserve/traversal cycle (lease clock)
+    /// Expiry bucket this entry was last indexed under (kNoExpiryBucket =
+    /// none); detects stale bucket references after release/re-stamp.
+    Cycle bucket = kNoExpiryBucket;
   };
   Entry& at(int slot, Port in) {
     return entries_[static_cast<size_t>(slot) * kNumPorts + static_cast<size_t>(in)];
@@ -130,11 +180,24 @@ class SlotTable {
     return entries_[static_cast<size_t>(slot) * kNumPorts + static_cast<size_t>(in)];
   }
   int wrap(int slot) const { return slot & (active_ - 1); }
+  /// Index (or re-index) a just-stamped valid entry at (slot, in).
+  void note_expiry(int slot, Port in, Entry& e) {
+    if (!track_expiry_) return;
+    const Cycle key = e.stamp >> kExpiryBucketShift;
+    if (e.bucket == key) return;  // the existing reference still finds it
+    e.bucket = key;
+    expiry_buckets_[key].push_back(static_cast<std::uint32_t>(
+        slot * kNumPorts + static_cast<int>(in)));
+  }
 
   int capacity_;
   int active_;
   int valid_count_ = 0;
   std::vector<Entry> entries_;  ///< capacity x kNumPorts
+  bool track_expiry_ = true;
+  /// stamp bucket -> entry codes (slot * kNumPorts + in), lazily validated.
+  /// std::map keeps sweeps in deterministic ascending-bucket order.
+  std::map<Cycle, std::vector<std::uint32_t>> expiry_buckets_;
 };
 
 }  // namespace hybridnoc

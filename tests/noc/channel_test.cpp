@@ -47,15 +47,25 @@ TEST(Channel, MultipleSameCycleItems) {
 TEST(Channel, ArrivalAtModelsAdvanceSignal) {
   // The slot-stealing decision for crossbar cycle C is taken in C-1; an
   // arrival scheduled for C must be visible then, and one for C+1 too.
+  // arrival_at/peek_arrival only inspect the cycle-ordered front, so a query
+  // past an unconsumed item is a harness bug (see the death test below);
+  // consume before moving on.
   Channel<int> ch(2);
   ch.send(9, 4);  // readable at 6
   EXPECT_FALSE(ch.arrival_at(5));
   EXPECT_TRUE(ch.arrival_at(6));
-  EXPECT_FALSE(ch.arrival_at(7));
   const int* p = ch.peek_arrival(6);
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(*p, 9);
+  ASSERT_TRUE(ch.receive(6).has_value());
+  EXPECT_FALSE(ch.arrival_at(7));
   EXPECT_EQ(ch.peek_arrival(7), nullptr);
+}
+
+TEST(ChannelDeathTest, ArrivalQueryPastUnconsumedItemIsAnError) {
+  Channel<int> ch(2);
+  ch.send(9, 4);  // readable at 6
+  EXPECT_DEATH((void)ch.arrival_at(7), "unconsumed");
 }
 
 TEST(Channel, InFlightCount) {

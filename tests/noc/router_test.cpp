@@ -129,8 +129,12 @@ TEST(Router, BodyFlitsStreamOnePerCycle) {
                                              static_cast<Cycle>(8 + s));
   b.run_to(30);
   // Head readable out at 15, then one flit per cycle.
-  for (Cycle t = 15; t < 20; ++t)
-    EXPECT_TRUE(b.out[static_cast<int>(Port::East)]->arrival_at(t)) << t;
+  auto& east_out = *b.out[static_cast<int>(Port::East)];
+  for (Cycle t = 15; t < 20; ++t) {
+    auto f = east_out.receive(t);
+    ASSERT_TRUE(f.has_value()) << t;
+    EXPECT_EQ(f->seq, static_cast<int>(t - 15));
+  }
 }
 
 TEST(Router, TwoInputsSameOutputArbitrated) {
@@ -164,8 +168,8 @@ TEST(Router, DistinctVcsForConcurrentPackets) {
   b.run_to(20);
   bool got_north = false, got_east = false;
   for (Cycle t = 10; t < 20; ++t) {
-    if (b.out[static_cast<int>(Port::North)]->arrival_at(t)) got_north = true;
-    if (b.out[static_cast<int>(Port::East)]->arrival_at(t)) got_east = true;
+    while (b.out[static_cast<int>(Port::North)]->receive(t)) got_north = true;
+    while (b.out[static_cast<int>(Port::East)]->receive(t)) got_east = true;
   }
   EXPECT_TRUE(got_north);
   EXPECT_TRUE(got_east);
@@ -236,7 +240,7 @@ TEST(Router, AdaptiveRoutePrefersCreditRichPort) {
   b.run_to(25);
   bool south = false;
   for (Cycle t = 10; t < 25; ++t)
-    if (b.out[static_cast<int>(Port::South)]->arrival_at(t)) south = true;
+    while (b.out[static_cast<int>(Port::South)]->receive(t)) south = true;
   EXPECT_TRUE(south);
 }
 

@@ -1,0 +1,414 @@
+// Bit-identity of the active-set tick scheduler against the legacy full
+// sweep (NocConfig::active_set_scheduler). The active-set engine skips idle
+// components and — via Network::fast_forward — whole idle cycles, folding
+// their per-cycle energy constants in closed form; none of that may change
+// a single observable bit. Every scenario here runs twice, once per engine,
+// and the two runs must agree exactly on:
+//  * every delivered packet's id and delivery cycle (hence every latency),
+//  * every EnergyCounters field (dynamic events AND closed-form idle
+//    integrals: cycles, vc/slot/dlt/link active-cycle time integrals),
+//  * flit-class totals and, for hybrid networks, the slot-table state
+//    digest, circuit statistics and config-protocol fault accounting.
+// The fault-storm and fixture-replay cases drive the protocol edge paths
+// (drops, delays, duplicates, dynamic resizes) where a missed wake would
+// show up as a diverged digest; the quiescence cases check fast_forward
+// never jumps over a controller resize poll or a reservation-lease sweep.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "noc/network.hpp"
+#include "tdm/fault_trace.hpp"
+#include "tdm/hybrid_network.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace hybridnoc {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(HN_FIXTURE_DIR) + "/" + name;
+}
+
+/// Everything one run exposes for exact comparison.
+struct RunFingerprint {
+  Cycle end_cycle = 0;
+  EnergyCounters energy;
+  std::uint64_t delivered = 0;
+  std::uint64_t ps_flits = 0;
+  std::uint64_t cs_flits = 0;
+  std::uint64_t config_flits = 0;
+  /// Hybrid-only extras (zero for plain packet-switched runs).
+  std::uint64_t slot_digest = 0;
+  std::uint64_t cs_packets = 0;
+  std::uint64_t setups_sent = 0;
+  std::uint64_t setup_failures = 0;
+  std::uint64_t expired_reservations = 0;
+  std::uint64_t stale_config_drops = 0;
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_delayed = 0;
+  std::uint64_t faults_duplicated = 0;
+  int resizes = 0;
+  std::uint64_t generation = 0;
+  /// Packet id -> delivery cycle. Injection schedules are identical across
+  /// the twin runs, so equal delivery cycles mean equal latencies.
+  std::map<PacketId, Cycle> deliveries;
+};
+
+void expect_same_energy(const EnergyCounters& a, const EnergyCounters& b) {
+  EXPECT_EQ(a.buffer_writes, b.buffer_writes);
+  EXPECT_EQ(a.buffer_reads, b.buffer_reads);
+  EXPECT_EQ(a.xbar_flits, b.xbar_flits);
+  EXPECT_EQ(a.vc_arbs, b.vc_arbs);
+  EXPECT_EQ(a.sw_arbs, b.sw_arbs);
+  EXPECT_EQ(a.link_flits, b.link_flits);
+  EXPECT_EQ(a.slot_table_reads, b.slot_table_reads);
+  EXPECT_EQ(a.slot_table_writes, b.slot_table_writes);
+  EXPECT_EQ(a.dlt_accesses, b.dlt_accesses);
+  EXPECT_EQ(a.cs_latch_flits, b.cs_latch_flits);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.vc_active_cycles, b.vc_active_cycles);
+  EXPECT_EQ(a.slot_entry_active_cycles, b.slot_entry_active_cycles);
+  EXPECT_EQ(a.dlt_active_cycles, b.dlt_active_cycles);
+  EXPECT_EQ(a.cs_misc_active_cycles, b.cs_misc_active_cycles);
+  EXPECT_EQ(a.link_active_cycles, b.link_active_cycles);
+}
+
+void expect_same(const RunFingerprint& a, const RunFingerprint& b) {
+  EXPECT_EQ(a.end_cycle, b.end_cycle);
+  expect_same_energy(a.energy, b.energy);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.ps_flits, b.ps_flits);
+  EXPECT_EQ(a.cs_flits, b.cs_flits);
+  EXPECT_EQ(a.config_flits, b.config_flits);
+  EXPECT_EQ(a.slot_digest, b.slot_digest);
+  EXPECT_EQ(a.cs_packets, b.cs_packets);
+  EXPECT_EQ(a.setups_sent, b.setups_sent);
+  EXPECT_EQ(a.setup_failures, b.setup_failures);
+  EXPECT_EQ(a.expired_reservations, b.expired_reservations);
+  EXPECT_EQ(a.stale_config_drops, b.stale_config_drops);
+  EXPECT_EQ(a.faults_dropped, b.faults_dropped);
+  EXPECT_EQ(a.faults_delayed, b.faults_delayed);
+  EXPECT_EQ(a.faults_duplicated, b.faults_duplicated);
+  EXPECT_EQ(a.resizes, b.resizes);
+  EXPECT_EQ(a.generation, b.generation);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+}
+
+template <typename NetT>
+void install_delivery_capture(NetT& net, RunFingerprint& fp) {
+  net.set_deliver_handler([&fp](const PacketPtr& p, Cycle at) {
+    ++fp.delivered;
+    fp.deliveries.emplace(p->id, at);
+  });
+}
+
+template <typename NetT>
+void harvest_common(NetT& net, RunFingerprint& fp) {
+  fp.end_cycle = net.now();
+  fp.energy = net.total_energy();
+  fp.ps_flits = net.total_ps_flits();
+  fp.cs_flits = net.total_cs_flits();
+  fp.config_flits = net.total_config_flits();
+}
+
+void harvest_hybrid(HybridNetwork& net, RunFingerprint& fp) {
+  harvest_common(net, fp);
+  fp.slot_digest = net.slot_state_digest();
+  fp.cs_packets = net.total_cs_packets();
+  fp.setups_sent = net.total_setups_sent();
+  fp.setup_failures = net.total_setup_failures();
+  fp.expired_reservations = net.total_expired_reservations();
+  fp.stale_config_drops = net.total_stale_config_drops();
+  fp.faults_dropped = net.faults_dropped();
+  fp.faults_delayed = net.faults_delayed();
+  fp.faults_duplicated = net.faults_duplicated();
+  fp.resizes = net.controller().resizes();
+  fp.generation = net.controller().table_generation();
+}
+
+/// Inject from a seeded synthetic source every cycle for `cycles` cycles.
+/// The traffic stream is a pure function of (pattern, rate, seed), so both
+/// twin runs see the identical schedule.
+template <typename NetT>
+void drive_synthetic(NetT& net, TrafficPattern pattern, double rate,
+                     Cycle cycles, std::uint64_t seed) {
+  SyntheticTraffic traffic(net.mesh(), pattern, rate, 5, seed);
+  PacketId next_id = 1;
+  while (net.now() < cycles) {
+    traffic.generate([&](NodeId src, NodeId dst) {
+      auto p = std::make_shared<Packet>();
+      p->id = next_id++;
+      p->src = src;
+      p->dst = dst;
+      p->num_flits = 5;
+      net.ni(src).send(std::move(p), net.now());
+    });
+    net.tick();
+  }
+}
+
+RunFingerprint run_packet(NocConfig cfg, bool active_set,
+                          TrafficPattern pattern, double rate, Cycle cycles,
+                          std::uint64_t seed) {
+  cfg.active_set_scheduler = active_set;
+  RunFingerprint fp;
+  Network net(cfg);
+  install_delivery_capture(net, fp);
+  drive_synthetic(net, pattern, rate, cycles, seed);
+  // An idle drain tail exercises component sleep on the active-set side.
+  const Cycle end = net.now() + 3000;
+  while (net.now() < end) net.tick();
+  harvest_common(net, fp);
+  return fp;
+}
+
+RunFingerprint run_hybrid(NocConfig cfg, bool active_set,
+                          TrafficPattern pattern, double rate, Cycle cycles,
+                          std::uint64_t seed) {
+  cfg.active_set_scheduler = active_set;
+  RunFingerprint fp;
+  HybridNetwork net(cfg);
+  install_delivery_capture(net, fp);
+  drive_synthetic(net, pattern, rate, cycles, seed);
+  const Cycle end = net.now() + 3000;
+  while (net.now() < end) net.tick();
+  harvest_hybrid(net, fp);
+  return fp;
+}
+
+NocConfig small_hybrid_cfg(bool sharing) {
+  NocConfig cfg =
+      sharing ? NocConfig::hybrid_tdm_hop_vc4(4) : NocConfig::hybrid_tdm_vc4(4);
+  cfg.slot_table_size = 32;
+  cfg.initial_active_slots = 16;
+  cfg.path_freq_threshold = 4;  // circuits form quickly at test scale
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Seeded traffic, both engines
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerEquivalence, PacketSwitchedUniform) {
+  const NocConfig cfg = NocConfig::packet_vc4(4);
+  expect_same(
+      run_packet(cfg, true, TrafficPattern::UniformRandom, 0.12, 5000, 11),
+      run_packet(cfg, false, TrafficPattern::UniformRandom, 0.12, 5000, 11));
+}
+
+TEST(SchedulerEquivalence, PacketSwitchedHotspotWithGating) {
+  NocConfig cfg = NocConfig::packet_vc4(4);
+  cfg.vc_power_gating = true;  // epoch catch-up must align exactly
+  expect_same(run_packet(cfg, true, TrafficPattern::Hotspot, 0.08, 5000, 7),
+              run_packet(cfg, false, TrafficPattern::Hotspot, 0.08, 5000, 7));
+}
+
+TEST(SchedulerEquivalence, HybridUniform) {
+  const NocConfig cfg = small_hybrid_cfg(/*sharing=*/false);
+  const RunFingerprint active =
+      run_hybrid(cfg, true, TrafficPattern::UniformRandom, 0.10, 6000, 21);
+  // Non-vacuity: the scenario must actually exercise delivery and circuits.
+  EXPECT_GT(active.delivered, 100u);
+  EXPECT_GT(active.cs_packets, 0u);
+  expect_same(
+      active,
+      run_hybrid(cfg, false, TrafficPattern::UniformRandom, 0.10, 6000, 21));
+}
+
+TEST(SchedulerEquivalence, HybridSharingHotspot) {
+  const NocConfig cfg = small_hybrid_cfg(/*sharing=*/true);
+  expect_same(run_hybrid(cfg, true, TrafficPattern::Hotspot, 0.08, 6000, 31),
+              run_hybrid(cfg, false, TrafficPattern::Hotspot, 0.08, 6000, 31));
+}
+
+// ---------------------------------------------------------------------------
+// Seeded fault storm, both engines
+// ---------------------------------------------------------------------------
+
+RunFingerprint run_storm(bool active_set) {
+  NocConfig cfg = small_hybrid_cfg(/*sharing=*/false);
+  cfg.dynamic_slot_sizing = true;
+  cfg.initial_active_slots = 8;
+  cfg.active_set_scheduler = active_set;
+
+  RunFingerprint fp;
+  HybridNetwork net(cfg);
+  install_delivery_capture(net, fp);
+
+  ConfigFaultParams p;
+  p.drop_prob = 0.02;
+  p.delay_prob = 0.02;
+  p.dup_prob = 0.01;
+  p.max_delay_cycles = 40;
+  p.seed = 1234;
+  net.enable_config_faults(p);
+
+  SyntheticTraffic traffic(net.mesh(), TrafficPattern::UniformRandom, 0.10, 5,
+                           99);
+  PacketId next_id = 1;
+  while (net.now() < 8000) {
+    if (net.now() == 2500 || net.now() == 5500) {
+      net.controller().request_resize();
+    }
+    traffic.generate([&](NodeId src, NodeId dst) {
+      auto p2 = std::make_shared<Packet>();
+      p2->id = next_id++;
+      p2->src = src;
+      p2->dst = dst;
+      p2->num_flits = 5;
+      net.ni(src).send(std::move(p2), net.now());
+    });
+    net.tick();
+  }
+  net.disable_config_faults();
+  // Fault-free cooldown: timeouts fire, the lease reclaims orphans, and on
+  // the active-set side most of the fabric goes to sleep.
+  const Cycle end = net.now() + 6000;
+  while (net.now() < end) net.tick();
+  harvest_hybrid(net, fp);
+  return fp;
+}
+
+TEST(SchedulerEquivalence, SeededFaultStorm) {
+  const RunFingerprint active = run_storm(true);
+  // Non-vacuity: faults and resizes must actually have fired.
+  EXPECT_GT(active.faults_dropped + active.faults_delayed +
+                active.faults_duplicated,
+            0u);
+  EXPECT_GE(active.resizes, 1);
+  expect_same(active, run_storm(false));
+}
+
+// ---------------------------------------------------------------------------
+// Replayed shrunk fixtures, both engines
+// ---------------------------------------------------------------------------
+
+RunFingerprint replay_fixture(const FaultScenario& s, bool active_set) {
+  NocConfig cfg = s.to_config();
+  cfg.active_set_scheduler = active_set;
+
+  RunFingerprint fp;
+  HybridNetwork net(cfg);
+  install_delivery_capture(net, fp);
+  net.enable_config_fault_replay(s.faults);
+
+  std::size_t tpos = 0;
+  PacketId next_id = 1;
+  const Cycle total = s.run_cycles + s.cooldown_cycles;
+  while (net.now() < total) {
+    const Cycle cycle = net.now();
+    for (const Cycle rc : s.resizes) {
+      if (rc == cycle) net.controller().request_resize();
+    }
+    while (tpos < s.traffic.size() && s.traffic[tpos].cycle <= cycle) {
+      const TraceEntry& e = s.traffic[tpos++];
+      auto p = std::make_shared<Packet>();
+      p->id = next_id++;
+      p->src = e.src;
+      p->dst = e.dst;
+      p->num_flits = e.flits;
+      net.ni(e.src).send(std::move(p), net.now());
+    }
+    net.tick();
+  }
+  // One reservation lease of quiet time so orphaned entries expire (the
+  // lost_teardown fixture's whole point) with the fabric mostly asleep.
+  const Cycle end = net.now() + 2 * s.reservation_lease_cycles;
+  while (net.now() < end) net.tick();
+  harvest_hybrid(net, fp);
+  return fp;
+}
+
+class FixtureEquivalence : public testing::TestWithParam<const char*> {};
+
+TEST_P(FixtureEquivalence, ReplayedStormMatchesAcrossEngines) {
+  const FaultScenario s = read_fault_scenario_file(fixture_path(GetParam()));
+  expect_same(replay_fixture(s, true), replay_fixture(s, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fixtures, FixtureEquivalence,
+                         testing::Values("resize_race.scenario",
+                                         "lost_teardown.scenario"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           std::string n = info.param;
+                           return n.substr(0, n.find('.'));
+                         });
+
+// ---------------------------------------------------------------------------
+// Quiescence: fast_forward must not skip controller or lease boundaries
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerQuiescence, FastForwardExecutesPendingResize) {
+  NocConfig cfg = small_hybrid_cfg(/*sharing=*/false);
+  cfg.dynamic_slot_sizing = true;
+  cfg.initial_active_slots = 8;
+
+  // Twin A ticks cycle by cycle; twin B fast-forwards over the same idle
+  // stretch. The resize request lands mid-stretch on both.
+  HybridNetwork ticked(cfg);
+  HybridNetwork jumped(cfg);
+  for (int i = 0; i < 50; ++i) {
+    ticked.tick();
+    jumped.tick();
+  }
+  ticked.controller().request_resize();
+  jumped.controller().request_resize();
+  for (int i = 0; i < 5000; ++i) ticked.tick();
+  jumped.fast_forward(ticked.now());
+
+  EXPECT_EQ(jumped.now(), ticked.now());
+  EXPECT_EQ(jumped.controller().resizes(), ticked.controller().resizes());
+  EXPECT_EQ(jumped.controller().table_generation(),
+            ticked.controller().table_generation());
+  EXPECT_EQ(jumped.controller().active_slots(),
+            ticked.controller().active_slots());
+  EXPECT_GE(ticked.controller().resizes(), 1);
+  // The closed-form energy folding must account the resize exactly: the
+  // slot-table leakage rate changes when the active region doubles.
+  expect_same_energy(jumped.total_energy(), ticked.total_energy());
+}
+
+TEST(SchedulerQuiescence, FastForwardExecutesLeaseExpiry) {
+  NocConfig cfg = small_hybrid_cfg(/*sharing=*/false);
+  cfg.reservation_lease_cycles = 2048;
+
+  HybridNetwork ticked(cfg);
+  HybridNetwork jumped(cfg);
+  // Plant an orphan reservation before the first tick (while everything is
+  // still active, as a real config message would find it): with no traffic
+  // ever refreshing it, only the routers' lease sweep can reclaim it — at a
+  // 1024-aligned cycle past the lease. fast_forward must wake the router
+  // for exactly that sweep.
+  for (HybridNetwork* net : {&ticked, &jumped}) {
+    ASSERT_TRUE(net->hybrid_router(5).slots().reserve(3, 2, Port::West,
+                                                      Port::East, 77, 0));
+  }
+  const Cycle horizon = 3 * cfg.reservation_lease_cycles;
+  while (ticked.now() < horizon) ticked.tick();
+  jumped.fast_forward(horizon);
+
+  EXPECT_EQ(jumped.now(), ticked.now());
+  EXPECT_EQ(ticked.hybrid_router(5).expired_reservations(), 2u);
+  EXPECT_EQ(jumped.hybrid_router(5).expired_reservations(), 2u);
+  EXPECT_EQ(jumped.slot_state_digest(), ticked.slot_state_digest());
+  EXPECT_EQ(jumped.total_valid_slot_entries(), 0);
+  expect_same_energy(jumped.total_energy(), ticked.total_energy());
+}
+
+TEST(SchedulerQuiescence, FastForwardMatchesTickOnIdleNetwork) {
+  // Pure closed-form check: an idle network fast-forwarded 10k cycles must
+  // report exactly the energy integrals of 10k live no-op ticks.
+  NocConfig cfg = NocConfig::packet_vc4(4);
+  cfg.vc_power_gating = true;
+  Network ticked(cfg);
+  Network jumped(cfg);
+  for (int i = 0; i < 10000; ++i) ticked.tick();
+  jumped.fast_forward(10000);
+  EXPECT_EQ(jumped.now(), ticked.now());
+  expect_same_energy(jumped.total_energy(), ticked.total_energy());
+}
+
+}  // namespace
+}  // namespace hybridnoc
