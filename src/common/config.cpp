@@ -29,6 +29,12 @@ void NocConfig::validate() const {
   HN_CHECK(sdm_planes >= 2 && channel_bytes % sdm_planes == 0);
   HN_CHECK(reservation_duration() < slot_table_size);
   HN_CHECK(pending_setup_timeout_cycles >= 1);
+  HN_CHECK(link_ber >= 0.0 && link_ber < 1.0);
+  HN_CHECK(retx_timeout_cycles >= 1 && max_retx_attempts >= 0);
+  HN_CHECK(retx_backoff_cap_cycles >= retx_timeout_cycles);
+  HN_CHECK(cs_fail_threshold >= 1);
+  HN_CHECK(setup_backoff_base_cycles == 0 ||
+           setup_backoff_cap_cycles >= setup_backoff_base_cycles);
 }
 
 std::string NocConfig::summary() const {

@@ -114,6 +114,37 @@ struct NocConfig {
   // --- SDM baseline ---
   int sdm_planes = 4;  ///< physical link planes (channel_bytes / planes each)
 
+  // --- data-plane fault tolerance (everything off by default: a zero-fault
+  // run is bit-identical to a build without the fault layer) ---
+  /// Per-flit, per-link transient corruption probability (bit-error rate at
+  /// flit granularity). > 0 auto-installs the FaultModel on the network.
+  double link_ber = 0.0;
+  /// Seed for the fault model's stateless per-traversal corruption hash
+  /// (independent of `seed` so traffic and faults can be varied separately).
+  std::uint64_t fault_seed = 1;
+  /// End-to-end recovery at the NI: CRC squash of corrupted packets,
+  /// per-packet acks from the destination, and capped-exponential-backoff
+  /// retransmission at the source.
+  bool e2e_recovery = false;
+  /// First retransmission fires this long after injection; each further
+  /// attempt doubles the wait (plus seeded jitter) up to the cap.
+  std::uint64_t retx_timeout_cycles = 256;
+  std::uint64_t retx_backoff_cap_cycles = 4096;
+  /// Retransmission attempts before the source declares the packet failed.
+  int max_retx_attempts = 6;
+  /// Consecutive retransmissions on one circuit (the missed-slot streak)
+  /// that make the source tear the circuit down and retry setup on a
+  /// fault-aware route.
+  int cs_fail_threshold = 3;
+  /// Starvation watchdog: packets older than this (queued or unacked) are
+  /// flagged into the degradation report. 0 disables the watchdog.
+  std::uint64_t watchdog_stall_cycles = 0;
+  /// Setup-retry backoff after a reservation conflict: retry n waits
+  /// base << n cycles (plus seeded jitter), capped. 0 = legacy immediate
+  /// retry with a different slot id.
+  std::uint64_t setup_backoff_base_cycles = 0;
+  std::uint64_t setup_backoff_cap_cycles = 1024;
+
   // --- simulation engine ---
   /// Active-set scheduling: skip idle routers/NIs each cycle and
   /// fast-forward over fully idle stretches, with lazily folded energy

@@ -125,6 +125,21 @@ struct Packet {
   /// so they are not double-counted as new workload packets.
   bool reinjected = false;
 
+  // --- end-to-end recovery metadata (cfg.e2e_recovery) ---
+  /// NI that first injected this message into the network. Survives the
+  /// dst-rewrites of vicinity hop-offs and retransmission copies, so the
+  /// destination knows where the end-to-end ack must go.
+  NodeId origin = kInvalidNode;
+  /// Id of the original transmission this packet retransmits (0 = this IS
+  /// the original). The destination dedups and acks on the original id.
+  PacketId retx_of = 0;
+  /// End-to-end acknowledgement carrying the acked id in `payload`. Travels
+  /// as an ordinary 1-flit packet-switched message.
+  bool e2e_ack = false;
+  /// Set once by the starvation watchdog so one stalled packet is not
+  /// re-counted on every sweep.
+  bool stall_flagged = false;
+
   // --- hitchhiker-sharing metadata (Section III-A1) ---
   /// Input port (at the hop-on router) of the shared slot-table entry the
   /// message rides, and that entry's output port. Set by the source NI from
@@ -150,6 +165,11 @@ struct Flit {
   /// Virtual channel at the input port this flit is heading into; chosen by
   /// the upstream VC allocator. Unused for circuit-switched flits.
   int vc = 0;
+  /// A link fault flipped payload bits in flight. Control fields (routing,
+  /// VC, slot arithmetic) are assumed separately protected, so a corrupted
+  /// flit still traverses normally; per-hop CRC checks flag it and the
+  /// destination NI squashes the whole packet instead of delivering garbage.
+  bool corrupted = false;
 
   bool is_head() const { return type == FlitType::Head || type == FlitType::HeadTail; }
   bool is_tail() const { return type == FlitType::Tail || type == FlitType::HeadTail; }

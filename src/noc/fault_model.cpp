@@ -1,0 +1,341 @@
+#include "noc/fault_model.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace hybridnoc {
+
+namespace {
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix, so consecutive
+/// traversal counts decorrelate completely.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t replay_key(int link, std::uint64_t occurrence) {
+  HN_CHECK(occurrence < (std::uint64_t{1} << 44));
+  return (static_cast<std::uint64_t>(link) << 44) | occurrence;
+}
+
+}  // namespace
+
+FaultModel::FaultModel(int k, double ber, std::uint64_t seed)
+    : mesh_(k), ber_(ber), seed_(seed) {
+  HN_CHECK(ber >= 0.0 && ber < 1.0);
+  // ber * 2^64, saturating; 2^64 is exactly representable as a double.
+  const double scaled = ber * 18446744073709551616.0;
+  threshold_ = scaled >= 18446744073709551615.0
+                   ? ~std::uint64_t{0}
+                   : static_cast<std::uint64_t>(scaled);
+  links_.resize(static_cast<std::size_t>(mesh_.num_nodes()) * 4);
+  router_dead_at_.assign(mesh_.num_nodes(), kCycleNever);
+}
+
+int FaultModel::link_index(NodeId node, Port out) const {
+  HN_CHECK(mesh_.valid(node) && out != Port::Local);
+  return static_cast<int>(node) * 4 + (static_cast<int>(out) - 1);
+}
+
+void FaultModel::kill_link(NodeId node, Port out, Cycle at) {
+  HN_CHECK(mesh_.has_neighbor(node, out));
+  LinkFaultEvent e;
+  e.kind = FaultKind::DeadLink;
+  e.node = node;
+  e.out = out;
+  e.start = at;
+  add_event(e);
+}
+
+void FaultModel::kill_router(NodeId node, Cycle at) {
+  HN_CHECK(mesh_.valid(node));
+  LinkFaultEvent e;
+  e.kind = FaultKind::DeadRouter;
+  e.node = node;
+  e.start = at;
+  add_event(e);
+}
+
+void FaultModel::stick_link(NodeId node, Port out, Cycle at, Cycle duration) {
+  HN_CHECK(mesh_.has_neighbor(node, out));
+  HN_CHECK(duration >= 1);
+  LinkFaultEvent e;
+  e.kind = FaultKind::StuckLink;
+  e.node = node;
+  e.out = out;
+  e.start = at;
+  e.duration = duration;
+  add_event(e);
+}
+
+void FaultModel::add_event(const LinkFaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::DeadLink: {
+      LinkState& s = links_[link_index(e.node, e.out)];
+      s.dead_at = std::min(s.dead_at, e.start);
+      first_perm_fault_at_ = std::min(first_perm_fault_at_, e.start);
+      perm_starts_.push_back(e.start);
+      break;
+    }
+    case FaultKind::DeadRouter: {
+      HN_CHECK(mesh_.valid(e.node));
+      Cycle& dead = router_dead_at_[e.node];
+      dead = std::min(dead, e.start);
+      first_perm_fault_at_ = std::min(first_perm_fault_at_, e.start);
+      perm_starts_.push_back(e.start);
+      break;
+    }
+    case FaultKind::StuckLink: {
+      LinkState& s = links_[link_index(e.node, e.out)];
+      s.stuck.emplace_back(e.start, e.start + e.duration);
+      break;
+    }
+    case FaultKind::Transient:
+      HN_CHECK_MSG(false,
+                   "transient faults come from the BER hash or replay, not "
+                   "the schedule");
+  }
+  std::sort(perm_starts_.begin(), perm_starts_.end());
+  events_.push_back(e);
+}
+
+void FaultModel::set_transient_replay(
+    const std::vector<LinkFaultEvent>& transients) {
+  replay_ = true;
+  replay_keys_.clear();
+  for (const LinkFaultEvent& e : transients) {
+    HN_CHECK(e.kind == FaultKind::Transient && e.occurrence >= 1);
+    replay_keys_.insert(replay_key(link_index(e.node, e.out), e.occurrence));
+  }
+}
+
+bool FaultModel::link_dead_raw(NodeId node, Port out, Cycle now) const {
+  return now >= links_[link_index(node, out)].dead_at;
+}
+
+bool FaultModel::node_failed(NodeId node, Cycle now) const {
+  return now >= router_dead_at_[node];
+}
+
+bool FaultModel::link_failed(NodeId node, Port out, Cycle now) const {
+  if (!any_failed(now)) return false;
+  if (link_dead_raw(node, out, now)) return true;
+  // A dead router takes all its incident links with it, in both directions.
+  if (node_failed(node, now)) return true;
+  return mesh_.has_neighbor(node, out) &&
+         node_failed(mesh_.neighbor(node, out), now);
+}
+
+bool FaultModel::link_corrupting(NodeId node, Port out, Cycle now) const {
+  if (link_failed(node, out, now)) return true;
+  const LinkState& s = links_[link_index(node, out)];
+  for (const auto& [start, end] : s.stuck) {
+    if (now >= start && now < end) return true;
+  }
+  return false;
+}
+
+bool FaultModel::on_traverse(NodeId node, Port out, Cycle now) {
+  const int link = link_index(node, out);
+  const std::uint64_t n = ++links_[link].traversals;
+  bool corrupt = false;
+  if (replay_) {
+    corrupt = replay_keys_.count(replay_key(link, n)) != 0;
+  } else if (threshold_ != 0) {
+    // Stateless per-traversal draw: depends only on (seed, link, n), never
+    // on the order the engine visits components in.
+    const std::uint64_t h =
+        mix64(seed_ ^ (0x9e3779b97f4a7c15ULL * (std::uint64_t{1} + link)) ^
+              (0xff51afd7ed558ccdULL * n));
+    corrupt = h < threshold_;
+    if (corrupt && recording_) {
+      LinkFaultEvent e;
+      e.kind = FaultKind::Transient;
+      e.node = node;
+      e.out = out;
+      e.start = now;
+      e.occurrence = n;
+      fired_.push_back(e);
+    }
+  }
+  // Stuck/dead state corrupts deterministically from the schedule; it is the
+  // schedule, not a firing log, that replays these.
+  if (!corrupt && link_corrupting(node, out, now)) corrupt = true;
+  if (corrupt) ++corrupted_;
+  return corrupt;
+}
+
+std::uint64_t FaultModel::fault_epoch(Cycle now) const {
+  // Activations are monotone in time: the topology is fully described by how
+  // many scheduled permanent faults have started.
+  return static_cast<std::uint64_t>(
+      std::upper_bound(perm_starts_.begin(), perm_starts_.end(), now) -
+      perm_starts_.begin());
+}
+
+void FaultModel::refresh_topology_caches(Cycle now) const {
+  const std::uint64_t epoch = fault_epoch(now);
+  if (epoch != reach_epoch_) {
+    reach_cache_.clear();
+    dist_cache_.clear();
+    forest_valid_ = false;
+    reach_epoch_ = epoch;
+  }
+}
+
+const FaultModel::SpanningForest& FaultModel::forest(Cycle now) const {
+  refresh_topology_caches(now);
+  if (forest_valid_) return forest_;
+  SpanningForest& f = forest_;
+  const int n = mesh_.num_nodes();
+  f.level.assign(n, -1);
+  f.parent.assign(n, kInvalidNode);
+  f.to_parent.assign(n, Port::Local);
+  f.component.assign(n, -1);
+  int comp = 0;
+  for (NodeId root = 0; root < n; ++root) {
+    if (f.level[root] >= 0 || node_failed(root, now)) continue;
+    f.level[root] = 0;
+    f.component[root] = comp;
+    std::deque<NodeId> frontier{root};
+    while (!frontier.empty()) {
+      const NodeId at = frontier.front();
+      frontier.pop_front();
+      for (Port p : {Port::North, Port::East, Port::South, Port::West}) {
+        if (!mesh_.has_neighbor(at, p)) continue;
+        const NodeId next = mesh_.neighbor(at, p);
+        if (f.level[next] >= 0) continue;
+        // Tree edges must carry traffic both up and down, so the edge only
+        // counts when healthy in both directions.
+        if (link_failed(at, p, now) || link_failed(next, opposite(p), now)) {
+          continue;
+        }
+        f.level[next] = f.level[at] + 1;
+        f.parent[next] = at;
+        f.to_parent[next] = opposite(p);
+        f.component[next] = comp;
+        frontier.push_back(next);
+      }
+    }
+    ++comp;
+  }
+  forest_valid_ = true;
+  return f;
+}
+
+Port FaultModel::updown_next(NodeId here, NodeId dst, Cycle now) const {
+  HN_CHECK(mesh_.valid(here) && mesh_.valid(dst));
+  if (here == dst) return Port::Local;
+  const SpanningForest& f = forest(now);
+  if (f.level[here] < 0 || f.level[dst] < 0 ||
+      f.component[here] != f.component[dst]) {
+    return Port::Local;
+  }
+  // Descend iff `here` is an ancestor of `dst`: climb dst's ancestor chain
+  // to the level just below `here` and check whose child it is. Otherwise
+  // one hop up — every up move strictly decreases the level, and once the
+  // walk reaches an ancestor it descends monotonically, so routes terminate.
+  NodeId x = dst;
+  while (f.level[x] > f.level[here] + 1) x = f.parent[x];
+  if (f.level[x] == f.level[here] + 1 && f.parent[x] == here) {
+    return opposite(f.to_parent[x]);  // the link to that child, from our side
+  }
+  return f.to_parent[here];
+}
+
+bool FaultModel::reachable(NodeId src, NodeId dst, Cycle now) const {
+  if (src == dst) return true;
+  if (!any_failed(now)) return true;
+  if (node_failed(src, now) || node_failed(dst, now)) return false;
+  refresh_topology_caches(now);
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(src) * mesh_.num_nodes() + dst;
+  if (auto it = reach_cache_.find(key); it != reach_cache_.end()) {
+    return it->second;
+  }
+  std::vector<bool> seen(mesh_.num_nodes(), false);
+  std::deque<NodeId> frontier{src};
+  seen[src] = true;
+  bool found = false;
+  while (!frontier.empty() && !found) {
+    const NodeId at = frontier.front();
+    frontier.pop_front();
+    for (Port p : {Port::North, Port::East, Port::South, Port::West}) {
+      if (!mesh_.has_neighbor(at, p) || link_failed(at, p, now)) continue;
+      const NodeId next = mesh_.neighbor(at, p);
+      if (seen[next]) continue;
+      seen[next] = true;
+      if (next == dst) {
+        found = true;
+        break;
+      }
+      frontier.push_back(next);
+    }
+  }
+  reach_cache_.emplace(key, found);
+  return found;
+}
+
+const std::vector<int>& FaultModel::distances_to(NodeId dst, Cycle now) const {
+  HN_CHECK(mesh_.valid(dst));
+  refresh_topology_caches(now);
+  auto [it, fresh] = dist_cache_.try_emplace(dst);
+  if (!fresh) return it->second;
+  // BFS from the destination along *reversed* healthy links: the hop count
+  // of the forward walk node -> ... -> dst.
+  std::vector<int>& dist = it->second;
+  dist.assign(mesh_.num_nodes(), -1);
+  dist[dst] = 0;
+  std::deque<NodeId> frontier{dst};
+  while (!frontier.empty()) {
+    const NodeId at = frontier.front();
+    frontier.pop_front();
+    for (Port p : {Port::North, Port::East, Port::South, Port::West}) {
+      if (!mesh_.has_neighbor(at, p)) continue;
+      const NodeId pred = mesh_.neighbor(at, p);
+      // The forward link pred -> at leaves pred on the opposite port.
+      if (dist[pred] >= 0 || link_failed(pred, opposite(p), now)) continue;
+      dist[pred] = dist[at] + 1;
+      frontier.push_back(pred);
+    }
+  }
+  return dist;
+}
+
+int FaultModel::failed_links(Cycle now) const {
+  if (!any_failed(now)) return 0;
+  int n = 0;
+  for (NodeId node = 0; node < mesh_.num_nodes(); ++node) {
+    for (Port p : {Port::North, Port::East, Port::South, Port::West}) {
+      if (mesh_.has_neighbor(node, p) && link_failed(node, p, now)) ++n;
+    }
+  }
+  return n;
+}
+
+int FaultModel::bisection_links_alive(Cycle now) const {
+  // Vertical mid-cut: the k eastward links out of column k/2 - 1 and the k
+  // westward links out of column k/2.
+  const int k = mesh_.k();
+  int alive = 0;
+  for (int y = 0; y < k; ++y) {
+    const NodeId west_side = mesh_.node({k / 2 - 1, y});
+    const NodeId east_side = mesh_.node({k / 2, y});
+    if (!link_failed(west_side, Port::East, now)) ++alive;
+    if (!link_failed(east_side, Port::West, now)) ++alive;
+  }
+  return alive;
+}
+
+std::uint64_t FaultModel::traversals(NodeId node, Port out) const {
+  return links_[link_index(node, out)].traversals;
+}
+
+}  // namespace hybridnoc

@@ -25,6 +25,16 @@ Network::Network(const NocConfig& cfg, RouterFactory make_router, NiFactory make
   }
   if (use_sched_) sched_.reset(2 * num_nodes());
   build();
+  if (cfg_.link_ber > 0.0) ensure_fault_model();
+}
+
+FaultModel& Network::ensure_fault_model() {
+  if (!faults_) {
+    faults_ = std::make_unique<FaultModel>(cfg_.k, cfg_.link_ber, cfg_.fault_seed);
+    for (auto& r : routers_) r->set_fault_model(faults_.get());
+    for (auto& ni : nis_) ni->set_fault_model(faults_.get());
+  }
+  return *faults_;
 }
 
 void Network::build() {
@@ -77,7 +87,18 @@ void Network::build() {
   }
 }
 
+void Network::watchdog_tick() {
+  // Sweep cadence matches the reservation-lease sweep so the two scans share
+  // wake cycles. Flagging is stat-only (stall_flagged + counters), so where
+  // the sweep lands inside the cycle is unobservable.
+  if (cfg_.watchdog_stall_cycles == 0 || now_ == 0 || (now_ & 1023) != 0) {
+    return;
+  }
+  for (auto& ni : nis_) ni->watchdog_scan(now_, cfg_.watchdog_stall_cycles);
+}
+
 void Network::tick() {
+  watchdog_tick();
   if (!use_sched_) {
     for (auto& ni : nis_) ni->tick(now_);
     for (auto& r : routers_) r->tick(now_);
@@ -120,8 +141,13 @@ void Network::fast_forward(Cycle target) {
         // Nothing can happen until the earliest component wake or external
         // (controller) event: jump there in one step. Skipped cycles are
         // provably no-ops, and their energy constants fold in lazily.
-        const Cycle jump = std::min(
+        Cycle jump = std::min(
             {target, sched_.next_wake_cycle(), external_next_event(now_)});
+        // The starvation watchdog must observe every sweep boundary, or its
+        // flags would differ between the engines.
+        if (cfg_.watchdog_stall_cycles > 0) {
+          jump = std::min(jump, (now_ | 1023) + 1);
+        }
         if (jump > now_) now_ = jump;
         if (now_ >= target) break;
       }
@@ -189,6 +215,30 @@ std::uint64_t Network::total_config_flits() const {
   std::uint64_t t = 0;
   for (const auto& ni : nis_) t += ni->config_flits_injected();
   return t;
+}
+
+DegradationReport Network::degradation_report() const {
+  DegradationReport r;
+  for (const auto& ni : nis_) {
+    r.data_sent += ni->data_packets_sent();
+    r.data_delivered += ni->data_packets_delivered();
+    r.retransmits += ni->retransmits();
+    r.retx_give_ups += ni->retx_give_ups();
+    r.unreachable_failed += ni->unreachable_failed();
+    r.crc_squashed_packets += ni->crc_squashed_packets();
+    r.e2e_acks_sent += ni->e2e_acks_sent();
+    r.e2e_duplicates_dropped += ni->e2e_duplicates_dropped();
+    r.e2e_outstanding += ni->e2e_outstanding();
+    r.watchdog_flagged += ni->watchdog_flagged();
+  }
+  for (const auto& rt : routers_) r.crc_flagged_flits += rt->crc_flagged_flits();
+  if (faults_) {
+    r.corrupted_traversals = faults_->corrupted_traversals();
+    r.failed_links = faults_->failed_links(now_);
+    r.bisection_links_total = faults_->bisection_links_total();
+    r.bisection_links_alive = faults_->bisection_links_alive(now_);
+  }
+  return r;
 }
 
 }  // namespace hybridnoc

@@ -11,11 +11,32 @@
 #include "common/config.hpp"
 #include "common/geometry.hpp"
 #include "noc/channel.hpp"
+#include "noc/fault_model.hpp"
 #include "noc/network_interface.hpp"
 #include "noc/router.hpp"
 #include "noc/scheduler.hpp"
 
 namespace hybridnoc {
+
+/// Per-run fault-tolerance outcome: how much workload survived, what the
+/// recovery machinery did, and how much of the fabric is left.
+struct DegradationReport {
+  std::uint64_t data_sent = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t retx_give_ups = 0;
+  std::uint64_t unreachable_failed = 0;
+  std::uint64_t crc_flagged_flits = 0;     ///< per-hop detections (routers)
+  std::uint64_t crc_squashed_packets = 0;  ///< destination-side squashes
+  std::uint64_t e2e_acks_sent = 0;
+  std::uint64_t e2e_duplicates_dropped = 0;
+  std::uint64_t e2e_outstanding = 0;  ///< still unacked at report time
+  std::uint64_t watchdog_flagged = 0;
+  std::uint64_t corrupted_traversals = 0;  ///< fault-model ground truth
+  int failed_links = 0;
+  int bisection_links_total = 0;
+  int bisection_links_alive = 0;  ///< surviving bisection bandwidth
+};
 
 class Network {
  public:
@@ -60,6 +81,17 @@ class Network {
   /// Freeze/unfreeze proactive circuit setup on every NI (drain phases).
   void set_policy_frozen(bool frozen);
 
+  /// The hardware fault model, created on first use (or at construction when
+  /// cfg.link_ber > 0) and wired into every router and NI. Schedule faults
+  /// on it directly (kill_link / stick_link / kill_router).
+  FaultModel& ensure_fault_model();
+  /// nullptr until ensure_fault_model() has run.
+  FaultModel* fault_model() { return faults_.get(); }
+  const FaultModel* fault_model() const { return faults_.get(); }
+
+  /// Aggregate fault-tolerance outcome as of now().
+  DegradationReport degradation_report() const;
+
   /// True when no flit exists anywhere: NI queues, router buffers, channels.
   bool quiescent() const;
 
@@ -83,6 +115,7 @@ class Network {
 
  private:
   void build();
+  void watchdog_tick();
   /// Component ids for the scheduler: NIs are [0, N), routers [N, 2N), so
   /// ascending-id order reproduces the legacy NIs-then-routers sweep.
   int ni_sched_id(NodeId n) const { return n; }
@@ -96,6 +129,7 @@ class Network {
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   std::vector<std::unique_ptr<FlitChannel>> flit_channels_;
   std::vector<std::unique_ptr<CreditChannel>> credit_channels_;
+  std::unique_ptr<FaultModel> faults_;
 
   TickScheduler sched_;
   bool use_sched_ = false;

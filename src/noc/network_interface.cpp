@@ -1,9 +1,15 @@
 #include "noc/network_interface.hpp"
 
+#include <algorithm>
+
+#include "noc/fault_model.hpp"
+
 namespace hybridnoc {
 
 NetworkInterface::NetworkInterface(const NocConfig& cfg, NodeId id, const Mesh& mesh)
-    : cfg_(cfg), id_(id), mesh_(mesh), eject_active_vcs_(cfg.num_vcs) {
+    : cfg_(cfg), id_(id), mesh_(mesh), eject_active_vcs_(cfg.num_vcs),
+      e2e_rng_(cfg.fault_seed * 0x9e3779b97f4a7c15ULL +
+               static_cast<std::uint64_t>(id) + 0x5151) {
   out_vcs_.resize(static_cast<size_t>(cfg_.num_vcs));
   for (auto& v : out_vcs_) v.credits = cfg_.vc_buffer_depth;
 }
@@ -22,6 +28,7 @@ void NetworkInterface::send(PacketPtr pkt, Cycle now) {
   HN_CHECK(pkt && mesh_.valid(pkt->dst) && pkt->src == id_);
   pkt->created = (pkt->created == 0) ? now : pkt->created;
   if (pkt->final_dst == kInvalidNode) pkt->final_dst = pkt->dst;
+  if (!e2e_admit(pkt, now)) return;
   queue_.push_back(std::move(pkt));
   sched_wake(now);  // new work: make sure this NI ticks at `now`
 }
@@ -34,7 +41,11 @@ void NetworkInterface::send_priority(PacketPtr pkt, Cycle now) {
 }
 
 bool NetworkInterface::idle() const {
-  if (!queue_.empty() || !assembly_.empty()) return false;
+  // Outstanding unacked packets keep the NI non-quiescent: a drain must wait
+  // for every ack, retransmission or give-up to resolve.
+  if (!queue_.empty() || !assembly_.empty() || !outstanding_.empty()) {
+    return false;
+  }
   for (const auto& v : out_vcs_)
     if (v.pkt) return false;
   return true;
@@ -53,6 +64,10 @@ void NetworkInterface::tick(Cycle now) {
   accounted_until_ = now + 1;
   receive_credits(now);
   eject_tick(now);
+  // Retransmission timers run after ejection so an ack arriving this cycle
+  // cancels a retransmit due this cycle, and before injection so a fresh
+  // retransmit can still leave this cycle.
+  if (cfg_.e2e_recovery) e2e_tick(now);
   inject_tick(now);
   // NI energy counters carry event counts and CS-hardware activity only;
   // `cycles` stays zero so per-cycle router costs (clock, crossbar leakage)
@@ -84,10 +99,19 @@ void NetworkInterface::eject_tick(Cycle now) {
     }
     const PacketPtr& pkt = f->pkt;
     HN_CHECK(pkt != nullptr);
+    // End-of-path CRC: one dirty flit poisons the whole packet.
+    if (f->corrupted) poisoned_.insert(pkt->id);
     int& got = assembly_[pkt->id];
     ++got;
     if (got < pkt->num_flits) continue;
     assembly_.erase(pkt->id);
+    if (poisoned_.erase(pkt->id) > 0) {
+      // Squash instead of delivering garbage; the origin's retransmission
+      // timer (or, for config, the protocol's own timeouts) recovers.
+      ++crc_squashed_packets_;
+      on_packet_squashed(pkt, now);
+      continue;
+    }
     if (pkt->is_config()) {
       handle_config(pkt, now);
     } else {
@@ -107,8 +131,177 @@ void NetworkInterface::handle_delivery(const PacketPtr& pkt, Cycle now) {
 }
 
 void NetworkInterface::deliver(const PacketPtr& pkt, Cycle now) {
+  if (cfg_.e2e_recovery && pkt->e2e_ack) {
+    // End-to-end ack: retire the outstanding entry; not a workload delivery.
+    e2e_acked(static_cast<PacketId>(pkt->payload), now);
+    return;
+  }
+  if (cfg_.e2e_recovery && !pkt->is_config() && pkt->origin != kInvalidNode) {
+    const PacketId key = pkt->retx_of != 0 ? pkt->retx_of : pkt->id;
+    const bool first = e2e_seen_.insert(key).second;
+    send_e2e_ack(pkt, key, now);
+    if (!first) {
+      // A retransmission raced the ack; exactly-once delivery upstream.
+      ++e2e_duplicates_dropped_;
+      return;
+    }
+  }
   ++data_packets_delivered_;
   if (deliver_) deliver_(pkt, now);
+}
+
+void NetworkInterface::send_e2e_ack(const PacketPtr& pkt, PacketId key, Cycle now) {
+  if (pkt->origin == id_) {  // self-send: ack short-circuits
+    e2e_acked(key, now);
+    return;
+  }
+  // Ack coalescing: at most one queued ack per end-to-end key. Under a
+  // retransmission burst every duplicate copy would otherwise enqueue its
+  // own ack, and acks drain one small packet at a time — the destination's
+  // queue grows without bound and the inflated round trip feeds further
+  // retransmissions. A duplicate arriving after the previous ack launched
+  // still acks (that ack may have been corrupted en route).
+  if (!acks_pending_.insert(key).second) return;
+  auto ack = std::make_shared<Packet>();
+  ack->id = fresh_packet_id();
+  ack->src = id_;
+  ack->dst = pkt->origin;
+  ack->type = MsgType::Data;  // plain 1-flit data so controller config
+                              // accounting never sees it
+  ack->traffic_class = TrafficClass::Config;
+  ack->num_flits = 1;
+  ack->payload = key;
+  ack->e2e_ack = true;
+  ack->cs_eligible = false;   // not worth a circuit
+  ack->reinjected = true;     // not new workload
+  ++e2e_acks_sent_;
+  send(std::move(ack), now);
+}
+
+void NetworkInterface::e2e_acked(PacketId key, Cycle now) {
+  auto it = outstanding_.find(key);
+  if (it == outstanding_.end()) return;  // duplicate ack
+  const NodeId dst = it->second.pkt->final_dst;
+  outstanding_.erase(it);
+  on_e2e_acked(dst, now);
+}
+
+bool NetworkInterface::e2e_admit(const PacketPtr& pkt, Cycle now) {
+  if (pkt->is_config()) return true;
+  if (faults_ && faults_->any_failed(now)) {
+    const NodeId target = pkt->final_dst != kInvalidNode ? pkt->final_dst : pkt->dst;
+    if (!faults_->reachable(id_, target, now)) {
+      // Destination partitioned off: fail cleanly instead of letting the
+      // packet wander the fabric forever.
+      ++unreachable_failed_;
+      return false;
+    }
+  }
+  if (cfg_.e2e_recovery) e2e_track(pkt, now);
+  return true;
+}
+
+void NetworkInterface::e2e_track(const PacketPtr& pkt, Cycle now) {
+  // Only first transmissions of workload data are tracked: acks and
+  // retransmission clones resolve against the original entry, and reinjected
+  // copies (vicinity hop-off, hitchhiker bounce) are already tracked at
+  // their origin.
+  if (pkt->e2e_ack || pkt->retx_of != 0 || pkt->reinjected) return;
+  if (pkt->origin == kInvalidNode) pkt->origin = id_;
+  auto [it, fresh] = outstanding_.try_emplace(pkt->id);
+  if (!fresh) return;
+  it->second.pkt = pkt;
+  it->second.backoff = cfg_.retx_timeout_cycles;
+  // The timer stays dormant until a copy actually enters the fabric
+  // (e2e_launched): a packet waiting in its own source queue has not been
+  // transmitted yet, and timing it out there would inject clones behind it
+  // into the same queue — a self-amplifying storm under burst congestion.
+  it->second.next_retx = kCycleNever;
+}
+
+void NetworkInterface::e2e_launched(const PacketPtr& pkt, Cycle now) {
+  if (!cfg_.e2e_recovery || pkt->e2e_ack || pkt->is_config()) return;
+  if (pkt->origin != id_) return;  // forwarded copy; its origin keeps time
+  const auto it =
+      outstanding_.find(pkt->retx_of != 0 ? pkt->retx_of : pkt->id);
+  if (it == outstanding_.end()) return;
+  Outstanding& o = it->second;
+  // Arm (or re-arm) from the moment of transmission, with seeded jitter so
+  // sources whose copies launched the same cycle don't retry in lockstep.
+  o.next_retx = now + o.backoff + e2e_rng_.uniform_int(o.backoff / 4 + 1);
+}
+
+void NetworkInterface::e2e_tick(Cycle now) {
+  if (outstanding_.empty()) return;
+  // Collect due entries and process in id order so behaviour never depends
+  // on hash-map iteration order.
+  std::vector<PacketId> due;
+  for (const auto& [key, o] : outstanding_) {
+    if (now >= o.next_retx) due.push_back(key);
+  }
+  if (due.empty()) return;
+  std::sort(due.begin(), due.end());
+  for (PacketId key : due) {
+    Outstanding& o = outstanding_.at(key);
+    const NodeId dst = o.pkt->final_dst;
+    if (faults_ && !faults_->reachable(id_, dst, now)) {
+      ++unreachable_failed_;
+      outstanding_.erase(key);
+      continue;
+    }
+    if (o.attempts >= cfg_.max_retx_attempts) {
+      ++retx_give_ups_;
+      outstanding_.erase(key);
+      continue;
+    }
+    ++o.attempts;
+    ++retransmits_;
+    auto clone = std::make_shared<Packet>(*o.pkt);
+    clone->id = fresh_packet_id();
+    clone->retx_of = key;
+    clone->src = id_;
+    clone->dst = dst;  // route straight to the true destination, whatever
+                       // sharing rewrote on the original
+    clone->final_dst = dst;
+    clone->switching = Switching::Packet;
+    // The first transmission just failed to produce an ack — do not hand the
+    // retry back to the circuit layer, whose shared rides (vicinity,
+    // hitchhiking) can cross the same failed link without ever accruing a
+    // liveness streak on a connection this NI could doom. Packet switching
+    // detours around failed links, so a reachable destination is always
+    // eventually reached.
+    clone->cs_eligible = false;
+    clone->created = now;
+    clone->injected = 0;
+    clone->reinjected = true;  // not new workload
+    clone->stall_flagged = false;
+    clone->share_in_port = -1;
+    clone->share_out_port = -1;
+    // Capped exponential backoff: doubling spreads repeated collisions out.
+    // The timer goes dormant until the clone's head flit launches
+    // (e2e_launched) — a clone stuck behind a long source queue must not
+    // itself time out and spawn further clones.
+    o.backoff = std::min(o.backoff * 2, cfg_.retx_backoff_cap_cycles);
+    o.next_retx = kCycleNever;
+    on_e2e_retx(clone, now);
+    send(std::move(clone), now);
+  }
+}
+
+int NetworkInterface::watchdog_scan(Cycle now, Cycle max_age) {
+  int flagged = 0;
+  auto check = [&](const PacketPtr& p) {
+    if (p && !p->is_config() && !p->stall_flagged && now >= p->created &&
+        now - p->created >= max_age) {
+      p->stall_flagged = true;
+      ++flagged;
+    }
+  };
+  for (const auto& p : queue_) check(p);
+  for (const auto& v : out_vcs_) check(v.pkt);
+  for (const auto& [key, o] : outstanding_) check(o.pkt);
+  watchdog_flagged_ += static_cast<std::uint64_t>(flagged);
+  return flagged;
 }
 
 void NetworkInterface::inject_tick(Cycle now) {
@@ -143,6 +336,8 @@ void NetworkInterface::inject_tick(Cycle now) {
     }
     if (vc.next_seq == 0) {
       pkt->injected = now;
+      if (cfg_.e2e_recovery) e2e_launched(pkt, now);
+      if (pkt->e2e_ack) acks_pending_.erase(static_cast<PacketId>(pkt->payload));
       if (!pkt->is_config() && now >= pkt->created) {
         ewma_inject_delay_ = 0.9 * ewma_inject_delay_ +
                              0.1 * static_cast<double>(now - pkt->created);
@@ -178,10 +373,14 @@ bool NetworkInterface::sched_busy() const {
 }
 
 Cycle NetworkInterface::sched_next_event(Cycle now) const {
-  (void)now;
   Cycle next = kCycleNever;
   if (inject_credits_in_) next = std::min(next, inject_credits_in_->next_ready());
   if (eject_) next = std::min(next, eject_->next_ready());
+  // Retransmission timers must fire on time even while the NI is otherwise
+  // asleep, or recovery under fast_forward diverges from the full sweep.
+  for (const auto& [key, o] : outstanding_) {
+    next = std::min(next, std::max(o.next_retx, now + 1));
+  }
   return next;
 }
 

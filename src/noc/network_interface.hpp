@@ -12,10 +12,12 @@
 #include <deque>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/geometry.hpp"
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "noc/channel.hpp"
 #include "noc/router.hpp"
@@ -37,6 +39,10 @@ class NetworkInterface : public VcHolder {
   void connect(FlitChannel* inject, CreditChannel* inject_credits_in,
                FlitChannel* eject, CreditChannel* eject_credits_out,
                Router* router);
+
+  /// Hardware fault model (owned by the Network; nullptr = perfect fabric).
+  /// Enables the injection-side reachability check and unreachable give-ups.
+  void set_fault_model(const FaultModel* fm) { faults_ = fm; }
 
   /// Queue a packet for transmission. The NI owns switching-mode selection;
   /// the caller only sets src/dst/type/class (and num_flits for data).
@@ -78,9 +84,24 @@ class NetworkInterface : public VcHolder {
   /// before a per-cycle energy rate changes under a sleeping NI).
   void settle_energy(Cycle through);
 
+  /// Starvation watchdog sweep: flag (once) every non-config packet that has
+  /// been queued or unacknowledged for `max_age`+ cycles. Returns the number
+  /// newly flagged; the running total is watchdog_flagged().
+  int watchdog_scan(Cycle now, Cycle max_age);
+
   // --- statistics ---
   std::uint64_t data_packets_sent() const { return data_packets_sent_; }
   std::uint64_t data_packets_delivered() const { return data_packets_delivered_; }
+  // end-to-end recovery (all zero when cfg.e2e_recovery is off)
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t retx_give_ups() const { return retx_give_ups_; }
+  std::uint64_t crc_squashed_packets() const { return crc_squashed_packets_; }
+  std::uint64_t e2e_acks_sent() const { return e2e_acks_sent_; }
+  std::uint64_t e2e_duplicates_dropped() const { return e2e_duplicates_dropped_; }
+  std::uint64_t unreachable_failed() const { return unreachable_failed_; }
+  std::uint64_t watchdog_flagged() const { return watchdog_flagged_; }
+  /// Packets sent but not yet end-to-end acknowledged.
+  std::size_t e2e_outstanding() const { return outstanding_.size(); }
   std::uint64_t ps_data_flits_injected() const { return ps_data_flits_; }
   std::uint64_t cs_data_flits_injected() const { return cs_data_flits_; }
   std::uint64_t config_flits_injected() const { return config_flits_; }
@@ -129,10 +150,38 @@ class NetworkInterface : public VcHolder {
   /// Patch derived counters at query time (hybrid NI: dlt_accesses, which
   /// the full sweep refreshes from the DLT every cycle).
   virtual void finalize_energy(EnergyCounters& e) const { (void)e; }
+  /// The end-to-end layer retransmitted a packet toward `dst` (hybrid NI:
+  /// bump the circuit's missed-slot streak) / saw an ack from `dst` come
+  /// back (hybrid NI: clear the streak).
+  virtual void on_e2e_retx(const PacketPtr& clone, Cycle now) {
+    (void)clone;
+    (void)now;
+  }
+  virtual void on_e2e_acked(NodeId dst, Cycle now) {
+    (void)dst;
+    (void)now;
+  }
+  /// A fully assembled packet was squashed because a flit arrived CRC-dirty
+  /// (the hybrid NI retires squashed config messages with the controller).
+  virtual void on_packet_squashed(const PacketPtr& pkt, Cycle now) {
+    (void)pkt;
+    (void)now;
+  }
   /// Wake this NI at `at` (no-op under the legacy full sweep).
   void sched_wake(Cycle at) {
     if (sched_) sched_->wake_at(sched_id_, at);
   }
+
+  /// Injection-side admission for the fault layer: fails the packet cleanly
+  /// (returns false) when its destination is partitioned off, otherwise
+  /// registers it with the end-to-end recovery table. Idempotent, so the
+  /// hybrid NI can admit before its circuit try and the packet-switched
+  /// fallback can admit again harmlessly.
+  bool e2e_admit(const PacketPtr& pkt, Cycle now);
+  /// A copy of a tracked packet just entered the fabric (packet-switched
+  /// head flit launched, or a circuit transmission was slotted): arm its
+  /// retransmission timer. Queue residency does not count as transmission.
+  void e2e_launched(const PacketPtr& pkt, Cycle now);
 
   void deliver(const PacketPtr& pkt, Cycle now);
   /// Enqueue at the front (used for hop-off / bounced packets).
@@ -151,6 +200,7 @@ class NetworkInterface : public VcHolder {
   const NodeId id_;
   const Mesh& mesh_;
   Router* router_ = nullptr;
+  const FaultModel* faults_ = nullptr;
 
   FlitChannel* inject_ = nullptr;
   CreditChannel* inject_credits_in_ = nullptr;
@@ -179,11 +229,44 @@ class NetworkInterface : public VcHolder {
   void inject_tick(Cycle now);
   bool try_start_packet(Cycle now);
 
+  // --- end-to-end recovery (cfg.e2e_recovery) ---
+  /// One unacknowledged transmission at its origin NI.
+  struct Outstanding {
+    PacketPtr pkt;       ///< the original packet (retransmits clone it)
+    Cycle next_retx = 0;
+    Cycle backoff = 0;   ///< current wait; doubles per attempt up to the cap
+    int attempts = 0;    ///< retransmissions already sent
+  };
+  void e2e_track(const PacketPtr& pkt, Cycle now);
+  void e2e_tick(Cycle now);
+  void e2e_acked(PacketId key, Cycle now);
+  void send_e2e_ack(const PacketPtr& pkt, PacketId key, Cycle now);
+
   std::unordered_map<PacketId, int> assembly_;
   DeliverFn deliver_;
   int eject_active_vcs_;
   PacketId local_ids_ = 0;
   double ewma_inject_delay_ = 0.0;
+
+  /// Keyed by original packet id (the end-to-end sequence number).
+  std::unordered_map<PacketId, Outstanding> outstanding_;
+  /// Packet ids that arrived with at least one CRC-flagged flit; the whole
+  /// packet is squashed at assembly.
+  std::unordered_set<PacketId> poisoned_;
+  /// Destination-side dedup: end-to-end keys already delivered here.
+  std::unordered_set<PacketId> e2e_seen_;
+  /// Keys with an ack built but not yet launched (ack coalescing): a burst
+  /// of duplicate copies yields one queued ack, not one per copy.
+  std::unordered_set<PacketId> acks_pending_;
+  Rng e2e_rng_;  ///< retransmission jitter (only drawn when e2e is on)
+
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t retx_give_ups_ = 0;
+  std::uint64_t crc_squashed_packets_ = 0;
+  std::uint64_t e2e_acks_sent_ = 0;
+  std::uint64_t e2e_duplicates_dropped_ = 0;
+  std::uint64_t unreachable_failed_ = 0;
+  std::uint64_t watchdog_flagged_ = 0;
 };
 
 }  // namespace hybridnoc

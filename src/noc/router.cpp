@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "noc/fault_model.hpp"
 #include "noc/routing.hpp"
 
 namespace hybridnoc {
@@ -99,6 +100,22 @@ void Router::receive_flits(Cycle now) {
     auto& ip = in_[static_cast<size_t>(p)];
     if (!ip.data) continue;
     while (auto f = ip.data->receive(now)) {
+      // Per-hop CRC: detection only for data (the fail-dirty flit keeps
+      // flowing and the destination NI squashes the packet) — but a damaged
+      // config message is evaporated right here, with the same buffer and
+      // credit accounting as a protocol-consumed flit, before any router
+      // can act on its fields.
+      if (f->corrupted) {
+        ++crc_flagged_flits_;
+        if (f->pkt->is_config()) {
+          HN_CHECK(f->is_tail());
+          ++energy_.buffer_writes;
+          ++energy_.buffer_reads;
+          if (ip.credit_out) ip.credit_out->send({f->vc}, now);
+          on_config_corrupt(f->pkt);
+          continue;
+        }
+      }
       if (handle_arrival(*f, static_cast<Port>(p), now)) continue;
       HN_CHECK_MSG(f->switching == Switching::Packet,
                    "circuit flit reached the packet pipeline");
@@ -260,13 +277,30 @@ void Router::send_flit(Port out, Flit flit, Cycle now) {
   auto& op = out_[static_cast<size_t>(out)];
   HN_CHECK_MSG(op.data != nullptr, "flit sent to an unconnected port");
   ++energy_.xbar_flits;
-  if (out != Port::Local) ++energy_.link_flits;
+  if (out != Port::Local) {
+    ++energy_.link_flits;
+    // Link-traversal fault hook: a fault corrupts the payload but the flit
+    // still crosses (fail-dirty), so flow-control invariants are untouched.
+    if (faults_ && faults_->on_traverse(id_, out, now)) flit.corrupted = true;
+  }
   ++flits_traversed_;
   op.data->send(std::move(flit), now);
 }
 
-Port Router::route_adaptive(NodeId dst) {
-  const auto candidates = west_first_candidates(mesh_, id_, dst);
+Port Router::route_adaptive(NodeId dst, Cycle now) {
+  auto candidates = west_first_candidates(mesh_, id_, dst);
+  if (faults_ && faults_->any_failed(now)) {
+    // During a fault epoch config follows the same up*/down* tree as data:
+    // the whole fabric then shares one acyclic channel ordering, whereas
+    // mixing west-first config turns with tree-routed data could close a
+    // dependency cycle neither ordering allows on its own. When the tree
+    // offers nothing (destination partitioned off), fall back to the
+    // original pick — the dead link corrupts the flit and lease/timeout
+    // recovery cleans up, rather than the flit self-delivering at the wrong
+    // node.
+    const Port p = route_fault_aware(mesh_, *faults_, id_, dst, now);
+    return p == Port::Local ? candidates.front() : p;
+  }
   return select_by_credits(candidates,
                            [this](Port p) { return free_credits(p); });
 }
@@ -287,10 +321,18 @@ bool Router::st_ok(Port in, Port out, Cycle st_cycle) {
 
 std::optional<Port> Router::compute_route(const PacketPtr& pkt, Port in, Cycle now) {
   (void)in;
-  (void)now;
   if (pkt->dst == id_) return Port::Local;
-  // Table I: X-Y for data, minimal adaptive for configuration packets.
-  return pkt->is_config() ? route_adaptive(pkt->dst) : route_data(pkt->dst);
+  if (pkt->is_config()) return route_adaptive(pkt->dst, now);
+  // Table I: X-Y for data — until the fabric has dead links, after which
+  // every data packet follows the deadlock-free up*/down* detour routing
+  // (fault-free runs never take this branch, so they stay bit-identical).
+  if (faults_ && faults_->any_failed(now)) {
+    const Port p = route_fault_aware(mesh_, *faults_, id_, pkt->dst, now);
+    // Local = this router is fully cut off; fall back to XY (the dead link
+    // corrupts the flit and end-to-end recovery takes over).
+    return p == Port::Local ? route_data(pkt->dst) : p;
+  }
+  return route_data(pkt->dst);
 }
 
 bool Router::idle() const {

@@ -40,6 +40,8 @@
 
 namespace hybridnoc {
 
+class FaultModel;
+
 /// Anything that can hold an allocation of a downstream input VC — an
 /// upstream Router or a NetworkInterface. The VC-gating controller polls the
 /// upstream holder before powering a VC off ("the VC must be evacuated
@@ -66,6 +68,10 @@ class Router : public VcHolder {
   void connect_output(Port p, FlitChannel* data_out, CreditChannel* credit_in);
   /// Downstream router (or NI) whose announced active-VC count bounds VA.
   void set_downstream_active_vcs(Port p, const int* active_vcs);
+  /// Hardware fault model (owned by the Network; nullptr = perfect fabric).
+  /// Every link traversal consults it, and data routing detours around links
+  /// it reports permanently failed.
+  void set_fault_model(FaultModel* fm) { faults_ = fm; }
 
   /// One simulated cycle. The Network calls every router once per cycle in a
   /// fixed order; all inter-router traffic crosses latency>=1 channels, so
@@ -84,6 +90,9 @@ class Router : public VcHolder {
 
   const EnergyCounters& energy() const { return energy_; }
   std::uint64_t flits_traversed() const { return flits_traversed_; }
+  /// Arriving flits whose per-hop CRC check flagged corruption. Detection
+  /// only — fail-dirty flits keep flowing and the destination NI squashes.
+  std::uint64_t crc_flagged_flits() const { return crc_flagged_flits_; }
 
   /// No buffered flits and no pending crossbar grants.
   bool idle() const;
@@ -170,6 +179,12 @@ class Router : public VcHolder {
   /// setup/teardown here). nullopt = consume the flit without forwarding
   /// (single-flit config packets only).
   virtual std::optional<Port> compute_route(const PacketPtr& pkt, Port in, Cycle now);
+  /// A CRC-flagged config message was evaporated at this router's input:
+  /// acting on damaged protocol fields (slot ids, owner tags) would corrupt
+  /// reservation state, and the protocol's timeout/lease machinery already
+  /// recovers from the loss. The hybrid router retires it with the
+  /// controller's config-in-flight ledger.
+  virtual void on_config_corrupt(const PacketPtr& pkt) { (void)pkt; }
   /// Called during the traversal phase so the hybrid router can push the
   /// circuit-switched flits it collected this cycle through the crossbar.
   virtual void traverse_circuit(Cycle now) { (void)now; }
@@ -193,13 +208,14 @@ class Router : public VcHolder {
   /// so CS/PS conflicts are caught.
   void claim_xbar_output(Port out);
   Port route_data(NodeId dst) const { return route_xy(mesh_, id_, dst); }
-  Port route_adaptive(NodeId dst);
+  Port route_adaptive(NodeId dst, Cycle now);
   int powered_vcs() const;  ///< active + draining (for leakage)
   int num_ports_in_use() const { return static_cast<int>(ports_present_); }
 
   const NocConfig cfg_;
   const NodeId id_;
   const Mesh& mesh_;
+  FaultModel* faults_ = nullptr;
   std::array<InputPort, kNumPorts> in_;
   std::array<OutputPort, kNumPorts> out_;
   EnergyCounters energy_;
@@ -223,6 +239,7 @@ class Router : public VcHolder {
   std::vector<StReg> st_regs_;
   std::array<bool, kNumPorts> xbar_out_used_{};
   std::uint64_t flits_traversed_ = 0;
+  std::uint64_t crc_flagged_flits_ = 0;
 
   // --- VC power gating state ---
   int announced_active_vcs_;  ///< what upstream allocators may use

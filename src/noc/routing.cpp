@@ -1,5 +1,7 @@
 #include "noc/routing.hpp"
 
+#include "noc/fault_model.hpp"
+
 namespace hybridnoc {
 
 Port route_xy(const Mesh& mesh, NodeId here, NodeId dst) {
@@ -25,6 +27,19 @@ std::vector<Port> west_first_candidates(const Mesh& mesh, NodeId here, NodeId ds
   if (c.y > d.y) out.push_back(Port::North);
   if (c.y < d.y) out.push_back(Port::South);
   return out;
+}
+
+Port route_fault_aware(const Mesh& mesh, const FaultModel& faults, NodeId here,
+                       NodeId dst, Cycle now) {
+  (void)mesh;
+  // Up*/down* over a BFS spanning forest of the surviving topology. A greedy
+  // shortest-surviving-path detour looks tempting, but distance-descent
+  // routes to different destinations take turns in every direction and can
+  // close wormhole buffer cycles — observed as a hard fabric deadlock under
+  // a sustained multi-flow fault storm. Tree routes cost extra hops yet keep
+  // the channel dependency graph acyclic (all up moves strictly precede all
+  // down moves), so every fault epoch stays deadlock-free by construction.
+  return faults.updown_next(here, dst, now);
 }
 
 }  // namespace hybridnoc

@@ -22,6 +22,20 @@ Port route_xy(const Mesh& mesh, NodeId here, NodeId dst);
 /// every minimal direction is offered. Never contains Local unless here==dst.
 std::vector<Port> west_first_candidates(const Mesh& mesh, NodeId here, NodeId dst);
 
+class FaultModel;
+
+/// Fault-aware routing for when the fabric has permanently failed links:
+/// up*/down* over a BFS spanning forest of the surviving topology
+/// (FaultModel::updown_next). Every route climbs toward the lowest common
+/// ancestor and then descends, so the channel dependency graph stays acyclic
+/// and fault-epoch routing is deadlock-free for any pattern of link/router
+/// deaths that leaves the endpoints connected; up moves strictly decrease
+/// tree depth, so routes also cannot livelock. Returns Port::Local when
+/// here == dst or `dst` is partitioned off (caller fails the packet via the
+/// reachability check).
+Port route_fault_aware(const Mesh& mesh, const FaultModel& faults, NodeId here,
+                       NodeId dst, Cycle now);
+
 /// Credit-based selection among `candidates`: the port with the most free
 /// downstream buffer slots wins; ties break deterministically by port order.
 /// `free_credits(port)` is supplied by the router.

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/assert.hpp"
+#include "noc/fault_model.hpp"
 #include "tdm/hybrid_network.hpp"
 
 namespace hybridnoc {
@@ -21,6 +22,8 @@ const char* config_kind_name(ConfigKind k) {
     case ConfigKind::Setup: return "setup";
     case ConfigKind::Teardown: return "teardown";
     case ConfigKind::AckSuccess: return "ack+";
+    case ConfigKind::Link: return "link";
+    case ConfigKind::Router: return "router";
   }
   return "?";
 }
@@ -31,6 +34,9 @@ const char* fault_action_name(FaultAction a) {
     case FaultAction::Drop: return "drop";
     case FaultAction::Delay: return "delay";
     case FaultAction::Duplicate: return "dup";
+    case FaultAction::Corrupt: return "corrupt";
+    case FaultAction::Stuck: return "stuck";
+    case FaultAction::Kill: return "kill";
   }
   return "?";
 }
@@ -39,6 +45,8 @@ std::optional<ConfigKind> parse_config_kind(const std::string& s) {
   if (s == "setup") return ConfigKind::Setup;
   if (s == "teardown") return ConfigKind::Teardown;
   if (s == "ack+") return ConfigKind::AckSuccess;
+  if (s == "link") return ConfigKind::Link;
+  if (s == "router") return ConfigKind::Router;
   return std::nullopt;
 }
 
@@ -47,6 +55,9 @@ std::optional<FaultAction> parse_fault_action(const std::string& s) {
   if (s == "drop") return FaultAction::Drop;
   if (s == "delay") return FaultAction::Delay;
   if (s == "dup") return FaultAction::Duplicate;
+  if (s == "corrupt") return FaultAction::Corrupt;
+  if (s == "stuck") return FaultAction::Stuck;
+  if (s == "kill") return FaultAction::Kill;
   return std::nullopt;
 }
 
@@ -98,6 +109,22 @@ FaultRecord parse_record(const std::string& line) {
                "invalid fault-trace record");
   r.kind = *k;
   r.action = *a;
+  // Data-plane records (v2) carry a port index in dst and a restricted
+  // action set; reject inconsistent combinations at the parse boundary.
+  if (r.kind == ConfigKind::Link) {
+    HN_CHECK_MSG(r.dst >= 1 && r.dst < kNumPorts, "invalid link fault port");
+    HN_CHECK_MSG(r.action == FaultAction::Corrupt ||
+                     r.action == FaultAction::Stuck ||
+                     r.action == FaultAction::Kill,
+                 "invalid link fault action");
+  } else if (r.kind == ConfigKind::Router) {
+    HN_CHECK_MSG(r.action == FaultAction::Kill, "invalid router fault action");
+  } else {
+    HN_CHECK_MSG(r.action != FaultAction::Corrupt &&
+                     r.action != FaultAction::Stuck &&
+                     r.action != FaultAction::Kill,
+                 "data-plane action on a config record");
+  }
   return r;
 }
 
@@ -115,7 +142,7 @@ void check_version_header(std::istream& in, const char* magic) {
   HN_CHECK_MSG(static_cast<bool>(in >> word >> v >> version) && word == magic &&
                    v == 'v',
                "bad fault-trace header");
-  HN_CHECK_MSG(version == FaultTrace::kVersion,
+  HN_CHECK_MSG(version >= 1 && version <= FaultTrace::kVersion,
                "unsupported fault-trace version");
   std::string rest;
   std::getline(in, rest);  // consume the remainder of the header line
@@ -154,6 +181,16 @@ NocConfig FaultScenario::to_config() const {
   cfg.path_idle_timeout = path_idle_timeout;
   cfg.pending_setup_timeout_cycles = pending_setup_timeout_cycles;
   cfg.reservation_lease_cycles = reservation_lease_cycles;
+  cfg.link_ber = link_ber;
+  cfg.fault_seed = link_fault_seed;
+  cfg.e2e_recovery = e2e_recovery;
+  cfg.retx_timeout_cycles = retx_timeout_cycles;
+  cfg.retx_backoff_cap_cycles = retx_backoff_cap_cycles;
+  cfg.max_retx_attempts = max_retx_attempts;
+  cfg.cs_fail_threshold = cs_fail_threshold;
+  cfg.watchdog_stall_cycles = watchdog_stall_cycles;
+  cfg.setup_backoff_base_cycles = setup_backoff_base_cycles;
+  cfg.setup_backoff_cap_cycles = setup_backoff_cap_cycles;
   return cfg;
 }
 
@@ -176,6 +213,26 @@ void save_fault_scenario(std::ostream& out, const FaultScenario& s) {
   out << "dup_prob " << s.fault_params.dup_prob << '\n';
   out << "max_delay_cycles " << s.fault_params.max_delay_cycles << '\n';
   out << "fault_seed " << s.fault_params.seed << '\n';
+  out << "link_ber " << s.link_ber << '\n';
+  out << "link_fault_seed " << s.link_fault_seed << '\n';
+  out << "e2e_recovery " << (s.e2e_recovery ? 1 : 0) << '\n';
+  out << "retx_timeout " << s.retx_timeout_cycles << '\n';
+  out << "retx_backoff_cap " << s.retx_backoff_cap_cycles << '\n';
+  out << "max_retx_attempts " << s.max_retx_attempts << '\n';
+  out << "cs_fail_threshold " << s.cs_fail_threshold << '\n';
+  out << "watchdog_stall " << s.watchdog_stall_cycles << '\n';
+  out << "setup_backoff_base " << s.setup_backoff_base_cycles << '\n';
+  out << "setup_backoff_cap " << s.setup_backoff_cap_cycles << '\n';
+  for (const auto& d : s.dead_links) {
+    out << "kill_link " << d.node << ' ' << d.port << ' ' << d.start << '\n';
+  }
+  for (const auto& d : s.stuck_links) {
+    out << "stick_link " << d.node << ' ' << d.port << ' ' << d.start << ' '
+        << d.duration << '\n';
+  }
+  for (const auto& [node, at] : s.dead_routers) {
+    out << "kill_router " << node << ' ' << at << '\n';
+  }
   if (!s.invariant.empty()) out << "invariant " << s.invariant << '\n';
   out << "traffic " << s.traffic.size() << '\n';
   out << "# cycle src dst flits\n";
@@ -228,7 +285,29 @@ FaultScenario load_fault_scenario(std::istream& in) {
     else if (key == "dup_prob") s.fault_params.dup_prob = read_double();
     else if (key == "max_delay_cycles") s.fault_params.max_delay_cycles = read_u64();
     else if (key == "fault_seed") s.fault_params.seed = read_u64();
-    else if (key == "invariant") {
+    else if (key == "link_ber") s.link_ber = read_double();
+    else if (key == "link_fault_seed") s.link_fault_seed = read_u64();
+    else if (key == "e2e_recovery") s.e2e_recovery = read_u64() != 0;
+    else if (key == "retx_timeout") s.retx_timeout_cycles = read_u64();
+    else if (key == "retx_backoff_cap") s.retx_backoff_cap_cycles = read_u64();
+    else if (key == "max_retx_attempts") s.max_retx_attempts = static_cast<int>(read_u64());
+    else if (key == "cs_fail_threshold") s.cs_fail_threshold = static_cast<int>(read_u64());
+    else if (key == "watchdog_stall") s.watchdog_stall_cycles = read_u64();
+    else if (key == "setup_backoff_base") s.setup_backoff_base_cycles = read_u64();
+    else if (key == "setup_backoff_cap") s.setup_backoff_cap_cycles = read_u64();
+    else if (key == "kill_link" || key == "stick_link") {
+      FaultScenario::LinkFaultSpec d;
+      d.node = static_cast<NodeId>(read_u64());
+      d.port = static_cast<int>(read_u64());
+      d.start = read_u64();
+      if (key == "stick_link") d.duration = read_u64();
+      HN_CHECK_MSG(d.port >= 1 && d.port < kNumPorts,
+                   "invalid scenario link fault port");
+      (key == "kill_link" ? s.dead_links : s.stuck_links).push_back(d);
+    } else if (key == "kill_router") {
+      const auto node = static_cast<NodeId>(read_u64());
+      s.dead_routers.emplace_back(node, read_u64());
+    } else if (key == "invariant") {
       HN_CHECK_MSG(static_cast<bool>(ls >> s.invariant),
                    "malformed scenario field value");
     } else if (key == "traffic") {
@@ -283,15 +362,84 @@ void write_fault_scenario_file(const std::string& path,
 // Scenario runner
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// FaultRecord <-> LinkFaultEvent mapping for v2 data-plane records.
+FaultRecord data_fault_record(const LinkFaultEvent& e) {
+  FaultRecord r;
+  r.cycle = e.start;
+  r.kind = e.kind == FaultKind::DeadRouter ? ConfigKind::Router
+                                           : ConfigKind::Link;
+  r.src = e.node;
+  r.dst = static_cast<NodeId>(e.out);  // port index; Local (0) for routers
+  r.occurrence = static_cast<int>(e.occurrence);
+  switch (e.kind) {
+    case FaultKind::Transient: r.action = FaultAction::Corrupt; break;
+    case FaultKind::StuckLink:
+      r.action = FaultAction::Stuck;
+      r.delay = e.duration;
+      break;
+    case FaultKind::DeadLink:
+    case FaultKind::DeadRouter: r.action = FaultAction::Kill; break;
+  }
+  return r;
+}
+
+bool is_data_fault_record(const FaultRecord& r) {
+  return r.kind == ConfigKind::Link || r.kind == ConfigKind::Router;
+}
+
+}  // namespace
+
 ScenarioOutcome run_fault_scenario(const FaultScenario& s, ScenarioMode mode,
                                    bool audit_each_event,
                                    FaultTrace* recorded) {
   HybridNetwork net(s.to_config());
+  const bool data_faults = s.link_ber > 0.0 || !s.dead_links.empty() ||
+                           !s.stuck_links.empty() || !s.dead_routers.empty();
   if (mode == ScenarioMode::Record) {
+    if (data_faults) {
+      FaultModel& fm = net.ensure_fault_model();
+      for (const auto& d : s.dead_links)
+        fm.kill_link(d.node, static_cast<Port>(d.port), d.start);
+      for (const auto& d : s.stuck_links)
+        fm.stick_link(d.node, static_cast<Port>(d.port), d.start, d.duration);
+      for (const auto& [node, at] : s.dead_routers) fm.kill_router(node, at);
+      fm.set_recording(true);
+    }
     net.enable_config_faults(s.fault_params);
     net.start_fault_trace_recording();
   } else {
-    net.enable_config_fault_replay(s.faults, audit_each_event);
+    // Replay re-derives every data-plane fault from the trace (not the
+    // scenario's kill/stick schedule), so the shrinker can drop those
+    // records too; transient corruption replays by (link, occurrence) and
+    // never evaluates the BER hash.
+    FaultTrace config_trace;
+    std::vector<LinkFaultEvent> transients;
+    bool any_data_records = false;
+    for (const auto& r : s.faults.records) {
+      if (!is_data_fault_record(r)) {
+        config_trace.records.push_back(r);
+        continue;
+      }
+      any_data_records = true;
+      FaultModel& fm = net.ensure_fault_model();
+      if (r.kind == ConfigKind::Router) {
+        fm.kill_router(r.src, r.cycle);
+      } else if (r.action == FaultAction::Kill) {
+        fm.kill_link(r.src, static_cast<Port>(r.dst), r.cycle);
+      } else if (r.action == FaultAction::Stuck) {
+        fm.stick_link(r.src, static_cast<Port>(r.dst), r.cycle, r.delay);
+      } else {
+        transients.push_back({FaultKind::Transient, r.src,
+                              static_cast<Port>(r.dst), r.cycle, 0,
+                              static_cast<std::uint64_t>(r.occurrence)});
+      }
+    }
+    if (any_data_records || s.link_ber > 0.0) {
+      net.ensure_fault_model().set_transient_replay(transients);
+    }
+    net.enable_config_fault_replay(config_trace, audit_each_event);
   }
 
   // Resize requests and traffic are both indexed against the scenario clock;
@@ -357,7 +505,29 @@ ScenarioOutcome run_fault_scenario(const FaultScenario& s, ScenarioMode mode,
   o.replay_events = net.replay_events();
   o.replay_applied = net.replay_applied();
   o.replay_audit_failures = net.replay_audit_failures();
-  if (recorded) *recorded = net.recorded_fault_trace();
+  const DegradationReport deg = net.degradation_report();
+  o.data_sent = deg.data_sent;
+  o.data_delivered = deg.data_delivered;
+  o.retransmits = deg.retransmits;
+  o.retx_give_ups = deg.retx_give_ups;
+  o.unreachable_failed = deg.unreachable_failed;
+  o.crc_flagged_flits = deg.crc_flagged_flits;
+  o.crc_squashed_packets = deg.crc_squashed_packets;
+  o.cs_fault_teardowns = net.total_cs_fault_teardowns();
+  o.setup_give_ups = net.total_setup_give_ups();
+  o.failed_links = deg.failed_links;
+  if (recorded) {
+    *recorded = net.recorded_fault_trace();
+    // Fold the run's data-plane faults in (v2): the scheduled kills/stucks
+    // and every transient corruption that actually fired, so the trace alone
+    // reproduces the storm.
+    if (const FaultModel* fm = net.fault_model()) {
+      for (const auto& e : fm->scheduled_events())
+        recorded->records.push_back(data_fault_record(e));
+      for (const auto& e : fm->fired_transients())
+        recorded->records.push_back(data_fault_record(e));
+    }
+  }
   return o;
 }
 
@@ -376,6 +546,11 @@ bool violates_invariant(const std::string& name, const ScenarioOutcome& o) {
   if (name == "no-expired-reservations") return o.expired_reservations > 0;
   if (name == "no-orphan-ack-teardowns") return o.orphan_ack_teardowns > 0;
   if (name == "clean-replay-audit") return o.replay_audit_failures > 0;
+  if (name == "all-delivered") {
+    return !o.quiesced || o.data_delivered < o.data_sent;
+  }
+  if (name == "no-fault-teardowns") return o.cs_fault_teardowns > 0;
+  if (name == "no-retx-give-ups") return o.retx_give_ups > 0;
   HN_CHECK_MSG(false, "unknown invariant name");
   return false;
 }
@@ -386,7 +561,10 @@ std::vector<std::string> known_invariants() {
           "no-pending-timeouts",
           "no-expired-reservations",
           "no-orphan-ack-teardowns",
-          "clean-replay-audit"};
+          "clean-replay-audit",
+          "all-delivered",
+          "no-fault-teardowns",
+          "no-retx-give-ups"};
 }
 
 // ---------------------------------------------------------------------------

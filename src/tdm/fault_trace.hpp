@@ -43,13 +43,21 @@ struct ConfigFaultParams {
   std::uint64_t seed = 1;
 };
 
-/// Config-message kinds a fault record can attach to. These are the three
-/// the NI dispatches; failure acks are minted in place by a conflicting
-/// router and never pass the dispatch hook.
-enum class ConfigKind : std::uint8_t { Setup, Teardown, AckSuccess };
+/// Event kinds a fault record can attach to. Setup/Teardown/AckSuccess are
+/// the three config messages the NI dispatches (failure acks are minted in
+/// place by a conflicting router and never pass the dispatch hook); Link and
+/// Router (v2) carry data-plane hardware faults — `src` is the upstream
+/// node, `dst` the directed link's output-port index (Link only).
+enum class ConfigKind : std::uint8_t { Setup, Teardown, AckSuccess, Link, Router };
 
-/// What the harness did to one dispatched config message.
-enum class FaultAction : std::uint8_t { None, Drop, Delay, Duplicate };
+/// What happened to the event. None/Drop/Delay/Duplicate apply to config
+/// messages; Corrupt/Stuck/Kill (v2) to Link/Router records — Corrupt is one
+/// transient flit corruption (keyed by the link's traversal `occurrence`),
+/// Stuck a corrupting window of `delay` cycles from `cycle`, Kill a
+/// permanent link or router death at `cycle`.
+enum class FaultAction : std::uint8_t {
+  None, Drop, Delay, Duplicate, Corrupt, Stuck, Kill
+};
 
 const char* config_kind_name(ConfigKind k);
 const char* fault_action_name(FaultAction a);
@@ -75,9 +83,11 @@ struct FaultRecord {
 std::uint64_t fault_record_key(ConfigKind kind, NodeId src, NodeId dst,
                                int occurrence);
 
-/// The full decision sequence of one harness run.
+/// The full decision sequence of one harness run. v2 traces may also carry
+/// the run's data-plane faults (Link/Router records): permanent kills, stuck
+/// windows, and every transient corruption that fired.
 struct FaultTrace {
-  static constexpr int kVersion = 1;
+  static constexpr int kVersion = 2;  ///< loaders accept [1, kVersion]
   std::vector<FaultRecord> records;
 
   /// Records whose action is not None (the ones replay must re-apply).
@@ -111,6 +121,31 @@ struct FaultScenario {
   Cycle cooldown_cycles = 6000;
   std::vector<Cycle> resizes;  ///< cycles at which a table resize is requested
   ConfigFaultParams fault_params;
+
+  // --- data-plane faults (v2) ---
+  /// One scheduled hardware link fault; duration is StuckLink-only.
+  struct LinkFaultSpec {
+    NodeId node = 0;
+    int port = 0;  ///< Port index 1..4 (East..West)
+    Cycle start = 0;
+    Cycle duration = 0;
+  };
+  double link_ber = 0.0;  ///< per-traversal transient corruption probability
+  std::uint64_t link_fault_seed = 1;
+  bool e2e_recovery = false;
+  std::uint64_t retx_timeout_cycles = 256;
+  std::uint64_t retx_backoff_cap_cycles = 4096;
+  int max_retx_attempts = 6;
+  int cs_fail_threshold = 3;
+  std::uint64_t watchdog_stall_cycles = 0;
+  std::uint64_t setup_backoff_base_cycles = 0;
+  std::uint64_t setup_backoff_cap_cycles = 1024;
+  /// Record-mode schedule (replay re-derives kills from the trace instead,
+  /// so the shrinker can drop them too).
+  std::vector<LinkFaultSpec> dead_links;
+  std::vector<LinkFaultSpec> stuck_links;
+  std::vector<std::pair<NodeId, Cycle>> dead_routers;
+
   std::string invariant;
   std::vector<TraceEntry> traffic;
   FaultTrace faults;
@@ -149,6 +184,17 @@ struct ScenarioOutcome {
   std::uint64_t replay_events = 0;
   std::uint64_t replay_applied = 0;
   std::uint64_t replay_audit_failures = 0;
+  // Data-plane fault accounting (v2 scenarios; zero otherwise).
+  std::uint64_t data_sent = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t retx_give_ups = 0;
+  std::uint64_t unreachable_failed = 0;
+  std::uint64_t crc_flagged_flits = 0;
+  std::uint64_t crc_squashed_packets = 0;
+  std::uint64_t cs_fault_teardowns = 0;
+  std::uint64_t setup_give_ups = 0;
+  int failed_links = 0;
 };
 
 enum class ScenarioMode : std::uint8_t {

@@ -210,6 +210,9 @@ void HybridNetwork::enable_config_fault_replay(const FaultTrace& trace,
   replay_occurrence_.clear();
   for (std::size_t i = 0; i < replay_trace_.records.size(); ++i) {
     const FaultRecord& r = replay_trace_.records[i];
+    // Data-plane records (v2) replay through the FaultModel, not the config
+    // dispatch hook; leave them out of the match index.
+    if (r.kind == ConfigKind::Link || r.kind == ConfigKind::Router) continue;
     const auto [it, inserted] = replay_index_.emplace(
         fault_record_key(r.kind, r.src, r.dst, r.occurrence), i);
     (void)it;
@@ -406,6 +409,27 @@ std::uint64_t HybridNetwork::total_expired_reservations() const {
   std::uint64_t t = 0;
   for (NodeId n = 0; n < num_nodes(); ++n)
     t += static_cast<const HybridRouter&>(router(n)).expired_reservations();
+  return t;
+}
+
+std::uint64_t HybridNetwork::total_cs_fault_teardowns() const {
+  std::uint64_t t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    t += static_cast<const HybridNi&>(ni(n)).cs_fault_teardowns();
+  return t;
+}
+
+std::uint64_t HybridNetwork::total_setup_give_ups() const {
+  std::uint64_t t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    t += static_cast<const HybridNi&>(ni(n)).setup_give_ups();
+  return t;
+}
+
+std::uint64_t HybridNetwork::total_corrupt_config_drops() const {
+  std::uint64_t t = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    t += static_cast<const HybridRouter&>(router(n)).corrupt_config_drops();
   return t;
 }
 

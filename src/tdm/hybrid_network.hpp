@@ -114,6 +114,13 @@ class HybridNetwork : private detail::ControllerHolder, public Network {
   /// Slot-table entries reclaimed by the routers' reservation lease.
   std::uint64_t total_expired_reservations() const;
   int total_valid_slot_entries() const;
+  /// Circuits torn down by the liveness monitor (data-plane faults).
+  std::uint64_t total_cs_fault_teardowns() const;
+  /// Setup retries abandoned into cooldown after exhausting their budget.
+  std::uint64_t total_setup_give_ups() const;
+  /// Config messages evaporated in-network because a link fault corrupted
+  /// them (summed over routers).
+  std::uint64_t total_corrupt_config_drops() const;
 
  protected:
   /// Fast-forward must never jump past a controller epoch boundary or a

@@ -21,7 +21,8 @@ void HybridNi::attach_router(HybridRouter* r) {
 
 bool HybridNi::idle() const {
   return NetworkInterface::idle() && cs_plan_.empty() &&
-         delayed_config_.empty();
+         delayed_config_.empty() && fault_teardowns_.empty() &&
+         deferred_setups_.empty();
 }
 
 void HybridNi::reset_circuit_state() {
@@ -32,6 +33,10 @@ void HybridNi::reset_circuit_state() {
   // Held-back config messages reference the wiped tables; a router would
   // discard them as stale anyway, so drop them at the source.
   delayed_config_.clear();
+  // Deferred liveness teardowns and backed-off setups reference wiped
+  // connections/pending entries; the reset reclaimed everything they would.
+  fault_teardowns_.clear();
+  deferred_setups_.clear();
   dlt_.clear();
   freq_.clear();
   cooldown_until_.clear();
@@ -68,6 +73,11 @@ void HybridNi::send(PacketPtr pkt, Cycle now) {
   sched_wake(now);
   if (pkt->created == 0) pkt->created = now;
   if (pkt->final_dst == kInvalidNode) pkt->final_dst = pkt->dst;
+  // Admit before the circuit try: a circuit-scheduled packet bypasses
+  // NetworkInterface::send, but must still be end-to-end tracked (and must
+  // fail cleanly when its destination is partitioned off). e2e_admit is
+  // idempotent, so the packet-switched fallback re-admitting is harmless.
+  if (!pkt->is_config() && !e2e_admit(pkt, now)) return;
   if (!pkt->is_config() && pkt->cs_eligible && !frozen_ && ctrl_->cs_allowed()) {
     ++freq_[pkt->dst];
     if (try_circuit(pkt, now)) return;
@@ -167,6 +177,9 @@ HybridNi::CsAttempt HybridNi::schedule_cs(const PacketPtr& pkt,
   }
   if (!pkt->reinjected) ++data_packets_sent_;
   ++cs_packets_;
+  // The transmission is committed to reserved slots: arm the end-to-end
+  // retransmission timer from the head flit's planned launch cycle.
+  if (cfg_.e2e_recovery) e2e_launched(pkt, *start - 2);
   return CsAttempt::Scheduled;
 }
 
@@ -175,6 +188,9 @@ bool HybridNi::try_circuit(const PacketPtr& pkt, Cycle now) {
 
   // 1. Dedicated connection.
   if (auto it = connections_.find(dst); it != connections_.end()) {
+    // A doomed circuit (liveness verdict reached, teardown deferred) must
+    // not take new traffic: packet-switch until the path is rebuilt.
+    if (it->second.doomed) return false;
     const CsAttempt r = schedule_cs(pkt, it->second.slots,
                                     mesh_.hop_distance(id_, dst), 0, -1, -1, now);
     if (r == CsAttempt::Scheduled) {
@@ -212,7 +228,7 @@ bool HybridNi::try_circuit(const PacketPtr& pkt, Cycle now) {
     // One packet-switched hop after hop-off.
     const Cycle hopoff_cost = static_cast<Cycle>(5 + 6 + cfg_.ps_data_flits);
     for (auto& [cdst, conn] : connections_) {
-      if (!mesh_.adjacent(cdst, dst)) continue;
+      if (conn.doomed || !mesh_.adjacent(cdst, dst)) continue;
       pkt->dst = cdst;  // network destination is the hop-off node
       if (schedule_cs(pkt, conn.slots, mesh_.hop_distance(id_, cdst),
                       hopoff_cost, -1, -1, now) == CsAttempt::Scheduled) {
@@ -262,6 +278,25 @@ bool HybridNi::circuit_inject(Cycle now) {
     delayed_config_.erase(delayed_config_.begin());
     ctrl_->config_launched();
     NetworkInterface::send(std::move(p), now);
+  }
+  while (!fault_teardowns_.empty() && fault_teardowns_.begin()->first <= now) {
+    const NodeId dst = fault_teardowns_.begin()->second;
+    fault_teardowns_.erase(fault_teardowns_.begin());
+    execute_fault_teardown(dst, now);
+  }
+  while (!deferred_setups_.empty() && deferred_setups_.begin()->first <= now) {
+    const DeferredSetup d = deferred_setups_.begin()->second;
+    deferred_setups_.erase(deferred_setups_.begin());
+    pending_dsts_.erase(d.dst);
+    if (frozen_ || !ctrl_->cs_allowed()) {
+      // The world changed while we backed off; give up like an exhausted
+      // retry would.
+      ++setup_give_ups_;
+      cooldown_until_[d.dst] =
+          now + 4 * static_cast<Cycle>(cfg_.policy_epoch_cycles);
+      continue;
+    }
+    send_setup(d.dst, d.retries, now, d.avoid_slot);
   }
   const auto it = cs_plan_.find(now);
   if (it == cs_plan_.end()) {
@@ -320,6 +355,10 @@ void HybridNi::bounce_packet(const PacketPtr& pkt, NodeId ride_dest, Cycle now) 
   copy->slack = pkt->slack;
   copy->cs_eligible = false;
   copy->reinjected = true;
+  // Keep the end-to-end identity: the destination's dedup key and the ack's
+  // return address must match what the origin tracked.
+  copy->origin = pkt->origin;
+  copy->retx_of = pkt->retx_of;
   send_priority(std::move(copy), now);
 }
 
@@ -570,8 +609,24 @@ void HybridNi::handle_config(const PacketPtr& pkt, Cycle now) {
       send_teardown(p.dst, p.slot, pkt->payload, now, pkt->src);
       // ...and re-send with a different slot id, or back off.
       if (p.retries < cfg_.max_setup_retries && !frozen_ && ctrl_->cs_allowed()) {
-        send_setup(p.dst, p.retries + 1, now, /*avoid_slot=*/p.slot);
+        if (cfg_.setup_backoff_base_cycles > 0) {
+          // Capped exponential backoff with seeded jitter before re-probing:
+          // immediate retries can livelock two NIs into endlessly re-picking
+          // slots the other just claimed. The destination stays blocked in
+          // pending_dsts_ so no competing setup starts meanwhile.
+          Cycle wait = std::min<Cycle>(
+              cfg_.setup_backoff_base_cycles
+                  << std::min(p.retries, 20),
+              cfg_.setup_backoff_cap_cycles);
+          wait += rng_.uniform_int(wait / 4 + 1);
+          pending_dsts_.insert(p.dst);
+          deferred_setups_.emplace(
+              now + wait, DeferredSetup{p.dst, p.retries + 1, p.slot});
+        } else {
+          send_setup(p.dst, p.retries + 1, now, /*avoid_slot=*/p.slot);
+        }
       } else {
+        ++setup_give_ups_;
         cooldown_until_[p.dst] =
             now + 4 * static_cast<Cycle>(cfg_.policy_epoch_cycles);
       }
@@ -599,6 +654,9 @@ void HybridNi::handle_delivery(const PacketPtr& pkt, Cycle now) {
     copy->slack = pkt->slack;
     copy->cs_eligible = false;
     copy->reinjected = true;
+    // Keep the end-to-end identity across the hop-off re-injection.
+    copy->origin = pkt->origin;
+    copy->retx_of = pkt->retx_of;
     ++vicinity_hopoffs_;
     send_priority(std::move(copy), now);
     return;
@@ -609,6 +667,71 @@ void HybridNi::handle_delivery(const PacketPtr& pkt, Cycle now) {
 void HybridNi::on_eject_flit(const Flit& flit, Cycle now) {
   (void)now;
   if (flit.switching == Switching::Circuit) ctrl_->cs_flit_retired();
+}
+
+// ---------------------------------------------------------------------------
+// Circuit liveness (end-to-end recovery feedback)
+// ---------------------------------------------------------------------------
+
+void HybridNi::on_e2e_retx(const PacketPtr& clone, Cycle now) {
+  const auto it = connections_.find(clone->final_dst);
+  if (it == connections_.end() || it->second.doomed) return;
+  if (++it->second.fail_streak < cfg_.cs_fail_threshold) return;
+  // Liveness verdict: this many consecutive unacknowledged transmissions
+  // toward a connected destination means the circuit's path (or the ack's
+  // way back) crosses a failed link. Tear the path down and rebuild it over
+  // a fault-aware route — but only once every already-planned circuit flit
+  // has launched, or the injection-slot bookkeeping would see flits for a
+  // reservation the teardown already released.
+  it->second.doomed = true;
+  ++cs_fault_teardowns_;
+  Cycle last = now;
+  for (const auto& [cyc, f] : cs_plan_) {
+    if (f.pkt->dst == clone->final_dst && cyc > last) last = cyc;
+  }
+  fault_teardowns_.emplace(last + 1, clone->final_dst);
+}
+
+void HybridNi::on_e2e_acked(NodeId dst, Cycle now) {
+  (void)now;
+  const auto it = connections_.find(dst);
+  if (it != connections_.end()) it->second.fail_streak = 0;
+}
+
+void HybridNi::on_packet_squashed(const PacketPtr& pkt, Cycle now) {
+  (void)now;
+  // A config message that assembled CRC-dirty is squashed before
+  // handle_config could run; retire it with the controller so the
+  // config-in-flight ledger does not leak.
+  if (pkt->is_config()) ctrl_->config_retired();
+}
+
+void HybridNi::execute_fault_teardown(NodeId dst, Cycle now) {
+  const auto it = connections_.find(dst);
+  if (it == connections_.end()) return;  // retired by other means meanwhile
+  // Re-defer while circuit flits toward dst are still planned (a new plan
+  // cannot appear — the connection is doomed — but one scheduled just
+  // before the verdict may stretch past the originally computed cycle).
+  Cycle last = 0;
+  for (const auto& [cyc, f] : cs_plan_) {
+    if (f.pkt->dst == dst && cyc > last) last = cyc;
+  }
+  if (last >= now) {
+    fault_teardowns_.emplace(last + 1, dst);
+    return;
+  }
+  const Connection conn = it->second;
+  connections_.erase(it);
+  for (size_t i = 0; i < conn.slots.size(); ++i) {
+    send_teardown(dst, conn.slots[i], conn.setup_ids[i], now);
+  }
+  // The teardown travels packet-switched over the fault-aware route; hops
+  // beyond a dead link never see it and their entries fall to the
+  // reservation-lease sweep. Clear any cooldown and request a fresh path
+  // immediately — route_adaptive now excludes the failed link, so the new
+  // setup walks a healthy route.
+  cooldown_until_.erase(dst);
+  maybe_initiate_setup(dst, now, /*force=*/true);
 }
 
 // ---------------------------------------------------------------------------
@@ -696,6 +819,13 @@ Cycle HybridNi::sched_next_event(Cycle now) const {
   if (!cs_plan_.empty()) next = std::min(next, cs_plan_.begin()->first);
   if (!delayed_config_.empty())
     next = std::min(next, delayed_config_.begin()->first);
+  // Deferred fault teardowns and backed-off setup retries fire in
+  // circuit_inject; their timers must wake the NI exactly on the dot so the
+  // recovery sequence is identical under fast_forward.
+  if (!fault_teardowns_.empty())
+    next = std::min(next, std::max(fault_teardowns_.begin()->first, now + 1));
+  if (!deferred_setups_.empty())
+    next = std::min(next, std::max(deferred_setups_.begin()->first, now + 1));
   // Policy-epoch boundaries matter whenever they would do more than advance
   // epoch_start_: fold frequency counts, time out pending setups, or retire
   // idle connections.

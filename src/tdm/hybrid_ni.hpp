@@ -104,6 +104,12 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   std::uint64_t orphan_ack_teardowns() const { return orphan_ack_teardowns_; }
   /// Success acks recognised as duplicates of an already-installed window.
   std::uint64_t duplicate_acks() const { return duplicate_acks_; }
+  /// Circuits torn down by the liveness monitor (retransmission streak past
+  /// cfg.cs_fail_threshold — the path crosses a failed link).
+  std::uint64_t cs_fault_teardowns() const { return cs_fault_teardowns_; }
+  /// Setup retries abandoned after exhausting max_setup_retries (the
+  /// destination enters cooldown instead).
+  std::uint64_t setup_give_ups() const { return setup_give_ups_; }
   /// Crossbar slots (and owning setup ids) of every reservation window this
   /// NI holds toward `dst` — consumed by the network-wide consistency audit.
   std::vector<std::pair<int, PacketId>> connection_windows(NodeId dst) const;
@@ -115,6 +121,9 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   void handle_config(const PacketPtr& pkt, Cycle now) override;
   void handle_delivery(const PacketPtr& pkt, Cycle now) override;
   void on_eject_flit(const Flit& flit, Cycle now) override;
+  void on_e2e_retx(const PacketPtr& clone, Cycle now) override;
+  void on_e2e_acked(NodeId dst, Cycle now) override;
+  void on_packet_squashed(const PacketPtr& pkt, Cycle now) override;
   void leakage_tick(Cycle now) override;
   void accumulate_idle_energy(EnergyCounters& e, std::uint64_t ncycles) const override;
   void align_epochs(Cycle now) override;
@@ -133,12 +142,23 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
     int duration = 0;
     Cycle last_used = 0;
     std::uint8_t vicinity_fail = 0;  ///< 2-bit saturating counter
+    /// Consecutive end-to-end retransmissions toward this destination (the
+    /// missed-slot streak); cleared by any ack from there.
+    int fail_streak = 0;
+    /// Liveness verdict reached: no new circuit traffic is scheduled while
+    /// the deferred teardown waits for already-planned flits to launch.
+    bool doomed = false;
   };
   struct PendingSetup {
     NodeId dst = kInvalidNode;
     int slot = 0;
     int retries = 0;
     Cycle sent_at = 0;
+  };
+  struct DeferredSetup {
+    NodeId dst = kInvalidNode;
+    int retries = 0;
+    int avoid_slot = -1;
   };
 
   enum class CsAttempt { Scheduled, NoWindow, NotWorth };
@@ -190,6 +210,11 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   /// `ride_dest` is the shared path's destination (for the DLT counter).
   void bounce_packet(const PacketPtr& pkt, NodeId ride_dest, Cycle now);
 
+  /// Tear down the doomed connection to `dst` (all windows) and force a
+  /// fresh setup over a fault-aware route. Re-defers itself while circuit
+  /// flits toward `dst` are still planned.
+  void execute_fault_teardown(NodeId dst, Cycle now);
+
   void epoch_tick(Cycle now);
 
   std::unordered_map<NodeId, Connection> connections_;
@@ -200,6 +225,13 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   std::map<Cycle, Flit> cs_plan_;  ///< injection-channel write schedule
   /// Config messages held back by a Delay fault verdict: release cycle -> pkt.
   std::multimap<Cycle, PacketPtr> delayed_config_;
+  /// Liveness teardowns waiting for planned circuit flits to clear:
+  /// fire cycle -> doomed connection's destination.
+  std::multimap<Cycle, NodeId> fault_teardowns_;
+  /// Backed-off setup retries (cfg.setup_backoff_base_cycles > 0):
+  /// fire cycle -> retry parameters. The destination stays in pending_dsts_
+  /// while deferred so no competing setup starts.
+  std::multimap<Cycle, DeferredSetup> deferred_setups_;
   ConfigFaultHook fault_hook_;
   DestinationLookupTable dlt_;
 
@@ -222,6 +254,8 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   std::uint64_t pending_timeouts_ = 0;
   std::uint64_t orphan_ack_teardowns_ = 0;
   std::uint64_t duplicate_acks_ = 0;
+  std::uint64_t cs_fault_teardowns_ = 0;
+  std::uint64_t setup_give_ups_ = 0;
 };
 
 }  // namespace hybridnoc

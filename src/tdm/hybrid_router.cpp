@@ -144,6 +144,12 @@ std::optional<Port> HybridRouter::compute_route(const PacketPtr& pkt, Port in,
   return std::nullopt;
 }
 
+void HybridRouter::on_config_corrupt(const PacketPtr& pkt) {
+  (void)pkt;
+  ++corrupt_config_drops_;
+  ctrl_->config_retired();
+}
+
 std::optional<Port> HybridRouter::process_setup(const PacketPtr& pkt, Port in,
                                                 Cycle now) {
   if (pkt->table_gen != ctrl_->table_generation()) {
@@ -154,7 +160,7 @@ std::optional<Port> HybridRouter::process_setup(const PacketPtr& pkt, Port in,
     ctrl_->config_retired();
     return std::nullopt;
   }
-  const Port out = (pkt->dst == id_) ? Port::Local : route_adaptive(pkt->dst);
+  const Port out = (pkt->dst == id_) ? Port::Local : route_adaptive(pkt->dst, now);
   const int slot = pkt->slot_id;
   const int dur = pkt->duration;
   HN_CHECK(slot >= 0 && dur >= 1);
@@ -185,7 +191,7 @@ std::optional<Port> HybridRouter::process_setup(const PacketPtr& pkt, Port in,
   pkt->dst = pkt->src;
   pkt->src = id_;
   pkt->final_dst = pkt->dst;
-  return (pkt->dst == id_) ? Port::Local : route_adaptive(pkt->dst);
+  return (pkt->dst == id_) ? Port::Local : route_adaptive(pkt->dst, now);
 }
 
 std::optional<Port> HybridRouter::process_teardown(const PacketPtr& pkt, Port in,

@@ -74,6 +74,9 @@ class HybridRouter : public Router {
   std::uint64_t stale_config_drops() const { return stale_config_drops_; }
   /// Reservation entries reclaimed by lease expiry (orphan backstop).
   std::uint64_t expired_reservations() const { return expired_reservations_; }
+  /// Config messages evaporated at this router because a link fault
+  /// corrupted them in flight (see Router::on_config_corrupt).
+  std::uint64_t corrupt_config_drops() const { return corrupt_config_drops_; }
 
   // --- active-set scheduling ---
   bool sched_busy() const override;
@@ -83,6 +86,7 @@ class HybridRouter : public Router {
   bool handle_arrival(Flit& flit, Port in, Cycle now) override;
   bool st_ok(Port in, Port out, Cycle st_cycle) override;
   std::optional<Port> compute_route(const PacketPtr& pkt, Port in, Cycle now) override;
+  void on_config_corrupt(const PacketPtr& pkt) override;
   void traverse_circuit(Cycle now) override;
   void leakage_tick(Cycle now) override;
   void accumulate_idle_energy(EnergyCounters& e, std::uint64_t ncycles) const override;
@@ -117,6 +121,7 @@ class HybridRouter : public Router {
   std::uint64_t ps_steals_ = 0;
   std::uint64_t stale_config_drops_ = 0;
   std::uint64_t expired_reservations_ = 0;
+  std::uint64_t corrupt_config_drops_ = 0;
 };
 
 }  // namespace hybridnoc

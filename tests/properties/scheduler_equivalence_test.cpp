@@ -51,6 +51,16 @@ struct RunFingerprint {
   std::uint64_t faults_duplicated = 0;
   int resizes = 0;
   std::uint64_t generation = 0;
+  /// Data-plane fault-tolerance outcome (all zero with no fault model).
+  std::uint64_t retransmits = 0;
+  std::uint64_t retx_give_ups = 0;
+  std::uint64_t crc_flagged = 0;
+  std::uint64_t crc_squashed = 0;
+  std::uint64_t e2e_acks = 0;
+  std::uint64_t e2e_dup_dropped = 0;
+  std::uint64_t cs_fault_teardowns = 0;
+  std::uint64_t corrupted_traversals = 0;
+  int failed_links = 0;
   /// Packet id -> delivery cycle. Injection schedules are identical across
   /// the twin runs, so equal delivery cycles mean equal latencies.
   std::map<PacketId, Cycle> deliveries;
@@ -93,6 +103,15 @@ void expect_same(const RunFingerprint& a, const RunFingerprint& b) {
   EXPECT_EQ(a.faults_duplicated, b.faults_duplicated);
   EXPECT_EQ(a.resizes, b.resizes);
   EXPECT_EQ(a.generation, b.generation);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.retx_give_ups, b.retx_give_ups);
+  EXPECT_EQ(a.crc_flagged, b.crc_flagged);
+  EXPECT_EQ(a.crc_squashed, b.crc_squashed);
+  EXPECT_EQ(a.e2e_acks, b.e2e_acks);
+  EXPECT_EQ(a.e2e_dup_dropped, b.e2e_dup_dropped);
+  EXPECT_EQ(a.cs_fault_teardowns, b.cs_fault_teardowns);
+  EXPECT_EQ(a.corrupted_traversals, b.corrupted_traversals);
+  EXPECT_EQ(a.failed_links, b.failed_links);
   EXPECT_EQ(a.deliveries, b.deliveries);
 }
 
@@ -115,6 +134,16 @@ void harvest_common(NetT& net, RunFingerprint& fp) {
 
 void harvest_hybrid(HybridNetwork& net, RunFingerprint& fp) {
   harvest_common(net, fp);
+  const DegradationReport d = net.degradation_report();
+  fp.retransmits = d.retransmits;
+  fp.retx_give_ups = d.retx_give_ups;
+  fp.crc_flagged = d.crc_flagged_flits;
+  fp.crc_squashed = d.crc_squashed_packets;
+  fp.e2e_acks = d.e2e_acks_sent;
+  fp.e2e_dup_dropped = d.e2e_duplicates_dropped;
+  fp.cs_fault_teardowns = net.total_cs_fault_teardowns();
+  fp.corrupted_traversals = d.corrupted_traversals;
+  fp.failed_links = d.failed_links;
   fp.slot_digest = net.slot_state_digest();
   fp.cs_packets = net.total_cs_packets();
   fp.setups_sent = net.total_setups_sent();
@@ -282,6 +311,51 @@ TEST(SchedulerEquivalence, SeededFaultStorm) {
 }
 
 // ---------------------------------------------------------------------------
+// Seeded link-fault storm, both engines
+// ---------------------------------------------------------------------------
+
+RunFingerprint run_link_fault_storm(bool active_set) {
+  NocConfig cfg = small_hybrid_cfg(/*sharing=*/false);
+  cfg.active_set_scheduler = active_set;
+  // Data-plane faults: a transient bit-error rate plus a scheduled permanent
+  // link death and a stuck window, recovered by CRC + end-to-end retransmit.
+  // Per-hop corruption draws come from a stateless hash of
+  // (seed, link, occurrence), so identical traversal orders — which is what
+  // this test proves — give identical fault firings on both engines.
+  cfg.link_ber = 1e-3;
+  cfg.fault_seed = 77;
+  cfg.e2e_recovery = true;
+  cfg.retx_timeout_cycles = 512;
+
+  RunFingerprint fp;
+  HybridNetwork net(cfg);
+  install_delivery_capture(net, fp);
+  FaultModel& fm = net.ensure_fault_model();
+  fm.kill_link(5, Port::East, 2500);
+  fm.stick_link(9, Port::North, 4000, 600);
+
+  drive_synthetic(net, TrafficPattern::UniformRandom, 0.08, 6000, 17);
+  // Fault-free cooldown long enough for retransmission backoff tails and the
+  // circuit-liveness teardowns to finish on both engines.
+  const Cycle end = net.now() + 8000;
+  while (net.now() < end) net.tick();
+  harvest_hybrid(net, fp);
+  return fp;
+}
+
+TEST(SchedulerEquivalence, SeededLinkFaultStorm) {
+  const RunFingerprint active = run_link_fault_storm(true);
+  // Non-vacuity: transients fired and were recovered, and the scheduled
+  // link death is live in the final report.
+  EXPECT_GT(active.corrupted_traversals, 0u);
+  EXPECT_GT(active.crc_flagged, 0u);
+  EXPECT_GT(active.retransmits, 0u);
+  EXPECT_EQ(active.failed_links, 1);
+  EXPECT_GT(active.delivered, 100u);
+  expect_same(active, run_link_fault_storm(false));
+}
+
+// ---------------------------------------------------------------------------
 // Replayed shrunk fixtures, both engines
 // ---------------------------------------------------------------------------
 
@@ -292,7 +366,35 @@ RunFingerprint replay_fixture(const FaultScenario& s, bool active_set) {
   RunFingerprint fp;
   HybridNetwork net(cfg);
   install_delivery_capture(net, fp);
-  net.enable_config_fault_replay(s.faults);
+  // Mirror run_fault_scenario's replay split: config-plane records feed the
+  // dispatch-replay hook, hardware records (Link/Router) are re-derived onto
+  // the fault model, fired transients replay by (link, occurrence).
+  FaultTrace config_trace;
+  std::vector<LinkFaultEvent> transients;
+  bool any_data_records = false;
+  for (const FaultRecord& r : s.faults.records) {
+    if (r.kind != ConfigKind::Link && r.kind != ConfigKind::Router) {
+      config_trace.records.push_back(r);
+      continue;
+    }
+    any_data_records = true;
+    FaultModel& fm = net.ensure_fault_model();
+    if (r.kind == ConfigKind::Router) {
+      fm.kill_router(r.src, r.cycle);
+    } else if (r.action == FaultAction::Kill) {
+      fm.kill_link(r.src, static_cast<Port>(r.dst), r.cycle);
+    } else if (r.action == FaultAction::Stuck) {
+      fm.stick_link(r.src, static_cast<Port>(r.dst), r.cycle, r.delay);
+    } else {
+      transients.push_back({FaultKind::Transient, r.src,
+                            static_cast<Port>(r.dst), r.cycle, 0,
+                            static_cast<std::uint64_t>(r.occurrence)});
+    }
+  }
+  if (any_data_records || s.link_ber > 0.0) {
+    net.ensure_fault_model().set_transient_replay(transients);
+  }
+  net.enable_config_fault_replay(config_trace);
 
   std::size_t tpos = 0;
   PacketId next_id = 1;
@@ -330,7 +432,8 @@ TEST_P(FixtureEquivalence, ReplayedStormMatchesAcrossEngines) {
 
 INSTANTIATE_TEST_SUITE_P(Fixtures, FixtureEquivalence,
                          testing::Values("resize_race.scenario",
-                                         "lost_teardown.scenario"),
+                                         "lost_teardown.scenario",
+                                         "link_death_lease.scenario"),
                          [](const testing::TestParamInfo<const char*>& info) {
                            std::string n = info.param;
                            return n.substr(0, n.find('.'));

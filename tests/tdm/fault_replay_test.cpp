@@ -219,8 +219,17 @@ TEST_P(FaultFixture, ReplayReproducesViolationAndStaysAuditClean) {
       << "fixtures carry only the minimal fault subset";
   const ScenarioOutcome o =
       run_fault_scenario(s, ScenarioMode::Replay, /*audit_each_event=*/true);
-  // The shrunk fault subset still lands on its protocol events...
-  EXPECT_EQ(o.replay_applied, s.faults.records.size());
+  // The shrunk fault subset still lands on its protocol events. Hardware
+  // records (Link/Router) are re-derived as physical faults rather than
+  // applied to config dispatches, so only the config-plane records count
+  // toward replay_applied.
+  std::size_t config_faults = 0;
+  for (const FaultRecord& r : s.faults.records) {
+    if (r.kind != ConfigKind::Link && r.kind != ConfigKind::Router) {
+      ++config_faults;
+    }
+  }
+  EXPECT_EQ(o.replay_applied, config_faults);
   // ...and still reproduces the violation it was minimized for.
   EXPECT_TRUE(violates_invariant(s.invariant, o));
   // Every installed window stayed walkable after every config event — the
@@ -239,9 +248,15 @@ INSTANTIATE_TEST_SUITE_P(
     ShrunkFixtures, FaultFixture,
     testing::Values(FixtureCase{"resize_race.scenario", "no-stale-config-drops"},
                     FixtureCase{"lost_teardown.scenario",
-                                "no-expired-reservations"}),
+                                "no-expired-reservations"},
+                    FixtureCase{"link_death_lease.scenario",
+                                "no-fault-teardowns"}),
     [](const testing::TestParamInfo<FixtureCase>& info) {
-      return info.index == 0 ? "ResizeRace" : "LostTeardown";
+      switch (info.index) {
+        case 0: return "ResizeRace";
+        case 1: return "LostTeardown";
+        default: return "LinkDeathLease";
+      }
     });
 
 // The resize-race fixture's single fault is a DELAYED setup whose late
@@ -261,6 +276,17 @@ TEST(FaultFixtureShape, MinimalFaultsAreTheExpectedKind) {
   ASSERT_EQ(lt.faults.records.size(), 1u);
   EXPECT_EQ(lt.faults.records[0].kind, ConfigKind::Teardown);
   EXPECT_EQ(lt.faults.records[0].action, FaultAction::Drop);
+
+  // The link-death fixture's single fault is the hardware kill itself: a
+  // circuit holding slot leases across link 7->South loses the link mid-lease
+  // and must tear down and reclaim every per-hop reservation.
+  const FaultScenario ld =
+      read_fault_scenario_file(fixture_path("link_death_lease.scenario"));
+  ASSERT_EQ(ld.faults.records.size(), 1u);
+  EXPECT_EQ(ld.faults.records[0].kind, ConfigKind::Link);
+  EXPECT_EQ(ld.faults.records[0].action, FaultAction::Kill);
+  EXPECT_EQ(ld.faults.records[0].src, 7);
+  EXPECT_EQ(ld.faults.records[0].dst, static_cast<int>(Port::South));
 }
 
 // ---------------------------------------------------------------------------

@@ -3,9 +3,17 @@
 //   shrink_fault_trace record --out storm.scenario [--seed N] [--cycles N]
 //       [--drop P] [--delay P] [--dup P] [--max-delay N] [--resize C]...
 //       [--pairs N] [--k N]
+//       [--link-ber P] [--link-seed N] [--e2e]
+//       [--kill-link NODE PORT CYCLE]... [--stick-link NODE PORT CYCLE DUR]...
+//       [--kill-router NODE CYCLE]...
 //     Generate a bursty multi-pair storm, run it under seeded faults with
 //     recording on, and save the self-contained scenario (traffic + every
-//     fault decision). Prints which invariants the run violates.
+//     fault decision). The --link-*/--kill-*/--stick-* flags add v2
+//     data-plane hardware faults (and --e2e arms end-to-end recovery so
+//     corrupted packets are retransmitted); every transient that fires is
+//     recorded too, so replay is RNG-free and the shrinker can drop
+//     hardware faults like any other record. Prints which invariants the
+//     run violates.
 //
 //   shrink_fault_trace replay --in storm.scenario [--audit]
 //       [--invariant NAME] [--expect-violation]
@@ -33,6 +41,11 @@ namespace {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: shrink_fault_trace record --out FILE [options]\n"
+               "         data-plane options: --link-ber P --link-seed N"
+               " --e2e\n"
+               "           --kill-link NODE PORT CYCLE"
+               " --stick-link NODE PORT CYCLE DUR\n"
+               "           --kill-router NODE CYCLE\n"
                "       shrink_fault_trace replay --in FILE [--audit]"
                " [--invariant NAME] [--expect-violation]\n"
                "       shrink_fault_trace shrink --in FILE --invariant NAME"
@@ -92,6 +105,21 @@ void print_outcome(const ScenarioOutcome& o, bool replayed) {
               static_cast<unsigned long long>(o.orphan_ack_teardowns));
   std::printf("setup_failures          %llu\n",
               static_cast<unsigned long long>(o.setup_failures));
+  std::printf("data sent/delivered     %llu/%llu\n",
+              static_cast<unsigned long long>(o.data_sent),
+              static_cast<unsigned long long>(o.data_delivered));
+  std::printf("retx/give-ups/unreach   %llu/%llu/%llu\n",
+              static_cast<unsigned long long>(o.retransmits),
+              static_cast<unsigned long long>(o.retx_give_ups),
+              static_cast<unsigned long long>(o.unreachable_failed));
+  std::printf("crc flagged/squashed    %llu/%llu\n",
+              static_cast<unsigned long long>(o.crc_flagged_flits),
+              static_cast<unsigned long long>(o.crc_squashed_packets));
+  std::printf("cs_fault_teardowns      %llu\n",
+              static_cast<unsigned long long>(o.cs_fault_teardowns));
+  std::printf("setup_give_ups          %llu\n",
+              static_cast<unsigned long long>(o.setup_give_ups));
+  std::printf("failed_links            %d\n", o.failed_links);
   if (replayed) {
     std::printf("replay events/applied   %llu/%llu\n",
                 static_cast<unsigned long long>(o.replay_events),
@@ -127,6 +155,12 @@ struct Args {
   std::vector<Cycle> resizes;
   int pairs = 6;
   int k = 6;
+  double link_ber = 0.0;
+  std::uint64_t link_seed = 1;
+  bool e2e = false;
+  std::vector<FaultScenario::LinkFaultSpec> kill_links;
+  std::vector<FaultScenario::LinkFaultSpec> stick_links;
+  std::vector<std::pair<NodeId, Cycle>> kill_routers;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -154,7 +188,25 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--resize") a.resizes.push_back(std::strtoull(value().c_str(), nullptr, 10));
     else if (arg == "--pairs") a.pairs = std::atoi(value().c_str());
     else if (arg == "--k") a.k = std::atoi(value().c_str());
-    else usage();
+    else if (arg == "--link-ber") a.link_ber = std::strtod(value().c_str(), nullptr);
+    else if (arg == "--link-seed") a.link_seed = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--e2e") a.e2e = true;
+    else if (arg == "--kill-link" || arg == "--stick-link") {
+      FaultScenario::LinkFaultSpec f;
+      f.node = static_cast<NodeId>(std::strtoul(value().c_str(), nullptr, 10));
+      f.port = std::atoi(value().c_str());
+      f.start = std::strtoull(value().c_str(), nullptr, 10);
+      if (arg == "--stick-link") {
+        f.duration = std::strtoull(value().c_str(), nullptr, 10);
+        a.stick_links.push_back(f);
+      } else {
+        a.kill_links.push_back(f);
+      }
+    } else if (arg == "--kill-router") {
+      const NodeId n = static_cast<NodeId>(std::strtoul(value().c_str(), nullptr, 10));
+      const Cycle at = std::strtoull(value().c_str(), nullptr, 10);
+      a.kill_routers.emplace_back(n, at);
+    } else usage();
   }
   return a;
 }
@@ -171,6 +223,16 @@ int run_record(const Args& a) {
   s.fault_params.dup_prob = a.dup;
   s.fault_params.max_delay_cycles = a.max_delay;
   s.fault_params.seed = a.seed;
+  s.link_ber = a.link_ber;
+  s.link_fault_seed = a.link_seed;
+  s.dead_links = a.kill_links;
+  s.stuck_links = a.stick_links;
+  s.dead_routers = a.kill_routers;
+  // Data-plane faults corrupt payloads; without end-to-end recovery the
+  // destination just squashes them, so arm it whenever faults are in play
+  // (or on explicit request).
+  s.e2e_recovery = a.e2e || a.link_ber > 0.0 || !a.kill_links.empty() ||
+                   !a.stick_links.empty() || !a.kill_routers.empty();
   s.traffic = make_storm_traffic(a.k, a.pairs, a.cycles + s.cooldown_cycles,
                                  a.seed * 1000003 + 11);
   const ScenarioOutcome o =
