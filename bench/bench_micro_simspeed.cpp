@@ -53,7 +53,7 @@ void run_injected_cycles(Net& net, benchmark::State& state) {
         auto p = std::make_shared<Packet>();
         p->id = id++;
         p->src = s;
-        p->dst = static_cast<NodeId>(rng.uniform_int(36));
+        p->dst = static_cast<NodeId>(rng.uniform_int(net.num_nodes()));
         if (p->dst == s) continue;
         p->num_flits = 5;
         net.ni(s).send(std::move(p), net.now());
@@ -61,7 +61,7 @@ void run_injected_cycles(Net& net, benchmark::State& state) {
     }
     net.tick();
   }
-  state.SetItemsProcessed(state.iterations() * 36);
+  state.SetItemsProcessed(state.iterations() * net.num_nodes());
 }
 
 void BM_IdleNetworkCycle(benchmark::State& state) {
@@ -90,6 +90,36 @@ BENCHMARK(BM_HybridNetworkCycle)
     ->Args({0, 40})
     ->Args({1, 5})
     ->Args({0, 5});
+
+/// Thread scaling of the sharded parallel tick engine: 8x8 mesh near
+/// saturation (0.30 injection probability per node per cycle), cycle
+/// throughput at 1 / 2 / 4 tick threads. items_per_second here is
+/// node-cycles per wall second; divide by 64 for cycles/sec. The 1-thread
+/// row runs the plain single-threaded engine (tick_threads=1 constructs no
+/// engine at all), so the 4-vs-1 ratio is the paper's speedup figure —
+/// meaningful only on a machine with at least that many free cores.
+void BM_ParallelLoadedCycle(benchmark::State& state) {
+  NocConfig cfg = NocConfig::packet_vc4(8);
+  cfg.tick_threads = static_cast<int>(state.range(0));
+  Network net(cfg);
+  run_injected_cycles(net, state);
+}
+BENCHMARK(BM_ParallelLoadedCycle)
+    ->Args({1, 300})
+    ->Args({2, 300})
+    ->Args({4, 300})
+    ->UseRealTime();
+
+void BM_ParallelHybridLoadedCycle(benchmark::State& state) {
+  NocConfig cfg = NocConfig::hybrid_tdm_vc4(8);
+  cfg.tick_threads = static_cast<int>(state.range(0));
+  HybridNetwork net(cfg);
+  run_injected_cycles(net, state);
+}
+BENCHMARK(BM_ParallelHybridLoadedCycle)
+    ->Args({1, 300})
+    ->Args({4, 300})
+    ->UseRealTime();
 
 void BM_IdleFastForward(benchmark::State& state) {
   // Whole-window skip: what an idle stretch costs when the driver may jump

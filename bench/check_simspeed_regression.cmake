@@ -1,0 +1,93 @@
+# Compare a fresh BENCH_simspeed.json against the checked-in baseline and
+# fail on a cycle-throughput regression. Run as a ctest step:
+#   cmake -DBASELINE=<repo>/BENCH_simspeed.json \
+#         -DCURRENT=<build>/BENCH_simspeed.json \
+#         [-DTOLERANCE=0.20] -P check_simspeed_regression.cmake
+#
+# Only benchmarks present in BOTH files are compared (new benchmarks don't
+# fail until a baseline containing them is recorded), and only on
+# items_per_second (node-cycles per wall second). The baseline is
+# machine-specific: re-record it on your machine with the `bench_baseline`
+# target before trusting absolute numbers.
+if(NOT DEFINED TOLERANCE)
+  set(TOLERANCE 0.20)
+endif()
+
+foreach(var BASELINE CURRENT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_simspeed_regression: -D${var}=<file> is required")
+  endif()
+  if(NOT EXISTS "${${var}}")
+    message(FATAL_ERROR "check_simspeed_regression: ${var} file not found: ${${var}}")
+  endif()
+endforeach()
+
+file(READ "${BASELINE}" baseline_json)
+file(READ "${CURRENT}" current_json)
+
+# name -> items_per_second for the current run.
+string(JSON n_cur LENGTH "${current_json}" benchmarks)
+math(EXPR n_cur_last "${n_cur} - 1")
+set(cur_names "")
+foreach(i RANGE ${n_cur_last})
+  string(JSON name GET "${current_json}" benchmarks ${i} name)
+  string(JSON ips ERROR_VARIABLE err GET "${current_json}" benchmarks ${i} items_per_second)
+  if(err)
+    continue()  # aggregate rows / benchmarks without a rate counter
+  endif()
+  string(MAKE_C_IDENTIFIER "${name}" key)
+  set(cur_${key} "${ips}")
+  list(APPEND cur_names "${name}")
+endforeach()
+
+set(failures "")
+set(compared 0)
+string(JSON n_base LENGTH "${baseline_json}" benchmarks)
+math(EXPR n_base_last "${n_base} - 1")
+foreach(i RANGE ${n_base_last})
+  string(JSON name GET "${baseline_json}" benchmarks ${i} name)
+  string(JSON base_ips ERROR_VARIABLE err GET "${baseline_json}" benchmarks ${i} items_per_second)
+  if(err)
+    continue()
+  endif()
+  string(MAKE_C_IDENTIFIER "${name}" key)
+  if(NOT DEFINED cur_${key})
+    message(STATUS "skipped (not in current run): ${name}")
+    continue()
+  endif()
+  math(EXPR compared "${compared} + 1")
+  set(cur_ips "${cur_${key}}")
+  # floor = baseline * (1 - TOLERANCE). CMake's math() is integer-only, so
+  # truncate the rates and express the tolerance as an integer percentage;
+  # throughputs are well above 1k items/sec, so truncation noise is
+  # irrelevant.
+  string(REGEX MATCH "^[0-9]+" base_int "${base_ips}")
+  string(REGEX MATCH "^[0-9]+" cur_int "${cur_ips}")
+  set(keep_pct 100)
+  string(REGEX MATCH "^0\\.([0-9][0-9]?)" tol_match "${TOLERANCE}")
+  if(tol_match)
+    set(tol_digits "${CMAKE_MATCH_1}")
+    string(LENGTH "${tol_digits}" tl)
+    if(tl EQUAL 1)
+      math(EXPR keep_pct "100 - ${tol_digits} * 10")
+    else()
+      math(EXPR keep_pct "100 - ${tol_digits}")
+    endif()
+  endif()
+  math(EXPR floor_int "${base_int} * ${keep_pct} / 100")
+  if(cur_int LESS floor_int)
+    list(APPEND failures
+         "${name}: ${cur_int} items/s < floor ${floor_int} (baseline ${base_int}, keep ${keep_pct}%)")
+  else()
+    message(STATUS "ok: ${name}  current=${cur_int}  baseline=${base_int}  floor=${floor_int}")
+  endif()
+endforeach()
+
+if(compared EQUAL 0)
+  message(FATAL_ERROR "check_simspeed_regression: no comparable benchmarks between ${BASELINE} and ${CURRENT}")
+endif()
+if(failures)
+  string(REPLACE ";" "\n  " failure_text "${failures}")
+  message(FATAL_ERROR "cycle-throughput regression (> allowed tolerance):\n  ${failure_text}")
+endif()
+message(STATUS "simspeed regression check passed: ${compared} benchmarks within tolerance")

@@ -35,6 +35,11 @@ void NocConfig::validate() const {
   HN_CHECK(cs_fail_threshold >= 1);
   HN_CHECK(setup_backoff_base_cycles == 0 ||
            setup_backoff_cap_cycles >= setup_backoff_base_cycles);
+  HN_CHECK(tick_threads >= 1);
+  HN_CHECK_MSG(tick_threads == 1 || !vc_power_gating,
+               "the parallel tick engine requires vc_power_gating off: VC "
+               "gating announcements cross router boundaries without a "
+               "pipelined channel in between");
 }
 
 std::string NocConfig::summary() const {
@@ -50,6 +55,7 @@ std::string NocConfig::summary() const {
   }
   if (arch == RouterArch::HybridSdm) os << " planes=" << sdm_planes;
   if (vc_power_gating) os << " vc-gating";
+  if (tick_threads > 1) os << " threads=" << tick_threads;
   return os.str();
 }
 

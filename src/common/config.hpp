@@ -152,6 +152,16 @@ struct NocConfig {
   /// scheduler-equivalence property tests); set false to force the legacy
   /// every-component-every-cycle sweep.
   bool active_set_scheduler = true;
+  /// Worker threads for the sharded parallel tick engine: the mesh is split
+  /// into contiguous node-range shards (one thread each) and every cycle
+  /// runs compute -> barrier -> commit, with cross-shard channel writes
+  /// staged so results are bit-identical to the serial engine for any
+  /// thread count (asserted by the thread-equivalence property tests).
+  /// 1 (the default) bypasses the engine entirely — the serial tick path
+  /// is byte-for-byte the pre-engine code. Incompatible with
+  /// vc_power_gating, whose cross-router VC announcements are read
+  /// mid-cycle without a channel in between.
+  int tick_threads = 1;
 
   std::uint64_t seed = 1;
 

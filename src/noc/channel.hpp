@@ -13,6 +13,7 @@
 #include <deque>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
@@ -23,8 +24,28 @@ namespace hybridnoc {
 constexpr int kDataChannelLatency = 2;   ///< router ST -> next router arrival
 constexpr int kCreditChannelLatency = 1; ///< credit wire
 
+/// Type-erased staging control for the parallel tick engine. A channel
+/// whose producer and consumer live in different shards is put in staged
+/// mode: send() appends to a private outbox the producer thread owns, and
+/// the consumer's shard applies the outbox with commit_staged() after the
+/// compute barrier — so neither side ever touches the live queue (or the
+/// consumer's wake scheduler) from a foreign thread. Same-shard channels
+/// stay in eager mode and behave exactly as before.
+class ChannelBase {
+ public:
+  virtual ~ChannelBase() = default;
+  void set_staged(bool on) { staged_ = on; }
+  bool staged() const { return staged_; }
+  /// Move every staged entry into the live queue, in send order, waking the
+  /// consumer per entry. Called from the consumer's shard only.
+  virtual void commit_staged() = 0;
+
+ protected:
+  bool staged_ = false;
+};
+
 template <typename T>
-class Channel {
+class Channel : public ChannelBase {
  public:
   explicit Channel(int latency) : latency_(latency) { HN_CHECK(latency >= 1); }
 
@@ -38,10 +59,26 @@ class Channel {
   /// Enqueue `item` at the end of cycle `now`; readable at now + latency.
   void send(T item, Cycle now) {
     const Cycle ready = now + static_cast<Cycle>(latency_);
+    if (staged_) {
+      // Producer-thread-private outbox; the live queue, the ordering check
+      // and the consumer wake all happen at commit_staged().
+      staging_.push_back({ready, std::move(item)});
+      return;
+    }
     HN_CHECK_MSG(queue_.empty() || queue_.back().ready <= ready,
                  "channel writes must be issued in cycle order");
     queue_.push_back({ready, std::move(item)});
     if (sched_) sched_->wake_at(consumer_, ready);
+  }
+
+  void commit_staged() override {
+    for (Entry& e : staging_) {
+      HN_CHECK_MSG(queue_.empty() || queue_.back().ready <= e.ready,
+                   "channel writes must be issued in cycle order");
+      queue_.push_back(std::move(e));
+      if (sched_) sched_->wake_at(consumer_, queue_.back().ready);
+    }
+    staging_.clear();
   }
 
   /// Pop the item readable at `now`, if any.
@@ -84,6 +121,7 @@ class Channel {
     T item;
   };
   std::deque<Entry> queue_;
+  std::vector<Entry> staging_;  ///< cross-shard outbox (staged mode only)
   int latency_;
   TickScheduler* sched_ = nullptr;  ///< null under the legacy full sweep
   int consumer_ = -1;

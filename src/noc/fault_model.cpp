@@ -168,7 +168,7 @@ bool FaultModel::on_traverse(NodeId node, Port out, Cycle now) {
   // Stuck/dead state corrupts deterministically from the schedule; it is the
   // schedule, not a firing log, that replays these.
   if (!corrupt && link_corrupting(node, out, now)) corrupt = true;
-  if (corrupt) ++corrupted_;
+  if (corrupt) corrupted_.fetch_add(1, std::memory_order_relaxed);
   return corrupt;
 }
 
@@ -183,10 +183,21 @@ std::uint64_t FaultModel::fault_epoch(Cycle now) const {
 void FaultModel::refresh_topology_caches(Cycle now) const {
   const std::uint64_t epoch = fault_epoch(now);
   if (epoch != reach_epoch_) {
-    reach_cache_.clear();
     dist_cache_.clear();
     forest_valid_ = false;
     reach_epoch_ = epoch;
+  }
+}
+
+void FaultModel::prepare(Cycle now) {
+  refresh_topology_caches(now);
+  if (!any_failed(now)) return;
+  // Materialise everything the health queries can lazily build, so the
+  // const methods below never mutate under concurrent shard threads. All
+  // of it is served from cache until the next epoch change.
+  (void)forest(now);
+  for (NodeId dst = 0; dst < mesh_.num_nodes(); ++dst) {
+    (void)distances_to(dst, now);
   }
 }
 
@@ -254,43 +265,23 @@ bool FaultModel::reachable(NodeId src, NodeId dst, Cycle now) const {
   if (src == dst) return true;
   if (!any_failed(now)) return true;
   if (node_failed(src, now) || node_failed(dst, now)) return false;
-  refresh_topology_caches(now);
-  const std::uint64_t key =
-      static_cast<std::uint64_t>(src) * mesh_.num_nodes() + dst;
-  if (auto it = reach_cache_.find(key); it != reach_cache_.end()) {
-    return it->second;
-  }
-  std::vector<bool> seen(mesh_.num_nodes(), false);
-  std::deque<NodeId> frontier{src};
-  seen[src] = true;
-  bool found = false;
-  while (!frontier.empty() && !found) {
-    const NodeId at = frontier.front();
-    frontier.pop_front();
-    for (Port p : {Port::North, Port::East, Port::South, Port::West}) {
-      if (!mesh_.has_neighbor(at, p) || link_failed(at, p, now)) continue;
-      const NodeId next = mesh_.neighbor(at, p);
-      if (seen[next]) continue;
-      seen[next] = true;
-      if (next == dst) {
-        found = true;
-        break;
-      }
-      frontier.push_back(next);
-    }
-  }
-  reach_cache_.emplace(key, found);
-  return found;
+  // distances_to BFSes from dst over reversed healthy links, so it marks
+  // exactly the nodes with a healthy forward walk to dst.
+  return distances_to(dst, now)[src] >= 0;
 }
 
 const std::vector<int>& FaultModel::distances_to(NodeId dst, Cycle now) const {
   HN_CHECK(mesh_.valid(dst));
   refresh_topology_caches(now);
-  auto [it, fresh] = dist_cache_.try_emplace(dst);
-  if (!fresh) return it->second;
+  // Explicit find-before-insert: on a cache hit this method is a pure read,
+  // which is what lets prepare() make it shard-thread-safe by precomputing
+  // every destination once per fault epoch.
+  if (auto it = dist_cache_.find(dst); it != dist_cache_.end()) {
+    return it->second;
+  }
   // BFS from the destination along *reversed* healthy links: the hop count
   // of the forward walk node -> ... -> dst.
-  std::vector<int>& dist = it->second;
+  std::vector<int>& dist = dist_cache_[dst];
   dist.assign(mesh_.num_nodes(), -1);
   dist[dst] = 0;
   std::deque<NodeId> frontier{dst};

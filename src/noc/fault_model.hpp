@@ -19,6 +19,7 @@
 // survive trace shrinking.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
@@ -75,6 +76,7 @@ class FaultModel {
   // --- record / replay ---
   /// Record every fired transient corruption into fired_transients().
   void set_recording(bool on) { recording_ = on; }
+  bool recording() const { return recording_; }
   /// Replay exactly these transient (link, occurrence) corruptions and stop
   /// evaluating the BER hash. State faults (stuck/dead) are still applied
   /// from the schedule, which the caller re-installs from the trace.
@@ -91,6 +93,15 @@ class FaultModel {
   /// Count one traversal of the directed link (node, out) and decide whether
   /// this flit's payload corrupts. `out` must be a cardinal port.
   bool on_traverse(NodeId node, Port out, Cycle now);
+
+  /// Serial pre-pass for the parallel tick engine, called once per cycle
+  /// before the compute phase: refresh the topology caches and, while any
+  /// permanent fault is active, materialise the spanning forest and the
+  /// distance map of *every* destination — so the health queries below are
+  /// pure reads for the rest of the cycle and safe from any shard thread.
+  /// O(N^2) only on the cycle a fault epoch changes; a cached epoch check
+  /// otherwise. Harmless (and unnecessary) under the serial engine.
+  void prepare(Cycle now);
 
   // --- health queries (permanent faults only; stuck links are transient
   // trouble the end-to-end layer rides out, not a routing concern) ---
@@ -126,7 +137,9 @@ class FaultModel {
   int bisection_links_alive(Cycle now) const;
 
   std::uint64_t traversals(NodeId node, Port out) const;
-  std::uint64_t corrupted_traversals() const { return corrupted_; }
+  std::uint64_t corrupted_traversals() const {
+    return corrupted_.load(std::memory_order_relaxed);
+  }
 
   const Mesh& mesh() const { return mesh_; }
   double ber() const { return ber_; }
@@ -162,15 +175,20 @@ class FaultModel {
   /// Replay keys: link_index << 44 | occurrence.
   std::unordered_set<std::uint64_t> replay_keys_;
 
-  std::uint64_t corrupted_ = 0;
+  /// Corruptions are decided per-link by the stateless hash, so concurrent
+  /// shard threads may fire them in any interleaving; a relaxed atomic sum
+  /// is exact because addition commutes.
+  std::atomic<std::uint64_t> corrupted_{0};
 
   // reachable()/distances_to() caches, invalidated whenever the set of
   // *activated* permanent faults changes (activations are monotone in time,
   // so the epoch is just a count of schedule entries with start <= now).
+  // reachable(src, dst) is answered from distances_to(dst): the BFS over
+  // reversed healthy links marks exactly the nodes with a healthy forward
+  // path to dst, so a separate pair cache would be redundant state.
   std::uint64_t fault_epoch(Cycle now) const;
   void refresh_topology_caches(Cycle now) const;
   mutable std::uint64_t reach_epoch_ = ~std::uint64_t{0};
-  mutable std::unordered_map<std::uint64_t, bool> reach_cache_;
   mutable std::unordered_map<NodeId, std::vector<int>> dist_cache_;
   std::vector<Cycle> perm_starts_;  // sorted activation cycles
 

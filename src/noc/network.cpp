@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "noc/parallel_engine.hpp"
+
 namespace hybridnoc {
 
 Network::Network(const NocConfig& cfg)
@@ -23,9 +25,22 @@ Network::Network(const NocConfig& cfg, RouterFactory make_router, NiFactory make
     routers_.push_back(make_router(cfg_, n, mesh_));
     nis_.push_back(make_ni(cfg_, n, mesh_));
   }
-  if (use_sched_) sched_.reset(2 * num_nodes());
+  if (cfg_.tick_threads > 1) {
+    engine_ = std::make_unique<ParallelTickEngine>(*this, cfg_.tick_threads);
+  } else if (use_sched_) {
+    sched_.reset(2 * num_nodes());
+  }
   build();
+  if (engine_) {
+    for (auto& ni : nis_) ni->set_stage_deliveries(true);
+  }
   if (cfg_.link_ber > 0.0) ensure_fault_model();
+}
+
+Network::~Network() = default;
+
+void Network::set_engine_force_serial(bool on) {
+  if (engine_) engine_->set_force_serial(on);
 }
 
 FaultModel& Network::ensure_fault_model() {
@@ -47,22 +62,28 @@ void Network::build() {
     return credit_channels_.back().get();
   };
 
-  TickScheduler* sched = use_sched_ ? &sched_ : nullptr;
+  // Per-consumer scheduler: the single global one, or — under the parallel
+  // engine — the scheduler of the shard that owns the consuming component.
+  auto sched_for = [&](int id) -> TickScheduler* {
+    if (engine_) return engine_->sched_for(id);
+    return use_sched_ ? &sched_ : nullptr;
+  };
   for (NodeId n = 0; n < num_nodes(); ++n) {
     Router& r = *routers_[static_cast<size_t>(n)];
     NetworkInterface& ni = *nis_[static_cast<size_t>(n)];
-    ni.set_scheduler(sched, ni_sched_id(n));
+    ni.set_scheduler(sched_for(ni_sched_id(n)), ni_sched_id(n));
 
     // NI <-> router local port. Every channel registers its consumer so
-    // sends wake the right component at the item's ready cycle.
+    // sends wake the right component at the item's ready cycle. NI n and
+    // router n always share a shard, so these four never cross shards.
     FlitChannel* inj = new_flit_ch(kDataChannelLatency);
     CreditChannel* inj_cr = new_credit_ch();
     FlitChannel* ej = new_flit_ch(kDataChannelLatency);
     CreditChannel* ej_cr = new_credit_ch();
-    inj->set_consumer(sched, router_sched_id(n));
-    inj_cr->set_consumer(sched, ni_sched_id(n));
-    ej->set_consumer(sched, ni_sched_id(n));
-    ej_cr->set_consumer(sched, router_sched_id(n));
+    inj->set_consumer(sched_for(router_sched_id(n)), router_sched_id(n));
+    inj_cr->set_consumer(sched_for(ni_sched_id(n)), ni_sched_id(n));
+    ej->set_consumer(sched_for(ni_sched_id(n)), ni_sched_id(n));
+    ej_cr->set_consumer(sched_for(router_sched_id(n)), router_sched_id(n));
     r.connect_input(Port::Local, inj, inj_cr, &ni, Port::Local);
     r.connect_output(Port::Local, ej, ej_cr);
     r.set_downstream_active_vcs(Port::Local, ni.eject_active_vcs_ptr());
@@ -78,8 +99,16 @@ void Network::build() {
       Router& nb = *routers_[static_cast<size_t>(m)];
       FlitChannel* data = new_flit_ch(kDataChannelLatency);
       CreditChannel* cr = new_credit_ch();
-      data->set_consumer(sched, router_sched_id(m));
-      cr->set_consumer(sched, router_sched_id(n));
+      data->set_consumer(sched_for(router_sched_id(m)), router_sched_id(m));
+      cr->set_consumer(sched_for(router_sched_id(n)), router_sched_id(n));
+      if (engine_) {
+        // Mesh links are the only channels that can cross a shard boundary
+        // (data flows n -> m, the matching credits m -> n).
+        engine_->register_link_channel(data, router_sched_id(n),
+                                       router_sched_id(m));
+        engine_->register_link_channel(cr, router_sched_id(m),
+                                       router_sched_id(n));
+      }
       r.connect_output(p, data, cr);
       nb.connect_input(opposite(p), data, cr, &r, p);
       r.set_downstream_active_vcs(p, nb.announced_active_vcs_ptr());
@@ -99,6 +128,11 @@ void Network::watchdog_tick() {
 
 void Network::tick() {
   watchdog_tick();
+  if (engine_) {
+    engine_->run_cycle(now_);
+    ++now_;
+    return;
+  }
   if (!use_sched_) {
     for (auto& ni : nis_) ni->tick(now_);
     for (auto& r : routers_) r->tick(now_);
@@ -136,13 +170,25 @@ void Network::tick() {
 void Network::fast_forward(Cycle target) {
   while (now_ < target) {
     if (use_sched_) {
-      sched_.begin_cycle(now_);
-      if (!sched_.anything_active()) {
+      // With the parallel engine the wake state lives in per-shard
+      // schedulers; quiescence is the conjunction over shards and the jump
+      // target the minimum of their wake heaps. begin_cycle is idempotent
+      // at a fixed cycle, so the compute phase re-running it is harmless.
+      if (engine_) {
+        engine_->begin_cycle(now_);
+      } else {
+        sched_.begin_cycle(now_);
+      }
+      const bool active =
+          engine_ ? engine_->anything_active() : sched_.anything_active();
+      if (!active) {
         // Nothing can happen until the earliest component wake or external
         // (controller) event: jump there in one step. Skipped cycles are
         // provably no-ops, and their energy constants fold in lazily.
-        Cycle jump = std::min(
-            {target, sched_.next_wake_cycle(), external_next_event(now_)});
+        Cycle jump = std::min({target,
+                               engine_ ? engine_->next_wake_cycle()
+                                       : sched_.next_wake_cycle(),
+                               external_next_event(now_)});
         // The starvation watchdog must observe every sweep boundary, or its
         // flags would differ between the engines.
         if (cfg_.watchdog_stall_cycles > 0) {

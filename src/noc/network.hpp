@@ -18,6 +18,8 @@
 
 namespace hybridnoc {
 
+class ParallelTickEngine;
+
 /// Per-run fault-tolerance outcome: how much workload survived, what the
 /// recovery machinery did, and how much of the fabric is left.
 struct DegradationReport {
@@ -48,7 +50,7 @@ class Network {
   /// Packet-switched-only network (the Packet-VC4 baseline).
   explicit Network(const NocConfig& cfg);
   Network(const NocConfig& cfg, RouterFactory make_router, NiFactory make_ni);
-  virtual ~Network() = default;
+  virtual ~Network();  // out of line: engine_ is incomplete here
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -57,7 +59,10 @@ class Network {
   /// channel-pipelined, so intra-cycle order is not observable). With
   /// cfg.active_set_scheduler, only components with pending work are
   /// ticked — bit-identical to the full sweep, since idle ticks are
-  /// deterministic no-ops whose energy constants are folded lazily.
+  /// deterministic no-ops whose energy constants are folded lazily. With
+  /// cfg.tick_threads > 1 the cycle is executed by the sharded parallel
+  /// engine (noc/parallel_engine.hpp) — bit-identical again, for any
+  /// thread count.
   virtual void tick();
 
   /// Advance until now() == target, skipping fully idle stretches in one
@@ -113,7 +118,15 @@ class Network {
     return kCycleNever;
   }
 
+  /// Subclass switch for the parallel engine's serial fallback: modes whose
+  /// event *order* is observable (config-fault hooks, trace recording) must
+  /// run cycles in the exact global component order. No-op when the engine
+  /// is off.
+  void set_engine_force_serial(bool on);
+
  private:
+  friend class ParallelTickEngine;
+
   void build();
   void watchdog_tick();
   /// Component ids for the scheduler: NIs are [0, N), routers [N, 2N), so
@@ -133,6 +146,9 @@ class Network {
 
   TickScheduler sched_;
   bool use_sched_ = false;
+  /// Sharded parallel tick engine, created when cfg.tick_threads > 1. When
+  /// null the tick path is byte-for-byte the single-threaded engine.
+  std::unique_ptr<ParallelTickEngine> engine_;
 };
 
 }  // namespace hybridnoc

@@ -147,7 +147,12 @@ void NetworkInterface::deliver(const PacketPtr& pkt, Cycle now) {
     }
   }
   ++data_packets_delivered_;
-  if (deliver_) deliver_(pkt, now);
+  if (!deliver_) return;
+  if (stage_deliveries_) {
+    staged_deliveries_.emplace_back(pkt, now);
+    return;
+  }
+  deliver_(pkt, now);
 }
 
 void NetworkInterface::send_e2e_ack(const PacketPtr& pkt, PacketId key, Cycle now) {

@@ -52,6 +52,19 @@ class NetworkInterface : public VcHolder {
 
   void set_deliver_handler(DeliverFn fn) { deliver_ = std::move(fn); }
 
+  /// Parallel tick engine: the deliver handler is the one external callback
+  /// a compute-phase tick would invoke, and handlers are shared across NIs
+  /// (stats maps, latency histograms). Staging defers the call — counters
+  /// still update in place — and the engine drains all NIs in ascending id
+  /// order after the cycle barrier, on one thread. Handlers that inject
+  /// traffic synchronously are not supported in staged mode; all in-tree
+  /// handlers are passive observers.
+  void set_stage_deliveries(bool on) { stage_deliveries_ = on; }
+  void flush_staged_deliveries() {
+    for (auto& [pkt, cycle] : staged_deliveries_) deliver_(pkt, cycle);
+    staged_deliveries_.clear();
+  }
+
   NodeId id() const { return id_; }
   int inject_queue_depth() const { return static_cast<int>(queue_.size()); }
 
@@ -244,6 +257,8 @@ class NetworkInterface : public VcHolder {
 
   std::unordered_map<PacketId, int> assembly_;
   DeliverFn deliver_;
+  bool stage_deliveries_ = false;
+  std::vector<std::pair<PacketPtr, Cycle>> staged_deliveries_;
   int eject_active_vcs_;
   PacketId local_ids_ = 0;
   double ewma_inject_delay_ = 0.0;

@@ -16,6 +16,13 @@
 //    next wake is always a lower bound on the first cycle where the
 //    component can have observable work, and on *every* wake the component
 //    either stays active or re-derives a fresh next-event from scratch.
+//
+// The scheduler can serve either the whole network (reset: one flat id
+// range) or one shard of the parallel tick engine (reset_ranges: the shard's
+// NI ids plus its router ids, two disjoint global ranges mapped onto one
+// dense internal slot space). All public methods take global component ids
+// either way; with the flat range the mapping is the identity, so the
+// single-scheduler path compiles to exactly the pre-shard arithmetic.
 #pragma once
 
 #include <cstdint>
@@ -35,25 +42,36 @@ class TickScheduler {
   /// everyone active means the first tick behaves exactly like a full sweep
   /// and components earn their way out of the active set.
   void reset(int num_components) {
-    num_ = num_components;
-    active_count_ = num_components;
-    active_.assign(static_cast<size_t>(num_components), 1);
-    next_wake_.assign(static_cast<size_t>(num_components), kCycleNever);
-    heap_ = {};
-    now_ = 0;
+    lo1_ = 0;
+    lo2_ = num_components;  // degenerate split: slot(id) == id everywhere
+    count1_ = num_components;
+    init(num_components);
+  }
+
+  /// Per-shard form (parallel tick engine): this scheduler owns the global
+  /// NI ids [ni_lo, ni_hi) and the global router ids
+  /// [num_nodes + ni_lo, num_nodes + ni_hi). Ascending internal slot order
+  /// is the shard's NIs then its routers — the same relative order the
+  /// global sweep visits them in.
+  void reset_ranges(int ni_lo, int ni_hi, int num_nodes) {
+    HN_CHECK(0 <= ni_lo && ni_lo < ni_hi && ni_hi <= num_nodes);
+    lo1_ = ni_lo;
+    lo2_ = num_nodes + ni_lo;
+    count1_ = ni_hi - ni_lo;
+    init(2 * count1_);
   }
 
   /// Start cycle `now`: promote every component whose wake is due.
   void begin_cycle(Cycle now) {
     now_ = now;
     while (!heap_.empty() && heap_.top().first <= now) {
-      const auto [cycle, id] = heap_.top();
+      const auto [cycle, slot] = heap_.top();
       heap_.pop();
       // Stale entries (superseded by an earlier wake, or the component was
       // activated through another path meanwhile) are simply dropped.
-      if (!active_[static_cast<size_t>(id)] &&
-          next_wake_[static_cast<size_t>(id)] == cycle) {
-        activate(id);
+      if (!active_[static_cast<size_t>(slot)] &&
+          next_wake_[static_cast<size_t>(slot)] == cycle) {
+        activate(slot);
       }
     }
   }
@@ -61,15 +79,15 @@ class TickScheduler {
   /// Component `id` has (or may have) observable work at cycle `at`.
   /// Conservative: spurious wakes are harmless, missed wakes are not.
   void wake_at(int id, Cycle at) {
-    const auto i = static_cast<size_t>(id);
+    const auto i = static_cast<size_t>(slot_of(id));
     if (active_[i]) return;
     if (at <= now_) {
-      activate(id);
+      activate(static_cast<int>(i));
       return;
     }
     if (at < next_wake_[i]) {
       next_wake_[i] = at;
-      heap_.emplace(at, id);
+      heap_.emplace(at, static_cast<int>(i));
     }
   }
 
@@ -81,18 +99,18 @@ class TickScheduler {
   /// sweep, sees the same-cycle work), if already passed it ticks next
   /// cycle (like the legacy sweep, which had already ticked it).
   bool component_active(int id) const {
-    return active_[static_cast<size_t>(id)] != 0;
+    return active_[static_cast<size_t>(slot_of(id))] != 0;
   }
 
   /// Post-tick compaction: keep `busy(id)` components active; put the rest
   /// to sleep until `next_event(id)` (kCycleNever = wait for a channel wake).
   ///
   /// Each component is only *considered* for sleep on its sampling slot —
-  /// once every kSamplePeriod cycles, staggered by id. Deactivating on an
-  /// instantaneous not-busy reading is always safe (next_event re-derives
-  /// the wake from scratch, channel fronts included), so sampling changes
-  /// nothing about correctness; it just bounds the busy-polling cost to
-  /// 1/kSamplePeriod of the active set per cycle, and doubles as
+  /// once every kSamplePeriod cycles, staggered by global id. Deactivating
+  /// on an instantaneous not-busy reading is always safe (next_event
+  /// re-derives the wake from scratch, channel fronts included), so sampling
+  /// changes nothing about correctness; it just bounds the busy-polling cost
+  /// to 1/kSamplePeriod of the active set per cycle, and doubles as
   /// hysteresis: components flickering between busy and idle (the common
   /// case under load) skip the sleep/wake round-trip — a next-event
   /// recomputation plus heap traffic that dwarfs the spurious no-op ticks
@@ -100,9 +118,10 @@ class TickScheduler {
   /// still quiesces within kSamplePeriod cycles of its last event.
   template <typename BusyFn, typename NextEventFn>
   void compact(BusyFn&& busy, NextEventFn&& next_event) {
-    for (int id = 0; id < num_; ++id) {
-      const auto i = static_cast<size_t>(id);
+    for (int slot = 0; slot < num_; ++slot) {
+      const auto i = static_cast<size_t>(slot);
       if (!active_[i]) continue;
+      const int id = id_of(slot);
       if ((static_cast<Cycle>(id) & (kSamplePeriod - 1)) !=
           (now_ & (kSamplePeriod - 1))) {
         continue;
@@ -115,7 +134,7 @@ class TickScheduler {
       if (at != kCycleNever) {
         HN_CHECK_MSG(at > now_, "next-event cycle must lie in the future");
         next_wake_[i] = at;
-        heap_.emplace(at, id);
+        heap_.emplace(at, slot);
       }
     }
   }
@@ -123,9 +142,9 @@ class TickScheduler {
   /// Earliest pending wake, or kCycleNever. Discards stale heap entries.
   Cycle next_wake_cycle() {
     while (!heap_.empty()) {
-      const auto [cycle, id] = heap_.top();
-      if (!active_[static_cast<size_t>(id)] &&
-          next_wake_[static_cast<size_t>(id)] == cycle) {
+      const auto [cycle, slot] = heap_.top();
+      if (!active_[static_cast<size_t>(slot)] &&
+          next_wake_[static_cast<size_t>(slot)] == cycle) {
         return cycle;
       }
       heap_.pop();
@@ -139,17 +158,38 @@ class TickScheduler {
   /// Cycles between sleep-eligibility checks per component (power of two).
   static constexpr Cycle kSamplePeriod = 8;
 
-  void activate(int id) {
-    active_[static_cast<size_t>(id)] = 1;
-    next_wake_[static_cast<size_t>(id)] = kCycleNever;
+  void init(int num_slots) {
+    num_ = num_slots;
+    active_count_ = num_slots;
+    active_.assign(static_cast<size_t>(num_slots), 1);
+    next_wake_.assign(static_cast<size_t>(num_slots), kCycleNever);
+    heap_ = {};
+    now_ = 0;
+  }
+
+  /// Global component id -> dense internal slot. With the flat mapping
+  /// (lo1_ = 0, lo2_ = count1_ = n) both branches are the identity.
+  int slot_of(int id) const {
+    return id < lo2_ ? id - lo1_ : count1_ + (id - lo2_);
+  }
+  int id_of(int slot) const {
+    return slot < count1_ ? lo1_ + slot : lo2_ + (slot - count1_);
+  }
+
+  void activate(int slot) {
+    active_[static_cast<size_t>(slot)] = 1;
+    next_wake_[static_cast<size_t>(slot)] = kCycleNever;
     ++active_count_;
   }
 
-  using HeapEntry = std::pair<Cycle, int>;
+  using HeapEntry = std::pair<Cycle, int>;  ///< (wake cycle, internal slot)
   std::vector<std::uint8_t> active_;
   std::vector<Cycle> next_wake_;  ///< valid pending wake, kCycleNever if none
   int num_ = 0;
   int active_count_ = 0;
+  int lo1_ = 0;     ///< first global id of range 1 (the NIs)
+  int lo2_ = 0;     ///< first global id of range 2 (the routers)
+  int count1_ = 0;  ///< size of range 1
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>>
       heap_;
   Cycle now_ = 0;

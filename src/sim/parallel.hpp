@@ -36,15 +36,21 @@ void parallel_for(std::size_t n, Fn fn, unsigned threads = 0) {
   for (unsigned w = 0; w < workers; ++w) {
     pool.emplace_back([&] {
       for (;;) {
-        if (failed.load(std::memory_order_relaxed)) return;
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        // Acquire on the failure check pairs with the release store below:
+        // a worker that observes `failed` also observes the captured
+        // exception, and the acq_rel claim keeps the check-then-claim pair
+        // from being reordered — with everything relaxed a worker could
+        // claim (and start) an index after another worker had already
+        // failed and published the stop request.
+        if (failed.load(std::memory_order_acquire)) return;
+        const std::size_t i = next.fetch_add(1, std::memory_order_acq_rel);
         if (i >= n) return;
         try {
           fn(i);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
+          failed.store(true, std::memory_order_release);
         }
       }
     });

@@ -13,6 +13,7 @@
 // next protocol endpoint instead of acting on wiped state.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -42,26 +43,43 @@ class TdmController {
   /// May NIs schedule new circuit-switched traffic / setups?
   bool cs_allowed() const { return !reset_pending_; }
 
+  // NIs and routers bump these counters from inside their ticks, which the
+  // parallel tick engine runs on shard threads; relaxed atomics keep the
+  // sums exact (addition commutes) and the data race formally absent. The
+  // controller only *reads* them in its own tick, after the cycle barrier.
+
   /// Source NI reports a setup failure ack (drives the resize heuristic).
-  void record_setup_failure() { ++failures_; }
+  void record_setup_failure() {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+  }
   /// Source NI reports a successful setup.
-  void record_setup_success() { ++successes_; }
+  void record_setup_success() {
+    successes_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // --- in-flight circuit-switched flit tracking ---
-  void cs_flit_launched() { ++cs_in_flight_; }
+  void cs_flit_launched() { cs_in_flight_.fetch_add(1, std::memory_order_relaxed); }
   void cs_flit_retired() {
-    HN_CHECK(cs_in_flight_ > 0);
-    --cs_in_flight_;
+    const std::uint64_t prev =
+        cs_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    HN_CHECK(prev > 0);
   }
-  std::uint64_t cs_in_flight() const { return cs_in_flight_; }
+  std::uint64_t cs_in_flight() const {
+    return cs_in_flight_.load(std::memory_order_relaxed);
+  }
 
   // --- in-flight configuration packet tracking (setup/teardown/ack) ---
-  void config_launched() { ++config_in_flight_; }
-  void config_retired() {
-    HN_CHECK(config_in_flight_ > 0);
-    --config_in_flight_;
+  void config_launched() {
+    config_in_flight_.fetch_add(1, std::memory_order_relaxed);
   }
-  std::uint64_t config_in_flight() const { return config_in_flight_; }
+  void config_retired() {
+    const std::uint64_t prev =
+        config_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    HN_CHECK(prev > 0);
+  }
+  std::uint64_t config_in_flight() const {
+    return config_in_flight_.load(std::memory_order_relaxed);
+  }
 
   /// Installed by the hybrid network: true when no circuit-switched flit is
   /// planned or in flight anywhere (NIs' plans included) — the precondition
@@ -93,12 +111,12 @@ class TdmController {
   const NocConfig cfg_;
   int active_slots_;
   std::uint64_t generation_ = 0;
-  std::uint64_t failures_ = 0;
-  std::uint64_t successes_ = 0;
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> successes_{0};
   std::uint64_t total_failures_ = 0;
   std::uint64_t total_successes_ = 0;
-  std::uint64_t cs_in_flight_ = 0;
-  std::uint64_t config_in_flight_ = 0;
+  std::atomic<std::uint64_t> cs_in_flight_{0};
+  std::atomic<std::uint64_t> config_in_flight_{0};
   std::function<bool()> quiesced_check_;
   bool reset_pending_ = false;
   Cycle epoch_start_ = 0;

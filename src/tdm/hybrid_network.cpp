@@ -166,6 +166,12 @@ void HybridNetwork::update_fault_hooks() {
   for (NodeId n = 0; n < num_nodes(); ++n) {
     hybrid_ni(n).set_config_fault_hook(hook);
   }
+  // The dispatch hook funnels every NI into shared state (the fault RNG,
+  // occurrence maps, the recorded trace — and replay audits read all
+  // routers' tables mid-dispatch), and its event order is part of the
+  // recorded artifact. While any mode is armed the parallel engine must
+  // execute cycles serially in the exact global component order.
+  set_engine_force_serial(fault_mode_ != FaultMode::Off || recording_);
 }
 
 void HybridNetwork::reset_fault_counters() {
@@ -241,9 +247,11 @@ std::uint64_t HybridNetwork::slot_state_digest() const {
   const int S = controller().active_slots();
   for (NodeId n = 0; n < num_nodes(); ++n) {
     const auto& st = static_cast<const HybridRouter&>(router(n)).slots();
+    if (st.valid_entries() == 0) continue;  // nothing to mix from this router
     for (int s = 0; s < S; ++s) {
       for (int j = 0; j < kNumPorts; ++j) {
         const Port in = static_cast<Port>(j);
+        if (st.valid_entries(in) == 0) continue;
         const auto out = st.lookup_slot(s, in);
         if (!out) continue;
         const auto owner = st.owner_at(s, in);
@@ -319,8 +327,10 @@ ReservationAudit HybridNetwork::audit_reservations() const {
 
   for (NodeId n = 0; n < num_nodes(); ++n) {
     const auto& st = static_cast<const HybridRouter&>(router(n)).slots();
+    if (st.valid_entries() == 0) continue;  // no entries -> no orphans here
     for (int s = 0; s < S; ++s) {
       for (int j = 0; j < kNumPorts; ++j) {
+        if (st.valid_entries(static_cast<Port>(j)) == 0) continue;
         if (st.lookup_slot(s, static_cast<Port>(j)).has_value() &&
             !visited[static_cast<size_t>(n)]
                     [static_cast<size_t>(s) * kNumPorts +

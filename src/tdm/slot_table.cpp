@@ -11,7 +11,7 @@ bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
 SlotTable::SlotTable(int capacity, int active)
     : capacity_(capacity), active_(active) {
   HN_CHECK(is_pow2(capacity) && is_pow2(active) && active <= capacity);
-  entries_.resize(static_cast<size_t>(capacity) * kNumPorts);
+  for (auto& column : entries_) column.resize(static_cast<size_t>(capacity));
 }
 
 bool SlotTable::can_reserve(int slot, int duration, Port in, Port out) const {
@@ -22,6 +22,7 @@ bool SlotTable::can_reserve(int slot, int duration, Port in, Port out) const {
     for (int j = 0; j < kNumPorts; ++j) {
       const Port pj = static_cast<Port>(j);
       if (pj == in) continue;
+      if (valid_by_port_[static_cast<size_t>(j)] == 0) continue;
       const Entry& e = at(s, pj);
       if (e.valid && e.out == out) return false;  // output conflict (setup 3)
     }
@@ -39,7 +40,7 @@ bool SlotTable::reserve(int slot, int duration, Port in, Port out,
     e.out = out;
     e.owner = owner;
     e.stamp = now;
-    ++valid_count_;
+    ++valid_by_port_[static_cast<size_t>(in)];
     note_expiry(s, in, e);
   }
   return true;
@@ -55,7 +56,7 @@ std::optional<Port> SlotTable::release(int slot, int duration, Port in,
     if (!first_out) first_out = e.out;
     e.valid = false;
     e.bucket = kNoExpiryBucket;  // its bucket reference is now stale
-    --valid_count_;
+    --valid_by_port_[static_cast<size_t>(in)];
   }
   return first_out;
 }
@@ -89,6 +90,7 @@ void SlotTable::refresh(int slot, int count, Port in, Cycle now) {
 std::optional<Port> SlotTable::output_reserved_at(Cycle cycle, Port out) const {
   const int s = slot_of(cycle);
   for (int j = 0; j < kNumPorts; ++j) {
+    if (valid_by_port_[static_cast<size_t>(j)] == 0) continue;
     const Entry& e = at(s, static_cast<Port>(j));
     if (e.valid && e.out == out) return static_cast<Port>(j);
   }
@@ -96,11 +98,12 @@ std::optional<Port> SlotTable::output_reserved_at(Cycle cycle, Port out) const {
 }
 
 double SlotTable::occupancy() const {
-  return static_cast<double>(valid_count_) /
+  return static_cast<double>(valid_entries()) /
          (static_cast<double>(active_) * kNumPorts);
 }
 
 bool SlotTable::input_free(int slot, int duration, Port in) const {
+  if (valid_by_port_[static_cast<size_t>(in)] == 0) return true;
   for (int d = 0; d < duration; ++d) {
     if (at(wrap(slot + d), in).valid) return false;
   }
@@ -108,24 +111,30 @@ bool SlotTable::input_free(int slot, int duration, Port in) const {
 }
 
 void SlotTable::reset() {
-  for (auto& e : entries_) {
-    e.valid = false;
-    e.bucket = kNoExpiryBucket;
+  for (auto& column : entries_) {
+    for (auto& e : column) {
+      e.valid = false;
+      e.bucket = kNoExpiryBucket;
+    }
   }
-  valid_count_ = 0;
-  expiry_buckets_.clear();
+  valid_by_port_.fill(0);
+  for (auto& buckets : expiry_buckets_) buckets.clear();
 }
 
 void SlotTable::set_expiry_tracking(bool on) {
   if (track_expiry_ == on) return;
   track_expiry_ = on;
-  expiry_buckets_.clear();
-  for (auto& e : entries_) e.bucket = kNoExpiryBucket;
+  for (auto& buckets : expiry_buckets_) buckets.clear();
+  for (auto& column : entries_) {
+    for (auto& e : column) e.bucket = kNoExpiryBucket;
+  }
   if (!on) return;
-  for (int s = 0; s < capacity_; ++s) {
-    for (int j = 0; j < kNumPorts; ++j) {
-      Entry& e = at(s, static_cast<Port>(j));
-      if (e.valid) note_expiry(s, static_cast<Port>(j), e);
+  for (int j = 0; j < kNumPorts; ++j) {
+    const Port in = static_cast<Port>(j);
+    if (valid_by_port_[static_cast<size_t>(j)] == 0) continue;
+    for (int s = 0; s < capacity_; ++s) {
+      Entry& e = at(s, in);
+      if (e.valid) note_expiry(s, in, e);
     }
   }
 }

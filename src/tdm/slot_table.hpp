@@ -20,6 +20,13 @@
 // no circuit traffic for a long time are reclaimed (expire_older_than),
 // bounding the damage of a lost teardown.
 //
+// Storage is sharded by input port: one entry column and one expiry-bucket
+// index per port, with per-port valid counts. A reservation only ever lives
+// under its input port, so the lease sweep and the consistency audit skip
+// whole ports the moment their count is zero — on a quiet router that turns
+// the periodic sweeps into five integer reads instead of a walk over the
+// dense active x kNumPorts array.
+//
 // Section II-C's dynamic time-division granularity is supported through the
 // active size: only the first `active` entries participate (arithmetic is
 // modulo `active`); the rest are power-gated. Growing the active size resets
@@ -27,6 +34,7 @@
 // procedure restarts").
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -81,53 +89,60 @@ class SlotTable {
   /// number of entries released. This is the backstop that reclaims
   /// reservations orphaned by lost teardown messages.
   ///
-  /// With expiry tracking on (the default), entries are bucketed by
+  /// Ports with no valid entries are skipped outright. With expiry tracking
+  /// on (the default), each port's entries are bucketed by
   /// stamp >> kExpiryBucketShift, so a sweep visits only buckets that can
   /// hold expirable stamps — O(expired + stale refs retired + one straddling
-  /// bucket) instead of a full active x kNumPorts scan. Bucket references go
-  /// stale when an entry is released or re-stamped; they are validated (and
-  /// discarded) lazily here, which keeps reserve/refresh O(1).
+  /// bucket per port) instead of a full active x kNumPorts scan. Bucket
+  /// references go stale when an entry is released or re-stamped; they are
+  /// validated (and discarded) lazily here, which keeps reserve/refresh O(1).
+  ///
+  /// Expiry order is port-major (all of port 0's expirations before port
+  /// 1's). Callers' on_expire actions (DLT invalidation, counter bumps) are
+  /// commutative across entries, so the order is not observable.
   template <typename ExpireFn>
   int expire_older_than(Cycle cutoff, ExpireFn&& on_expire) {
     int expired = 0;
-    if (!track_expiry_) {
-      for (int s = 0; s < active_; ++s) {
-        for (int j = 0; j < kNumPorts; ++j) {
-          Entry& e = at(s, static_cast<Port>(j));
+    for (int j = 0; j < kNumPorts; ++j) {
+      if (valid_by_port_[static_cast<size_t>(j)] == 0) continue;
+      const Port in = static_cast<Port>(j);
+      if (!track_expiry_) {
+        for (int s = 0; s < active_; ++s) {
+          Entry& e = at(s, in);
           if (!e.valid || e.stamp >= cutoff) continue;
           e.valid = false;
-          --valid_count_;
+          --valid_by_port_[static_cast<size_t>(j)];
           ++expired;
-          on_expire(s, static_cast<Port>(j));
+          on_expire(s, in);
         }
+        continue;
       }
-      return expired;
-    }
-    auto it = expiry_buckets_.begin();
-    // A bucket with key K holds stamps in [K << shift, (K+1) << shift); it
-    // can contain expirable entries only if its lowest stamp is < cutoff.
-    while (it != expiry_buckets_.end() &&
-           (it->first << kExpiryBucketShift) < cutoff) {
-      std::vector<std::uint32_t> survivors;
-      for (const std::uint32_t code : it->second) {
-        Entry& e = entries_[code];
-        if (!e.valid || e.bucket != it->first) continue;  // stale reference
-        if (e.stamp >= cutoff) {  // straddling bucket: not old enough yet
-          survivors.push_back(code);
-          continue;
+      auto& buckets = expiry_buckets_[static_cast<size_t>(j)];
+      auto it = buckets.begin();
+      // A bucket with key K holds stamps in [K << shift, (K+1) << shift); it
+      // can contain expirable entries only if its lowest stamp is < cutoff.
+      while (it != buckets.end() &&
+             (it->first << kExpiryBucketShift) < cutoff) {
+        std::vector<std::uint32_t> survivors;
+        for (const std::uint32_t slot : it->second) {
+          Entry& e = at(static_cast<int>(slot), in);
+          if (!e.valid || e.bucket != it->first) continue;  // stale reference
+          if (e.stamp >= cutoff) {  // straddling bucket: not old enough yet
+            survivors.push_back(slot);
+            continue;
+          }
+          e.valid = false;
+          e.bucket = kNoExpiryBucket;
+          --valid_by_port_[static_cast<size_t>(j)];
+          ++expired;
+          on_expire(static_cast<int>(slot), in);
         }
-        e.valid = false;
-        e.bucket = kNoExpiryBucket;
-        --valid_count_;
-        ++expired;
-        on_expire(static_cast<int>(code) / kNumPorts,
-                  static_cast<Port>(code % kNumPorts));
-      }
-      if (survivors.empty()) {
-        it = expiry_buckets_.erase(it);
-      } else {
-        it->second = std::move(survivors);
-        ++it;
+        if (survivors.empty()) {
+          it = buckets.erase(it);
+        } else {
+          it->second = std::move(survivors);
+          ++it;
+        }
       }
     }
     return expired;
@@ -143,7 +158,16 @@ class SlotTable {
 
   /// Fraction of (active slot, input) entries that are valid.
   double occupancy() const;
-  int valid_entries() const { return valid_count_; }
+  int valid_entries() const {
+    int total = 0;
+    for (const int c : valid_by_port_) total += c;
+    return total;
+  }
+  /// Valid entries under one input port — lets sweeps and audits skip a
+  /// port's whole column in O(1).
+  int valid_entries(Port in) const {
+    return valid_by_port_[static_cast<size_t>(in)];
+  }
 
   /// True if all entries [slot, slot+duration) for `in` are invalid —
   /// the NI-side pre-check before proposing a slot id for a setup.
@@ -174,10 +198,10 @@ class SlotTable {
     Cycle bucket = kNoExpiryBucket;
   };
   Entry& at(int slot, Port in) {
-    return entries_[static_cast<size_t>(slot) * kNumPorts + static_cast<size_t>(in)];
+    return entries_[static_cast<size_t>(in)][static_cast<size_t>(slot)];
   }
   const Entry& at(int slot, Port in) const {
-    return entries_[static_cast<size_t>(slot) * kNumPorts + static_cast<size_t>(in)];
+    return entries_[static_cast<size_t>(in)][static_cast<size_t>(slot)];
   }
   int wrap(int slot) const { return slot & (active_ - 1); }
   /// Index (or re-index) a just-stamped valid entry at (slot, in).
@@ -186,18 +210,20 @@ class SlotTable {
     const Cycle key = e.stamp >> kExpiryBucketShift;
     if (e.bucket == key) return;  // the existing reference still finds it
     e.bucket = key;
-    expiry_buckets_[key].push_back(static_cast<std::uint32_t>(
-        slot * kNumPorts + static_cast<int>(in)));
+    expiry_buckets_[static_cast<size_t>(in)][key].push_back(
+        static_cast<std::uint32_t>(slot));
   }
 
   int capacity_;
   int active_;
-  int valid_count_ = 0;
-  std::vector<Entry> entries_;  ///< capacity x kNumPorts
+  /// One entry column per input port, each `capacity` slots long.
+  std::array<std::vector<Entry>, kNumPorts> entries_;
+  std::array<int, kNumPorts> valid_by_port_{};
   bool track_expiry_ = true;
-  /// stamp bucket -> entry codes (slot * kNumPorts + in), lazily validated.
+  /// Per input port: stamp bucket -> slot indices, lazily validated.
   /// std::map keeps sweeps in deterministic ascending-bucket order.
-  std::map<Cycle, std::vector<std::uint32_t>> expiry_buckets_;
+  std::array<std::map<Cycle, std::vector<std::uint32_t>>, kNumPorts>
+      expiry_buckets_;
 };
 
 }  // namespace hybridnoc

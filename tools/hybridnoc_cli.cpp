@@ -51,7 +51,7 @@ Args parse(int argc, char** argv) {
   return a;
 }
 
-NocConfig arch_config(const std::string& name, int k) {
+NocConfig arch_preset(const std::string& name, int k) {
   if (name == "packet") return NocConfig::packet_vc4(k);
   if (name == "sdm") return NocConfig::hybrid_sdm_vc4(k);
   if (name == "tdm") return NocConfig::hybrid_tdm_vc4(k);
@@ -61,6 +61,14 @@ NocConfig arch_config(const std::string& name, int k) {
   std::cerr << "unknown --arch '" << name
             << "' (packet|sdm|tdm|tdm-vct|hop|hop-vct)\n";
   std::exit(2);
+}
+
+NocConfig arch_config(const Args& a, const std::string& dflt_arch, int k) {
+  NocConfig cfg = arch_preset(a.get("arch", dflt_arch), k);
+  // --threads N runs the sharded parallel tick engine; results are
+  // bit-identical to --threads 1 (the default single-threaded engine).
+  cfg.tick_threads = static_cast<int>(a.num("threads", 1));
+  return cfg;
 }
 
 TrafficPattern pattern_arg(const std::string& name) {
@@ -94,7 +102,7 @@ void emit(const Args& a, TextTable& t) {
 
 int cmd_synth(const Args& a) {
   const int k = static_cast<int>(a.num("k", 6));
-  const NocConfig cfg = arch_config(a.get("arch", "tdm"), k);
+  const NocConfig cfg = arch_config(a, "tdm", k);
   const TrafficPattern pattern = pattern_arg(a.get("pattern", "uniform"));
   const auto r = run_synthetic(cfg, run_params(a, pattern, a.num("rate", 0.1)));
   TextTable t({"metric", "value"});
@@ -114,7 +122,7 @@ int cmd_synth(const Args& a) {
 
 int cmd_sweep(const Args& a) {
   const int k = static_cast<int>(a.num("k", 6));
-  const NocConfig cfg = arch_config(a.get("arch", "tdm"), k);
+  const NocConfig cfg = arch_config(a, "tdm", k);
   const TrafficPattern pattern = pattern_arg(a.get("pattern", "uniform"));
   std::vector<double> rates;
   for (double r = a.num("from", 0.05); r <= a.num("to", 0.4) + 1e-9;
@@ -134,7 +142,7 @@ int cmd_sweep(const Args& a) {
 }
 
 int cmd_hetero(const Args& a) {
-  const NocConfig cfg = arch_config(a.get("arch", "hop-vct"), 6);
+  const NocConfig cfg = arch_config(a, "hop-vct", 6);
   const WorkloadMix mix{cpu_benchmark(a.get("cpu", "APPLU")),
                         gpu_benchmark(a.get("gpu", "BLACKSCHOLES"))};
   HeteroSystem sys(cfg, mix, static_cast<std::uint64_t>(a.num("seed", 1)));
@@ -177,7 +185,7 @@ int cmd_trace_gen(const Args& a) {
 
 int cmd_trace_run(const Args& a) {
   const int k = static_cast<int>(a.num("k", 6));
-  auto net = make_network(arch_config(a.get("arch", "tdm"), k));
+  auto net = make_network(arch_config(a, "tdm", k));
   std::ifstream in(a.get("in", "traffic.trace"));
   if (!in) {
     std::cerr << "cannot open trace file\n";
@@ -220,7 +228,7 @@ int cmd_trace_run(const Args& a) {
 int usage() {
   std::cerr <<
       "usage: hybridnoc <command> [--key value ...]\n"
-      "  synth      one synthetic run   (--arch --pattern --rate --k --csv)\n"
+      "  synth      one synthetic run   (--arch --pattern --rate --k --threads --csv)\n"
       "  sweep      load sweep          (--arch --pattern --from --to --step)\n"
       "  hetero     CPU+GPU workload    (--arch --cpu --gpu --cycles)\n"
       "  trace-gen  record a trace      (--pattern --rate --cycles --out)\n"
