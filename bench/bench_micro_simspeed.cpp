@@ -4,6 +4,7 @@
 
 #include "common/rng.hpp"
 #include "noc/network.hpp"
+#include "sim/driver.hpp"
 #include "tdm/hybrid_network.hpp"
 #include "tdm/slot_table.hpp"
 
@@ -120,6 +121,51 @@ BENCHMARK(BM_ParallelHybridLoadedCycle)
     ->Args({1, 300})
     ->Args({4, 300})
     ->UseRealTime();
+
+/// Both fidelities of the full synthetic driver on the same workload:
+/// hybrid-TDM 8x8 at 0.3 injection, uniform traffic. Warmup is zeroed so
+/// RunResult.cycles counts every simulated cycle — items_per_second is then
+/// directly "simulated cycles per wall second" for each engine, and the
+/// BM_FastModelRun : BM_CycleCoreRun ratio is the fast model's speedup.
+/// check_fastmodel_speedup.cmake gates that ratio (>= 100x) from the JSON
+/// this harness writes. The fast side runs a longer window so its fixed
+/// construction cost doesn't flatter the cycle side.
+RunParams speedgate_params(std::uint64_t measure_packets) {
+  RunParams p;
+  p.pattern = TrafficPattern::UniformRandom;
+  p.injection_rate = 0.3;
+  p.warmup_packets = 0;
+  p.warmup_min_cycles = 0;
+  p.measure_packets = measure_packets;
+  p.seed = 1;
+  return p;
+}
+
+void BM_CycleCoreRun(benchmark::State& state) {
+  const NocConfig cfg = NocConfig::hybrid_tdm_vc4(8);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const RunResult r = run_synthetic(cfg, speedgate_params(10000));
+    benchmark::DoNotOptimize(r.avg_latency);
+    cycles += r.cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_CycleCoreRun)->Unit(benchmark::kMillisecond);
+
+void BM_FastModelRun(benchmark::State& state) {
+  const NocConfig cfg = NocConfig::hybrid_tdm_vc4(8);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    RunParams p = speedgate_params(400000);
+    p.fidelity = Fidelity::Fast;
+    const RunResult r = run_synthetic(cfg, p);
+    benchmark::DoNotOptimize(r.avg_latency);
+    cycles += r.cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_FastModelRun)->Unit(benchmark::kMillisecond);
 
 void BM_IdleFastForward(benchmark::State& state) {
   // Whole-window skip: what an idle stretch costs when the driver may jump

@@ -1,0 +1,99 @@
+# Gate the fast model's speedup over the cycle-accurate core. Run as a ctest
+# step after bench_micro_simspeed has written a JSON containing repeated
+# BM_CycleCoreRun / BM_FastModelRun rows:
+#   cmake -DCURRENT=<build>/BENCH_fastmodel_gate.json \
+#         [-DMIN_SPEEDUP=100] -P check_fastmodel_speedup.cmake
+#
+# Both benchmarks report items_per_second as *simulated cycles per wall
+# second* (the harness zeroes warmup so RunResult.cycles counts every cycle),
+# so fast/cycle is directly the speedup the paper-methodology claims. A
+# single run of either side jitters +/-20% with machine load, which would
+# make a point-estimate gate flaky; instead the benchmark is run with
+# --benchmark_repetitions and this script takes the MAX items_per_second per
+# side across repetitions — best-observed throughput under identical
+# conditions, which filters scheduler noise without biasing the ratio.
+if(NOT DEFINED MIN_SPEEDUP)
+  set(MIN_SPEEDUP 100)
+endif()
+if(NOT DEFINED CURRENT)
+  message(FATAL_ERROR "check_fastmodel_speedup: -DCURRENT=<file> is required")
+endif()
+if(NOT EXISTS "${CURRENT}")
+  message(FATAL_ERROR "check_fastmodel_speedup: file not found: ${CURRENT}")
+endif()
+
+# google-benchmark serializes rates like 1.6420049322076477e+06 and CMake's
+# math() is integer-only, so truncate mantissa*10^exp to an integer by string
+# surgery. Rates here are >= 1e3, so truncation noise is irrelevant.
+function(ips_to_int out val)
+  if(val MATCHES "^([0-9]+)(\\.[0-9]*)?$")
+    set(${out} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+    return()
+  endif()
+  if(val MATCHES "^([0-9]+)\\.?([0-9]*)[eE]\\+?0*([0-9]+)$")
+    set(ipart "${CMAKE_MATCH_1}")
+    set(fpart "${CMAKE_MATCH_2}")
+    set(exp "${CMAKE_MATCH_3}")
+    string(LENGTH "${fpart}" flen)
+    if(exp GREATER flen)
+      math(EXPR zeros "${exp} - ${flen}")
+      foreach(i RANGE 1 ${zeros})
+        string(APPEND fpart "0")
+      endforeach()
+    else()
+      string(SUBSTRING "${fpart}" 0 ${exp} fpart)
+    endif()
+    set(${out} "${ipart}${fpart}" PARENT_SCOPE)
+    return()
+  endif()
+  message(FATAL_ERROR "check_fastmodel_speedup: cannot parse rate: ${val}")
+endfunction()
+
+file(READ "${CURRENT}" json)
+
+set(max_cycle 0)
+set(max_fast 0)
+set(rows_cycle 0)
+set(rows_fast 0)
+string(JSON n LENGTH "${json}" benchmarks)
+math(EXPR n_last "${n} - 1")
+foreach(i RANGE ${n_last})
+  string(JSON name GET "${json}" benchmarks ${i} name)
+  string(JSON rt GET "${json}" benchmarks ${i} run_type)
+  if(NOT rt STREQUAL "iteration")
+    continue()  # mean/median/stddev aggregate rows
+  endif()
+  string(JSON ips ERROR_VARIABLE err GET "${json}" benchmarks ${i} items_per_second)
+  if(err)
+    continue()
+  endif()
+  ips_to_int(ips_int "${ips}")
+  if(name STREQUAL "BM_CycleCoreRun")
+    math(EXPR rows_cycle "${rows_cycle} + 1")
+    if(ips_int GREATER max_cycle)
+      set(max_cycle "${ips_int}")
+    endif()
+  elseif(name STREQUAL "BM_FastModelRun")
+    math(EXPR rows_fast "${rows_fast} + 1")
+    if(ips_int GREATER max_fast)
+      set(max_fast "${ips_int}")
+    endif()
+  endif()
+endforeach()
+
+if(rows_cycle EQUAL 0 OR rows_fast EQUAL 0)
+  message(FATAL_ERROR "check_fastmodel_speedup: missing benchmark rows in "
+          "${CURRENT} (BM_CycleCoreRun: ${rows_cycle}, BM_FastModelRun: "
+          "${rows_fast}) — was bench_micro_simspeed run with "
+          "--benchmark_filter=BM_CycleCoreRun|BM_FastModelRun?")
+endif()
+
+math(EXPR floor_fast "${max_cycle} * ${MIN_SPEEDUP}")
+math(EXPR speedup "${max_fast} / ${max_cycle}")
+if(max_fast LESS floor_fast)
+  message(FATAL_ERROR "fast-model speedup gate FAILED: ${speedup}x < "
+          "${MIN_SPEEDUP}x (cycle core ${max_cycle} cycles/s, fast model "
+          "${max_fast} cycles/s, over ${rows_cycle}/${rows_fast} repetitions)")
+endif()
+message(STATUS "fast-model speedup gate passed: ${speedup}x >= ${MIN_SPEEDUP}x "
+        "(cycle core ${max_cycle} cycles/s, fast model ${max_fast} cycles/s)")

@@ -7,7 +7,9 @@
 namespace hybridnoc {
 
 void NocConfig::validate() const {
-  HN_CHECK(k >= 2);
+  HN_CHECK_MSG(k >= 2,
+               "mesh radix k must be >= 2: a 1-node mesh has no links, and "
+               "the tornado/hotspot patterns are degenerate on it");
   HN_CHECK(num_vcs >= 1);
   HN_CHECK(vc_buffer_depth >= 1);
   HN_CHECK(ps_data_flits >= 1 && cs_data_flits >= 1 && config_flits >= 1);

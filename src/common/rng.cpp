@@ -13,8 +13,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
-
 }  // namespace
 
 void Rng::reseed(std::uint64_t seed) {
@@ -25,42 +23,10 @@ void Rng::reseed(std::uint64_t seed) {
   HN_CHECK(s_[0] | s_[1] | s_[2] | s_[3]);
 }
 
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 high-quality bits -> double in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-std::uint64_t Rng::uniform_int(std::uint64_t n) {
-  HN_CHECK(n > 0);
-  const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
-  for (;;) {
-    const std::uint64_t r = next_u64();
-    if (r >= threshold) return r % n;
-  }
-}
-
 std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
   HN_CHECK(lo <= hi);
   return lo + static_cast<std::int64_t>(
                   uniform_int(static_cast<std::uint64_t>(hi - lo) + 1));
-}
-
-bool Rng::bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
 }
 
 std::uint64_t Rng::geometric(double p) {

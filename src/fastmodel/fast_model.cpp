@@ -1,0 +1,985 @@
+// Transfer-level fast engine. One event per packet *transfer* instead of one
+// event per flit per cycle: injections are drawn per node with geometric
+// skip-sampling (statistically identical to the cycle core's per-cycle
+// Bernoulli process), each transfer is walked analytically over its XY route
+// against per-server busy-until clocks (source NI serializer, every directed
+// link, destination ejection port), and TDM circuits replay the cycle core's
+// policy state machine (per-epoch pair frequencies, real SlotTable
+// reservations with the slot+2-per-hop walk, window alignment, the
+// cs_latency_advantage switching decision and the EWMA congestion signal)
+// without simulating the flits that carry it.
+//
+// Everything observable — latency constants, energy event counts, per-cycle
+// leakage integrals, the warmup/measurement-window methodology — mirrors the
+// cycle core's definitions; see fast_model.hpp for the calibration contract
+// and the list of accepted approximations.
+#include "fastmodel/fast_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "noc/routing.hpp"
+#include "tdm/slot_table.hpp"
+
+namespace hybridnoc {
+namespace {
+
+/// XY route unrolled once and cached: per-router input/output ports (the
+/// exact arguments the cycle core's setup walk passes to SlotTable::reserve)
+/// plus directed-link ids for the congestion servers.
+struct Route {
+  int hops = -1;  ///< -1 = not built yet
+  std::vector<NodeId> routers;  ///< hops+1 routers, src..dst
+  std::vector<Port> in;         ///< input port at each router (Local at src)
+  std::vector<Port> out;        ///< output port at each router (Local at dst)
+  std::vector<int> links;       ///< hops directed links, links[i] leaves routers[i]
+};
+
+/// One reservation window of a source-destination pair, mirroring
+/// HybridNi::Connection::slots plus the fast model's usage clock.
+struct Window {
+  int slot = 0;        ///< slot at the source router's Local input
+  Cycle ready = 0;     ///< ack arrival: the window exists from here on
+  Cycle next_free = 0; ///< earliest next start (one packet per table rotation)
+  PacketId owner = 0;  ///< setup id tagging the SlotTable entries
+};
+
+struct Conn {
+  std::vector<Window> windows;
+  Cycle last_used = 0;
+};
+
+/// Per-node NI policy state (the fast-model shadow of HybridNi). The
+/// per-destination policy fields are dense vectors indexed by destination —
+/// every injection reads several of them, and hash maps were a measurable
+/// fraction of the event loop.
+struct NiState {
+  std::map<NodeId, Conn> conns;  ///< ordered: deterministic idle sweeps
+  std::vector<int> freq;
+  std::vector<Cycle> cooldown_until;
+  std::vector<Cycle> pending_until;
+  Cycle epoch_start = 0;
+  Cycle cs_busy_until = 0;  ///< shadow of cs_plan_: next admissible CS start
+  double ewma = 0.0;        ///< ewma_inject_delay of the base NI
+};
+
+/// Hot per-pair route metadata: everything ps_launch needs per packet in one
+/// 8-byte load (the full Route record stays cold, used only by the TDM setup
+/// walk). hops < 0 marks a pair whose route has not been built yet.
+struct RouteRef {
+  std::uint32_t off = 0;  ///< first link, index into links_flat_
+  std::int32_t hops = -1;
+};
+
+/// A data packet's head arriving at a router input — the next link claim
+/// happens at this event's time, so every link serves heads in true arrival
+/// order (a single-pass whole-route walk would claim capacity in injection
+/// order and systematically overstate queueing on long routes). The route's
+/// remaining links are addressed through the flat link-id array (one load
+/// per hop) rather than the full Route record.
+struct HopEvent {
+  std::uint32_t link_idx = 0;  ///< current link, index into links_flat_
+  std::uint16_t remaining = 0; ///< links left to cross, including this one
+  std::uint16_t dst = 0;       ///< destination node (ejection server)
+  std::uint32_t created = 0;   ///< creation cycle; 32 bits keeps the event
+                               ///< at 12 bytes (~6M live copies per run, the
+                               ///< model checks max_cycles fits at startup)
+};
+
+/// Bucket-ring ("calendar") event queue for the simulation's two hot event
+/// streams (hop arrivals and deliveries). Event times cluster within a few
+/// hundred cycles of the present, so a ring of per-cycle buckets makes
+/// push/pop O(1) where a binary heap pays log(n) pointer-chasing per event —
+/// the heaps dominated the fast model's profile. Times beyond the ring's
+/// horizon (deep-backlog schedules) spill into a small overflow heap.
+///
+/// The cursor only moves forward: push times must be strictly greater than
+/// the last time handed out by next_at(), which the simulation guarantees
+/// (every event schedules strictly-future successors). Events at one cycle
+/// are handed back in push order; overflow spills are appended after ring
+/// entries of the same cycle. That tie order differs from a global FIFO only
+/// under multi-thousand-cycle backlogs, and is equally deterministic.
+template <typename T>
+class Calendar {
+ public:
+  Calendar() : buckets_(kSize) {}
+
+  bool empty() const { return size_ == 0; }
+
+  void push(Cycle at, const T& v) {
+    ++size_;
+    if (at - cursor_ >= kSize) {
+      over_.push(Far{at, over_seq_++, v});
+    } else {
+      buckets_[at & kMask].push_back(v);
+    }
+  }
+
+  /// Earliest event time in [cursor, limit], or kCycleNever when there is
+  /// none (the cursor then rests at limit). Amortized O(1) per simulated
+  /// cycle: the cursor never revisits a bucket.
+  Cycle next_at(Cycle limit) {
+    if (size_ == 0) {
+      cursor_ = std::max(cursor_, limit);
+      return kCycleNever;
+    }
+    const Cycle oat = over_.empty() ? kCycleNever : over_.top().at;
+    while (cursor_ <= limit) {
+      if (!buckets_[cursor_ & kMask].empty() || oat == cursor_) return cursor_;
+      ++cursor_;
+    }
+    return kCycleNever;
+  }
+
+  /// Earliest event time in the queue, unbounded; kCycleNever when empty.
+  /// Live streams keep the ring dense, so the scan is short; when every
+  /// pending time sits in the overflow heap the answer is its top.
+  Cycle next_any() {
+    const Cycle oat = over_.empty() ? kCycleNever : over_.top().at;
+    if (size_ - over_.size() > 0) {
+      while (cursor_ < oat && buckets_[cursor_ & kMask].empty()) ++cursor_;
+      return cursor_;
+    }
+    if (oat != kCycleNever) cursor_ = oat;
+    return oat;
+  }
+
+  /// Move every event at time `t` (== the cursor, as returned by next_at /
+  /// next_any) into `out`, ring entries first, then overflow spills.
+  void take(Cycle t, std::vector<T>& out) {
+    auto& b = buckets_[t & kMask];
+    size_ -= b.size();
+    for (auto& v : b) out.push_back(v);
+    b.clear();
+    while (!over_.empty() && over_.top().at == t) {
+      out.push_back(over_.top().v);
+      over_.pop();
+      --size_;
+    }
+  }
+
+  /// Visit every event at time `t` in place (ring first, then overflow).
+  /// The visitor may push into this calendar: pushed times are strictly
+  /// future, so they land in other buckets and never grow the one being
+  /// walked.
+  template <typename F>
+  void consume(Cycle t, F&& f) {
+    auto& b = buckets_[t & kMask];
+    size_ -= b.size();
+    for (size_t i = 0; i < b.size(); ++i) f(b[i]);
+    b.clear();
+    while (!over_.empty() && over_.top().at == t) {
+      const T v = over_.top().v;
+      over_.pop();
+      --size_;
+      f(v);
+    }
+  }
+
+ private:
+  static constexpr Cycle kSize = 4096;  ///< ring horizon, cycles
+  static constexpr Cycle kMask = kSize - 1;
+  struct Far {
+    Cycle at;
+    std::uint64_t seq;
+    T v;
+    bool operator<(const Far& o) const {  // inverted: min-heap under std::pq
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+  std::vector<std::vector<T>> buckets_;
+  std::priority_queue<Far> over_;
+  std::uint64_t over_seq_ = 0;
+  Cycle cursor_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+class FastModel {
+ public:
+  FastModel(const NocConfig& cfg, const RunParams& params)
+      : cfg_(cfg),
+        params_(params),
+        mesh_(cfg.k),
+        n_(mesh_.num_nodes()),
+        tdm_(cfg.arch == RouterArch::HybridTdm),
+        fps_(cfg.ps_data_flits),
+        fcs_(cfg.cs_data_flits),
+        dur_(cfg.reservation_duration()),
+        slots_(cfg.slot_table_size),
+        p_(params.injection_rate / static_cast<double>(cfg.ps_data_flits)) {
+    HN_CHECK_MSG(p_ <= 1.0,
+                 "injection rate must be <= flits_per_packet (one packet "
+                 "per node per cycle at most)");
+    HN_CHECK_MSG(params.max_cycles <= 0xffffffffULL,
+                 "fast model packs creation cycles into 32 bits");
+    routes_.resize(static_cast<size_t>(n_) * static_cast<size_t>(n_));
+    route_ref_.assign(static_cast<size_t>(n_) * static_cast<size_t>(n_),
+                      RouteRef{0, -1});
+    links_flat_.reserve(1024);
+    ni_free_.assign(static_cast<size_t>(n_), 0);
+    eject_free_.assign(static_cast<size_t>(n_), 0);
+    link_free_.assign(static_cast<size_t>(n_) * 4, 0);
+    reserved_on_link_.assign(static_cast<size_t>(n_) * 4, 0);
+    Rng master(params.seed);
+    inj_rng_.reserve(static_cast<size_t>(n_));
+    dst_rng_.reserve(static_cast<size_t>(n_));
+    slot_rng_.reserve(static_cast<size_t>(n_));
+    for (int v = 0; v < n_; ++v) {
+      inj_rng_.push_back(master.split());
+      dst_rng_.push_back(master.split());
+      slot_rng_.push_back(master.split());
+    }
+    if (tdm_) {
+      ni_.resize(static_cast<size_t>(n_));
+      for (NiState& st : ni_) {
+        st.freq.assign(static_cast<size_t>(n_), 0);
+        st.cooldown_until.assign(static_cast<size_t>(n_), 0);
+        st.pending_until.assign(static_cast<size_t>(n_), 0);
+      }
+      tables_.reserve(static_cast<size_t>(n_));
+      for (int v = 0; v < n_; ++v)
+        tables_.emplace_back(cfg.slot_table_size, cfg.slot_table_size);
+    }
+    if (p_ > 0.0 && p_ < 1.0) inv_log1m_p_ = 1.0 / std::log1p(-p_);
+    nodes_u64_ = static_cast<std::uint64_t>(n_);
+    nodes_threshold_ = (0 - nodes_u64_) % nodes_u64_;
+    nodes_pow2_ = (nodes_u64_ & (nodes_u64_ - 1)) == 0;
+    switch (params.pattern) {
+      case TrafficPattern::UniformRandom:
+        dst_mode_ = DstMode::Uniform;
+        break;
+      case TrafficPattern::Tornado:
+        // Degenerate tornado (k <= 3) falls back to uniform draws, exactly
+        // like pattern_destination.
+        dst_mode_ = cfg.k / 2 - 1 <= 0 ? DstMode::Uniform : DstMode::Table;
+        break;
+      case TrafficPattern::Hotspot: {
+        dst_mode_ = DstMode::Hotspot;
+        const int lo = cfg.k / 2 - 1 > 0 ? cfg.k / 2 - 1 : 0;
+        const Coord hot[4] = {{cfg.k / 2, cfg.k / 2},
+                              {lo, cfg.k / 2},
+                              {cfg.k / 2, lo},
+                              {lo, lo}};
+        for (int h = 0; h < 4; ++h) hotspots_[h] = mesh_.node(hot[h]);
+        break;
+      }
+      default:
+        dst_mode_ = DstMode::Table;
+        break;
+    }
+    if (dst_mode_ == DstMode::Table) {
+      // Deterministic patterns never consume random numbers, so the whole
+      // map can be precomputed; -1 marks self-destinations (no packet).
+      dst_table_.resize(static_cast<size_t>(n_));
+      Rng scratch(0x5eed);
+      for (NodeId v = 0; v < n_; ++v) {
+        const auto d = pattern_destination(params.pattern, mesh_, v, scratch);
+        dst_table_[static_cast<size_t>(v)] = d ? *d : -1;
+      }
+    }
+    if (params.warmup_packets == 0) {
+      armed_ = true;
+      measure_start_ = params.warmup_min_cycles;
+    }
+  }
+
+  RunResult run() {
+    if (p_ > 0.0) {
+      for (NodeId v = 0; v < n_; ++v) inj_.push(inject_gap(v), v);
+    }
+    while (!done_ && !inj_.empty()) {
+      const Cycle t_inj = inj_.next_any();
+      // Move every in-flight head that precedes (or ties with) the next
+      // injection, mirroring the cycle core's router-before-NI update order
+      // within a tick. Heads only touch link/ejection clocks and push
+      // strictly-future events, so the whole stretch runs as one batch;
+      // delivery bookkeeping is time-ordered by its own calendar and can
+      // drain afterwards.
+      const Cycle hop_bound = std::min(t_inj, params_.max_cycles - 1);
+      Cycle t_hop;
+      while ((t_hop = hops_.next_at(hop_bound)) != kCycleNever) {
+        hops_.consume(t_hop, [this, t_hop](const HopEvent& h) {
+          process_hop(t_hop, h);
+        });
+      }
+      if (t_inj >= params_.max_cycles) {
+        drain_deliveries(params_.max_cycles);
+        if (!done_) end_cycle_ = params_.max_cycles;
+        break;
+      }
+      drain_deliveries(t_inj);
+      if (done_) break;
+      if (armed_ && !measuring_ && t_inj >= measure_start_) begin_window();
+      inj_.consume(t_inj, [this, t_inj](NodeId v) {
+        process_injection(v, t_inj);
+        inj_.push(t_inj + 1 + inject_gap(v), v);
+      });
+    }
+    return finalize();
+  }
+
+ private:
+  // --- topology helpers ---------------------------------------------------
+
+  static int link_id(NodeId node, Port out) {
+    return static_cast<int>(node) * 4 + (static_cast<int>(out) - 1);
+  }
+
+  const Route& route(NodeId src, NodeId dst) {
+    Route& r = routes_[static_cast<size_t>(src) * static_cast<size_t>(n_) +
+                       static_cast<size_t>(dst)];
+    if (r.hops >= 0) return r;
+    r.hops = mesh_.hop_distance(src, dst);
+    r.routers.reserve(static_cast<size_t>(r.hops) + 1);
+    r.in.reserve(static_cast<size_t>(r.hops) + 1);
+    r.out.reserve(static_cast<size_t>(r.hops) + 1);
+    r.links.reserve(static_cast<size_t>(r.hops));
+    NodeId here = src;
+    Port in = Port::Local;
+    while (true) {
+      const Port out = route_xy(mesh_, here, dst);
+      r.routers.push_back(here);
+      r.in.push_back(in);
+      r.out.push_back(out);
+      if (out == Port::Local) break;
+      r.links.push_back(link_id(here, out));
+      in = opposite(out);
+      here = mesh_.neighbor(here, out);
+    }
+    // Flat copy of the link ids plus an 8-byte {offset, hops} record for the
+    // hot path: ps_launch then reads one small array entry per packet instead
+    // of dereferencing the full Route (a ~100-byte struct of vectors whose
+    // random access was a guaranteed cache miss per injection).
+    route_ref_[static_cast<size_t>(src) * static_cast<size_t>(n_) +
+               static_cast<size_t>(dst)] = {
+        static_cast<std::uint32_t>(links_flat_.size()), r.hops};
+    links_flat_.insert(links_flat_.end(), r.links.begin(), r.links.end());
+    return r;
+  }
+
+  /// Rng::geometric with the 1/log1p(-p) factor hoisted out of the loop —
+  /// p is constant for the whole run and the log per draw was hot.
+  Cycle inject_gap(NodeId v) {
+    if (p_ >= 1.0) return 0;
+    const double u = inj_rng_[static_cast<size_t>(v)].uniform();
+    return static_cast<Cycle>(std::log1p(-u) * inv_log1m_p_);
+  }
+
+  // --- measurement window -------------------------------------------------
+
+  void begin_window() {
+    measuring_ = true;
+    dyn_snap_ = dyn_;
+    ps_snap_ = ps_flits_;
+    cs_snap_ = cs_flits_;
+    cfg_snap_ = config_flits_;
+  }
+
+  void drain_deliveries(Cycle upto) {
+    while (upto > 0) {
+      const Cycle t = deliveries_.next_at(upto - 1);
+      if (t == kCycleNever) return;
+      // Once the measurement target is hit, the rest of the finishing
+      // cycle's deliveries still co-count (the cycle core tallies every
+      // delivery of that cycle before its loop breaks) — they fall through
+      // the same bookkeeping with only the gate check disabled.
+      deliveries_.consume(t, [this, t](Cycle created) {
+        ++delivered_total_;
+        if (!armed_ && delivered_total_ >= params_.warmup_packets) {
+          armed_ = true;
+          measure_start_ = std::max(t + 1, params_.warmup_min_cycles);
+        }
+        if (!armed_ || t < measure_start_) return;
+        ++window_deliveries_;
+        if (created < measure_start_) return;
+        record_latency(t - created);
+        ++measured_;
+        if (!done_ &&
+            (measured_ >= params_.measure_packets ||
+             (lat_count_ > 500 &&
+              lat_sum_ >
+                  params_.latency_cap * static_cast<double>(lat_count_)))) {
+          if (measured_ < params_.measure_packets) saturated_ = true;
+          end_cycle_ = t + 1;
+          done_ = true;
+        }
+      });
+      if (done_) return;
+    }
+  }
+
+  void push_delivery(Cycle at, Cycle created) { deliveries_.push(at, created); }
+
+  // Latency statistics, kept as flat local state instead of the shared
+  // StatAccumulator/Histogram classes: this runs once per measured packet in
+  // the hottest loop, and the integer-latency specialisation (integer bucket
+  // index, sum instead of streaming mean) is measurably cheaper while
+  // reporting the same mean/p99 the cycle driver's Histogram(5.0, 400) does.
+  void record_latency(Cycle d) {
+    ++lat_count_;
+    lat_sum_ += static_cast<double>(d);
+    if (d > lat_max_) lat_max_ = d;
+    const size_t idx = static_cast<size_t>(d) / kHistWidth;
+    if (idx < kHistBuckets) {
+      ++hist_buckets_[idx];
+    } else {
+      ++hist_overflow_;
+    }
+  }
+
+  double latency_quantile(double q) const {
+    // Mirrors Histogram::quantile: linear interpolation within the bucket,
+    // overflow mass reported as the largest sample seen.
+    if (lat_count_ == 0) return 0.0;
+    const double target = q * static_cast<double>(lat_count_);
+    double cum = 0.0;
+    for (size_t i = 0; i < kHistBuckets; ++i) {
+      const double next = cum + static_cast<double>(hist_buckets_[i]);
+      if (next >= target && hist_buckets_[i] > 0) {
+        const double frac = (target - cum) / static_cast<double>(hist_buckets_[i]);
+        return (static_cast<double>(i) + frac) * static_cast<double>(kHistWidth);
+      }
+      cum = next;
+    }
+    return static_cast<double>(lat_max_);
+  }
+
+  // --- packet-switched transfers ------------------------------------------
+
+  Cycle link_service(int link, int flits) const {
+    if (!tdm_ || cfg_.time_slot_stealing) return static_cast<Cycle>(flits);
+    // Without time-slot stealing, reserved slots are lost to packet-switched
+    // traffic even when idle: the link serves PS flits at (S - reserved)/S
+    // of its bandwidth.
+    const int res =
+        std::min(reserved_on_link_[static_cast<size_t>(link)], slots_ - 1);
+    const double scale =
+        static_cast<double>(slots_) / static_cast<double>(slots_ - res);
+    return static_cast<Cycle>(
+        static_cast<double>(flits) * scale + 0.9999);
+  }
+
+  /// Charge the cycle core's per-flit packet-switched energy events for one
+  /// packet of `flits` over a route of `hops` links.
+  void ps_energy(int hops, int flits, bool is_data) {
+    const auto f = static_cast<std::uint64_t>(flits);
+    const auto r = static_cast<std::uint64_t>(hops + 1);
+    dyn_.buffer_writes += r * f;
+    dyn_.buffer_reads += r * f;
+    dyn_.sw_arbs += r * f;
+    dyn_.xbar_flits += r * f;
+    dyn_.vc_arbs += r;  // one VC allocation per packet per router
+    dyn_.link_flits += static_cast<std::uint64_t>(hops) * f;
+    if (is_data) {
+      ps_flits_ += f;
+    } else {
+      config_flits_ += f;
+    }
+  }
+
+  /// Synchronous whole-route walk for config messages (setups, acks,
+  /// teardowns): returns the delivery cycle. Config traffic is a fraction
+  /// of a percent of flits, so the injection-order capacity claims are a
+  /// harmless simplification here; data packets go hop by hop instead.
+  Cycle ps_transfer(const Route& rt, Cycle t, int flits, bool is_data) {
+    const NodeId src = rt.routers.front();
+    const NodeId dst = rt.routers.back();
+    const Cycle head = std::max(t, ni_free_[static_cast<size_t>(src)]);
+    ni_free_[static_cast<size_t>(src)] = head + static_cast<Cycle>(flits);
+    Cycle arr = head + 2;  // injection channel
+    for (int i = 0; i < rt.hops; ++i) {
+      const int l = rt.links[static_cast<size_t>(i)];
+      const Cycle depart =
+          std::max(arr + 3, link_free_[static_cast<size_t>(l)]);
+      link_free_[static_cast<size_t>(l)] = depart + link_service(l, flits);
+      arr = depart + 2;
+    }
+    const Cycle ej = std::max(arr + 3, eject_free_[static_cast<size_t>(dst)]);
+    eject_free_[static_cast<size_t>(dst)] = ej + static_cast<Cycle>(flits);
+    ps_energy(rt.hops, flits, is_data);
+    return ej + 2 + static_cast<Cycle>(flits - 1);
+  }
+
+  /// Launch one data packet: serialize at the source NI, then walk the route
+  /// hop by hop via HopEvents so links serve heads in arrival order.
+  void ps_launch(NodeId src, NodeId dst, Cycle t) {
+    const size_t key =
+        static_cast<size_t>(src) * static_cast<size_t>(n_) +
+        static_cast<size_t>(dst);
+    RouteRef rr = route_ref_[key];
+    if (rr.hops < 0) {
+      route(src, dst);
+      rr = route_ref_[key];
+    }
+    const Cycle head = std::max(t, ni_free_[static_cast<size_t>(src)]);
+    ni_free_[static_cast<size_t>(src)] = head + static_cast<Cycle>(fps_);
+    if (tdm_) {
+      // ewma_inject_delay: the base NI smooths (injection - creation) of
+      // every non-config head flit with a 0.9/0.1 EWMA.
+      NiState& st = ni_[static_cast<size_t>(src)];
+      st.ewma = 0.9 * st.ewma + 0.1 * static_cast<double>(head - t);
+    }
+    ps_energy(rr.hops, fps_, /*is_data=*/true);
+    const HopEvent ev{rr.off, static_cast<std::uint16_t>(rr.hops),
+                      static_cast<std::uint16_t>(dst),
+                      static_cast<std::uint32_t>(t)};
+    if (head == t) {
+      // NI idle: the head reaches its first router two cycles from now with
+      // nothing able to overtake it in between — claim in place and save the
+      // event. A backlogged NI goes through the queue so that heads from
+      // other sources arriving during the serialization delay keep their
+      // true arrival order on shared links.
+      process_hop(t + 2, ev);
+    } else {
+      hops_.push(head + 2, ev);
+    }
+  }
+
+  void process_hop(Cycle at, const HopEvent& h) {
+    const int l = links_flat_[h.link_idx];
+    const Cycle ready = at + 3;
+    const Cycle free = link_free_[static_cast<size_t>(l)];
+    const Cycle depart = ready < free ? free : ready;
+    // The +1 is a switch-turnaround bubble: the cycle core's allocator
+    // leaves at least one idle cycle between consecutive packets on a link
+    // (the next head re-arbitrates after the previous tail). It only delays
+    // followers, so zero-load latency is untouched, and it supplies the
+    // congestion spread a pure serialisation model otherwise understates.
+    link_free_[static_cast<size_t>(l)] = depart + link_service(l, fps_) + 1;
+    if (h.remaining > 1) {
+      hops_.push(depart + 2,
+                 HopEvent{h.link_idx + 1,
+                          static_cast<std::uint16_t>(h.remaining - 1), h.dst,
+                          h.created});
+      return;
+    }
+    // Arrived at the destination router: pipeline, ejection channel, tail.
+    const Cycle ej =
+        std::max(depart + 2 + 3, eject_free_[static_cast<size_t>(h.dst)]);
+    eject_free_[static_cast<size_t>(h.dst)] = ej + static_cast<Cycle>(fps_);
+    push_delivery(ej + 2 + static_cast<Cycle>(fps_ - 1), h.created);
+  }
+
+  // --- TDM policy shadow --------------------------------------------------
+
+  void epoch_tick(NodeId v, Cycle t) {
+    NiState& st = ni_[static_cast<size_t>(v)];
+    if (t < st.epoch_start + static_cast<Cycle>(cfg_.policy_epoch_cycles))
+      return;
+    st.epoch_start = t;
+    std::fill(st.freq.begin(), st.freq.end(), 0);
+    // Retire connections idle beyond the timeout (HybridNi::epoch_tick).
+    std::vector<NodeId> idle;
+    for (const auto& [dst, conn] : st.conns) {
+      if (t > conn.last_used && t - conn.last_used > cfg_.path_idle_timeout)
+        idle.push_back(dst);
+    }
+    for (const NodeId dst : idle) teardown_connection(v, dst, t);
+  }
+
+  void release_window(NodeId src, NodeId dst, const Window& w) {
+    const Route& rt = route(src, dst);
+    const int mask = slots_ - 1;
+    for (int i = 0; i <= rt.hops; ++i) {
+      tables_[static_cast<size_t>(rt.routers[static_cast<size_t>(i)])].release(
+          (w.slot + 2 * i) & mask, dur_, rt.in[static_cast<size_t>(i)],
+          w.owner);
+      dyn_.slot_table_writes += static_cast<std::uint64_t>(dur_);
+    }
+    if (!cfg_.time_slot_stealing) {
+      for (const int l : rt.links)
+        reserved_on_link_[static_cast<size_t>(l)] -= dur_;
+    }
+  }
+
+  void teardown_connection(NodeId src, NodeId dst, Cycle t) {
+    NiState& st = ni_[static_cast<size_t>(src)];
+    const auto it = st.conns.find(dst);
+    if (it == st.conns.end()) return;
+    for (const Window& w : it->second.windows) {
+      release_window(src, dst, w);
+      ps_transfer(route(src, dst), t, cfg_.config_flits, /*is_data=*/false);
+    }
+    st.conns.erase(it);
+  }
+
+  /// HybridNi::choose_setup_slot: a fallback draw, then up to 8 candidates
+  /// preferring a free Local-input slot; a retry must avoid the failed slot.
+  int choose_slot(NodeId src, int avoid) {
+    Rng& rng = slot_rng_[static_cast<size_t>(src)];
+    const auto S = static_cast<std::uint64_t>(slots_);
+    int slot = static_cast<int>(rng.uniform_int(S));
+    if (slot == avoid) slot = -1;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const int cand = static_cast<int>(rng.uniform_int(S));
+      if (cand == avoid) continue;
+      if (slot < 0) slot = cand;
+      if (tables_[static_cast<size_t>(src)].input_free(cand, dur_, Port::Local))
+        return cand;
+    }
+    if (slot < 0)
+      slot = (avoid + 1 +
+              static_cast<int>(rng.uniform_int(S - 1))) % slots_;
+    return slot;
+  }
+
+  /// The path-setup protocol, retried synchronously: walk the route's real
+  /// SlotTables with the slot+2-per-hop increment; on the first conflicting
+  /// (or occupancy-capped) router, release the reserved prefix, charge the
+  /// setup/nack/teardown config messages, and retry with a different slot.
+  void do_setup(NodeId src, NodeId dst, Cycle t) {
+    NiState& st = ni_[static_cast<size_t>(src)];
+    const Route& rt = route(src, dst);
+    const int mask = slots_ - 1;
+    int avoid = -1;
+    for (int retry = 0; retry <= cfg_.max_setup_retries; ++retry) {
+      const int slot0 = choose_slot(src, avoid);
+      const PacketId owner = next_owner_id_++;
+      int fail_at = -1;
+      for (int i = 0; i <= rt.hops; ++i) {
+        SlotTable& tab =
+            tables_[static_cast<size_t>(rt.routers[static_cast<size_t>(i)])];
+        const int s = (slot0 + 2 * i) & mask;
+        if (tab.occupancy() >= cfg_.reservation_threshold ||
+            !tab.reserve(s, dur_, rt.in[static_cast<size_t>(i)],
+                         rt.out[static_cast<size_t>(i)], owner, t)) {
+          fail_at = i;
+          break;
+        }
+        dyn_.slot_table_writes += static_cast<std::uint64_t>(dur_);
+      }
+      if (fail_at < 0) {
+        if (!cfg_.time_slot_stealing) {
+          for (const int l : rt.links)
+            reserved_on_link_[static_cast<size_t>(l)] += dur_;
+        }
+        // Setup rides to the destination, the ack rides back; the window
+        // exists once the ack arrives.
+        const Cycle d1 =
+            ps_transfer(rt, t, cfg_.config_flits, /*is_data=*/false);
+        const Cycle d2 = ps_transfer(route(dst, src), d1, cfg_.config_flits,
+                                     /*is_data=*/false);
+        Conn& conn = st.conns[dst];
+        conn.windows.push_back(Window{slot0, d2, 0, owner});
+        if (conn.last_used < d2) conn.last_used = d2;
+        st.pending_until[dst] = d2;
+        return;
+      }
+      // Release the reserved prefix and account the partial setup, the
+      // failure ack, and the prefix teardown (three config messages).
+      for (int i = 0; i < fail_at; ++i) {
+        tables_[static_cast<size_t>(rt.routers[static_cast<size_t>(i)])]
+            .release((slot0 + 2 * i) & mask, dur_,
+                     rt.in[static_cast<size_t>(i)], owner);
+        dyn_.slot_table_writes += static_cast<std::uint64_t>(dur_);
+      }
+      const NodeId fail_node = rt.routers[static_cast<size_t>(fail_at)];
+      if (fail_node != src) {
+        ps_transfer(route(src, fail_node), t, cfg_.config_flits, false);
+        ps_transfer(route(fail_node, src), t, cfg_.config_flits, false);
+        if (fail_at > 0)
+          ps_transfer(route(src, fail_node), t, cfg_.config_flits, false);
+      }
+      avoid = slot0;
+    }
+    st.cooldown_until[dst] =
+        t + 4 * static_cast<Cycle>(cfg_.policy_epoch_cycles);
+  }
+
+  void maybe_setup(NodeId src, NodeId dst, Cycle t, bool force,
+                   bool supplement) {
+    NiState& st = ni_[static_cast<size_t>(src)];
+    if (dst == src) return;
+    // Guards are a pure conjunction, so order by cost: the freq counter was
+    // incremented by the caller a moment ago (cache-hot) and fails for
+    // almost every packet, while pending/cooldown are scattered loads.
+    if (!force && st.freq[static_cast<size_t>(dst)] < cfg_.path_freq_threshold)
+      return;
+    if (t < st.pending_until[static_cast<size_t>(dst)]) return;
+    const auto cit = st.conns.find(dst);
+    if (supplement) {
+      if (cit == st.conns.end() ||
+          static_cast<int>(cit->second.windows.size()) >=
+              cfg_.max_windows_per_pair)
+        return;
+      // Breadth before depth: a crowded local table serves new pairs first.
+      if (tables_[static_cast<size_t>(src)].occupancy() > 0.5) return;
+    } else if (cit != st.conns.end()) {
+      return;
+    }
+    if (t < st.cooldown_until[static_cast<size_t>(dst)]) return;
+    // Retire the idlest connection when the local table is crowded.
+    if (tables_[static_cast<size_t>(src)].occupancy() > 0.5 &&
+        !st.conns.empty()) {
+      auto idlest = st.conns.begin();
+      for (auto it = st.conns.begin(); it != st.conns.end(); ++it)
+        if (it->second.last_used < idlest->second.last_used) idlest = it;
+      if (t > idlest->second.last_used &&
+          t - idlest->second.last_used >
+              static_cast<Cycle>(cfg_.policy_epoch_cycles))
+        teardown_connection(src, idlest->first, t);
+    }
+    do_setup(src, dst, t);
+  }
+
+  enum class CsAttempt { Scheduled, NoWindow, NotWorth };
+
+  CsAttempt try_circuit(NodeId src, NodeId dst, Cycle t) {
+    NiState& st = ni_[static_cast<size_t>(src)];
+    Conn& conn = st.conns[dst];
+    const Route& rt = route(src, dst);
+    const int h = rt.hops;
+    const auto S = static_cast<Cycle>(slots_);
+    Cycle best = kCycleNever;
+    size_t best_w = 0;
+    bool any_ready = false;
+    for (size_t i = 0; i < conn.windows.size(); ++i) {
+      const Window& w = conn.windows[i];
+      if (w.ready > t) continue;
+      any_ready = true;
+      const Cycle base = std::max({t + 3, st.cs_busy_until, w.next_free});
+      const Cycle cand =
+          base + ((static_cast<Cycle>(w.slot) - base) & (S - 1));
+      // find_start probes two table rotations from now+3 and gives up.
+      if (cand - (t + 3) >= 2 * S) continue;
+      if (cand < best) {
+        best = cand;
+        best_w = i;
+      }
+    }
+    if (!any_ready || best == kCycleNever) return CsAttempt::NoWindow;
+    const double cs_latency = static_cast<double>(best - t) + 2.0 * h + 2.0 +
+                              static_cast<double>(fcs_ - 1);
+    const double ps_estimate = 5.0 * h + 6.0 + cfg_.ps_data_flits +
+                               cfg_.congestion_gain * st.ewma;
+    if (cs_latency > cfg_.cs_latency_advantage * ps_estimate)
+      return CsAttempt::NotWorth;
+
+    Window& w = conn.windows[best_w];
+    w.next_free = best + 1;  // alignment makes the next start >= best + S
+    st.cs_busy_until = best + static_cast<Cycle>(fcs_);
+    conn.last_used = t;
+
+    const auto f = static_cast<std::uint64_t>(fcs_);
+    const auto r = static_cast<std::uint64_t>(h + 1);
+    dyn_.cs_latch_flits += r * f;
+    dyn_.xbar_flits += r * f;
+    dyn_.link_flits += static_cast<std::uint64_t>(h) * f;
+    cs_flits_ += f;
+    // Circuit flits occupy their reserved link cycles; packet-switched
+    // backlogs behind them slip by the circuit's footprint.
+    for (const int l : rt.links) {
+      if (link_free_[static_cast<size_t>(l)] > t)
+        link_free_[static_cast<size_t>(l)] += static_cast<Cycle>(fcs_);
+    }
+    push_delivery(best + 2 * static_cast<Cycle>(h) + 2 +
+                      static_cast<Cycle>(fcs_ - 1),
+                  t);
+    return CsAttempt::Scheduled;
+  }
+
+  // --- injection ----------------------------------------------------------
+
+  void process_injection(NodeId v, Cycle t) {
+    // Source queues diverging: the cycle core drops the packet and flags
+    // deep saturation. The serializer backlog is our queue depth.
+    if (ni_free_[static_cast<size_t>(v)] > t &&
+        (ni_free_[static_cast<size_t>(v)] - t) / static_cast<Cycle>(fps_) >
+            2000) {
+      saturated_ = true;
+      return;
+    }
+    if (tdm_) epoch_tick(v, t);
+    const NodeId dst = draw_destination(v);
+    if (dst < 0) return;
+    if (measuring_) ++window_generated_;
+
+    if (tdm_) {
+      NiState& st = ni_[static_cast<size_t>(v)];
+      ++st.freq[static_cast<size_t>(dst)];
+      if (!st.conns.empty() && st.conns.find(dst) != st.conns.end()) {
+        const CsAttempt r = try_circuit(v, dst, t);
+        if (r == CsAttempt::Scheduled) return;
+        if (r == CsAttempt::NoWindow)
+          maybe_setup(v, dst, t, /*force=*/true, /*supplement=*/true);
+      }
+      maybe_setup(v, dst, t, /*force=*/false, /*supplement=*/false);
+    }
+    ps_launch(v, dst, t);
+  }
+
+  /// pattern_destination, specialised at construction time: deterministic
+  /// patterns collapse to a table lookup (they never touch the rng, so the
+  /// draw sequence is unchanged), and the stochastic ones issue the exact
+  /// same rng calls in the same order — results stay bit-identical to
+  /// calling pattern_destination per packet, minus the per-call switch,
+  /// coordinate math, and cross-library call. Returns -1 for "no packet"
+  /// (the self-destination case pattern_destination reports as nullopt).
+  NodeId draw_destination(NodeId src) {
+    Rng& rng = dst_rng_[static_cast<size_t>(src)];
+    NodeId dst;
+    switch (dst_mode_) {
+      case DstMode::Table:
+        return dst_table_[static_cast<size_t>(src)];
+      case DstMode::Uniform:
+        dst = draw_uniform_node(rng);
+        break;
+      case DstMode::Hotspot:
+        dst = rng.bernoulli(0.25) ? hotspots_[rng.uniform_int(4)]
+                                  : draw_uniform_node(rng);
+        break;
+    }
+    return dst == src ? -1 : dst;
+  }
+
+  /// Rng::uniform_int(num_nodes) with the rejection threshold hoisted to a
+  /// member and the modulo strength-reduced to a mask on power-of-two
+  /// meshes; draw-for-draw identical to the generic version (for such
+  /// meshes the threshold is zero and r % n == r & (n-1)).
+  NodeId draw_uniform_node(Rng& rng) const {
+    for (;;) {
+      const std::uint64_t r = rng.next_u64();
+      if (r < nodes_threshold_) continue;
+      return static_cast<NodeId>(nodes_pow2_ ? (r & (nodes_u64_ - 1))
+                                             : (r % nodes_u64_));
+    }
+  }
+
+  // --- results ------------------------------------------------------------
+
+  RunResult finalize() {
+    RunResult r;
+    r.offered_rate = params_.injection_rate;
+    r.measured_packets = measured_;
+    r.avg_latency =
+        lat_count_ > 0 ? lat_sum_ / static_cast<double>(lat_count_) : 0.0;
+    r.p99_latency = latency_quantile(0.99);
+    r.cycles = measuring_ ? end_cycle_ - measure_start_ : 0;
+    r.saturated = saturated_ || measured_ < params_.measure_packets;
+    if (r.cycles > 0) {
+      const auto window = static_cast<double>(r.cycles);
+      r.accepted_rate = static_cast<double>(window_deliveries_) *
+                        static_cast<double>(fps_) /
+                        (static_cast<double>(n_) * window);
+      const double offered_actual = static_cast<double>(window_generated_) *
+                                    static_cast<double>(fps_) /
+                                    (static_cast<double>(n_) * window);
+      if (r.accepted_rate < 0.85 * offered_actual) r.saturated = true;
+
+      EnergyCounters e = dyn_ - dyn_snap_;
+      // Per-cycle constants the cycle core accrues in accounting_tick /
+      // leakage_tick, integrated over the window analytically.
+      const auto W = static_cast<std::uint64_t>(r.cycles);
+      const auto R = static_cast<std::uint64_t>(n_);
+      e.cycles += R * W;
+      e.vc_active_cycles += R * W *
+                            static_cast<std::uint64_t>(cfg_.num_vcs) *
+                            static_cast<std::uint64_t>(kNumPorts);
+      // Sum of router out-degrees of a k x k mesh: 4k(k-1) directed links.
+      e.link_active_cycles +=
+          W * static_cast<std::uint64_t>(4 * cfg_.k * (cfg_.k - 1));
+      if (tdm_) {
+        e.slot_table_reads += R * W;
+        e.slot_entry_active_cycles +=
+            R * W * static_cast<std::uint64_t>(slots_);
+        e.cs_misc_active_cycles += R * W;
+      }
+      r.energy = e;
+
+      const double ps = static_cast<double>(ps_flits_ - ps_snap_);
+      const double cs = static_cast<double>(cs_flits_ - cs_snap_);
+      const double cf = static_cast<double>(config_flits_ - cfg_snap_);
+      r.cs_flit_fraction = safe_ratio(cs, ps + cs);
+      r.config_flit_fraction = safe_ratio(cf, ps + cs + cf);
+    }
+    return r;
+  }
+
+  // --- state --------------------------------------------------------------
+
+  const NocConfig cfg_;
+  const RunParams params_;
+  const Mesh mesh_;
+  const int n_;
+  const bool tdm_;
+  const int fps_, fcs_, dur_, slots_;
+  const double p_;  ///< packet probability per node per cycle
+
+  std::vector<Route> routes_;
+  std::vector<Cycle> ni_free_, eject_free_, link_free_;
+  std::vector<int> reserved_on_link_;
+  std::vector<Rng> inj_rng_, dst_rng_, slot_rng_;
+  enum class DstMode { Table, Uniform, Hotspot };
+  DstMode dst_mode_ = DstMode::Uniform;
+  std::vector<NodeId> dst_table_;  ///< Table mode; -1 = self, no packet
+  NodeId hotspots_[4] = {0, 0, 0, 0};
+  std::uint64_t nodes_u64_ = 1;       ///< num_nodes, for the uniform draw
+  std::uint64_t nodes_threshold_ = 0; ///< 2^64 mod num_nodes (rejection)
+  bool nodes_pow2_ = false;
+  std::vector<NiState> ni_;
+  std::vector<SlotTable> tables_;
+  PacketId next_owner_id_ = 1;
+
+  double inv_log1m_p_ = 0.0;  ///< 1 / log1p(-p), hoisted for inject_gap
+
+  Calendar<NodeId> inj_;        ///< next injection time per node
+  Calendar<Cycle> deliveries_;  ///< payload: creation cycle
+  Calendar<HopEvent> hops_;
+  std::vector<int> links_flat_;        ///< per-route link ids, concatenated
+  std::vector<RouteRef> route_ref_;    ///< route -> {links_flat_ offset, hops}
+
+  // measurement
+  bool armed_ = false, measuring_ = false, saturated_ = false, done_ = false;
+  Cycle measure_start_ = 0, end_cycle_ = 0;
+  std::uint64_t delivered_total_ = 0, window_deliveries_ = 0;
+  std::uint64_t window_generated_ = 0, measured_ = 0;
+  static constexpr size_t kHistBuckets = 400;  ///< Histogram(5.0, 400) twin
+  static constexpr size_t kHistWidth = 5;
+  std::uint64_t lat_count_ = 0;
+  double lat_sum_ = 0.0;
+  Cycle lat_max_ = 0;
+  std::array<std::uint64_t, kHistBuckets> hist_buckets_{};
+  std::uint64_t hist_overflow_ = 0;
+
+  // cumulative event counters, snapshotted at window start
+  EnergyCounters dyn_, dyn_snap_;
+  std::uint64_t ps_flits_ = 0, cs_flits_ = 0, config_flits_ = 0;
+  std::uint64_t ps_snap_ = 0, cs_snap_ = 0, cfg_snap_ = 0;
+};
+
+}  // namespace
+
+bool fast_model_supports(const NocConfig& cfg, std::string* why) {
+  const auto fail = [why](const char* reason) {
+    if (why) *why = reason;
+    return false;
+  };
+  if (cfg.arch == RouterArch::HybridSdm)
+    return fail("the SDM baseline has no transfer-level model");
+  if (cfg.vc_power_gating)
+    return fail("VC power gating needs per-cycle utilization integrals");
+  if (cfg.hitchhiker_sharing || cfg.vicinity_sharing)
+    return fail("path sharing (hitchhiker/vicinity) is cycle-core only");
+  if (cfg.dynamic_slot_sizing)
+    return fail("dynamic slot sizing is cycle-core only");
+  if (cfg.link_ber > 0.0 || cfg.e2e_recovery)
+    return fail("fault injection / e2e recovery are cycle-core only");
+  return true;
+}
+
+RunResult run_synthetic_fast(const NocConfig& cfg, const RunParams& params) {
+  cfg.validate();
+  std::string why;
+  HN_CHECK_MSG(fast_model_supports(cfg, &why), why.c_str());
+  return FastModel(cfg, params).run();
+}
+
+}  // namespace hybridnoc

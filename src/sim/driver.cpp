@@ -3,13 +3,12 @@
 #include <algorithm>
 #include <memory>
 
+#include "fastmodel/fast_model.hpp"
+
 namespace hybridnoc {
 
-double RunResult::total_energy_pj(const EnergyParams& p) const {
-  return compute_breakdown(energy, p).total();
-}
-
 RunResult run_synthetic(const NocConfig& cfg, const RunParams& params) {
+  if (params.fidelity == Fidelity::Fast) return run_synthetic_fast(cfg, params);
   auto net = make_network(cfg);
   SyntheticTraffic traffic(net->mesh(), params.pattern, params.injection_rate,
                            cfg.ps_data_flits, params.seed);

@@ -3,58 +3,23 @@
 // methodology of Section IV (network warmed with 1000 packets, then
 // measured; we default to shorter windows sized for CI-class machines and
 // let the benches pick the paper-scale 100k-packet windows).
+//
+// RunParams.fidelity selects the engine: Cycle runs the cycle-accurate core
+// below; Fast dispatches to the transfer-level model in src/fastmodel, which
+// produces the same RunResult surface at ~100x the cycle throughput.
 #pragma once
 
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
-#include "power/energy_model.hpp"
 #include "sim/net_adapter.hpp"
-#include "traffic/synthetic.hpp"
+#include "sim/run_types.hpp"
 
 namespace hybridnoc {
 
-/// num/den, or 0 when den is 0. Flit-mix fractions must stay finite even
-/// when a measurement window carries none of the relevant flit classes
-/// (e.g. only config traffic).
-inline double safe_ratio(double num, double den) {
-  return den > 0.0 ? num / den : 0.0;
-}
-
-struct RunParams {
-  TrafficPattern pattern = TrafficPattern::UniformRandom;
-  /// Offered load in flits/node/cycle (payload-equivalent 5-flit packets).
-  double injection_rate = 0.1;
-  std::uint64_t warmup_packets = 1000;
-  /// Warmup also runs at least this many cycles so queues reach steady
-  /// state before measurement even when packets complete quickly.
-  std::uint64_t warmup_min_cycles = 3000;
-  std::uint64_t measure_packets = 20000;
-  /// Hard cycle budget; hitting it marks the run saturated.
-  std::uint64_t max_cycles = 300000;
-  /// Mean latency above which a run is declared saturated early.
-  double latency_cap = 500.0;
-  std::uint64_t seed = 1;
-};
-
-struct RunResult {
-  double offered_rate = 0.0;    ///< flits/node/cycle offered
-  double accepted_rate = 0.0;   ///< payload-equivalent flits/node/cycle delivered
-  double avg_latency = 0.0;     ///< cycles, creation -> delivery
-  double p99_latency = 0.0;
-  bool saturated = false;
-  std::uint64_t measured_packets = 0;
-  std::uint64_t cycles = 0;     ///< measurement-window cycles
-  EnergyCounters energy;        ///< measurement-window counters
-  double cs_flit_fraction = 0.0;
-  double config_flit_fraction = 0.0;
-
-  /// Total network energy (pJ) over the measurement window.
-  double total_energy_pj(const EnergyParams& p = EnergyParams::nangate45()) const;
-};
-
-/// One run of `cfg` under a synthetic pattern.
+/// One run of `cfg` under a synthetic pattern (dispatches on
+/// params.fidelity).
 RunResult run_synthetic(const NocConfig& cfg, const RunParams& params);
 
 /// Load sweep: one run per rate (stops early once saturated twice).

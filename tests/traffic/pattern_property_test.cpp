@@ -1,0 +1,178 @@
+// Seeded property tests for every synthetic traffic pattern. Beyond the
+// per-pattern structural checks in synthetic_test.cpp, these sweep each
+// pattern across mesh sizes — the standard 4x4/8x8 experiment grids plus
+// the small meshes (k = 2, 3) where the paper's formulas degenerate — and
+// assert the invariants every generator must uphold regardless of size:
+// destinations stay in bounds, a pattern never targets the source, and a
+// fixed seed reproduces the exact draw sequence.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "traffic/synthetic.hpp"
+
+namespace hybridnoc {
+namespace {
+
+constexpr TrafficPattern kAllPatterns[] = {
+    TrafficPattern::UniformRandom, TrafficPattern::Tornado,
+    TrafficPattern::Transpose,     TrafficPattern::BitComplement,
+    TrafficPattern::Shuffle,       TrafficPattern::Hotspot,
+};
+
+TEST(PatternProperties, InBoundsAndNeverSelfOnAllMeshSizes) {
+  for (int k : {2, 3, 4, 6, 8}) {
+    const Mesh mesh(k);
+    for (TrafficPattern p : kAllPatterns) {
+      Rng rng(0x9a77e54 + k);
+      for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+        for (int draw = 0; draw < 50; ++draw) {
+          const auto dst = pattern_destination(p, mesh, src, rng);
+          if (!dst) continue;  // self-map: generator skips the injection
+          EXPECT_GE(*dst, 0) << traffic_pattern_name(p) << " k=" << k;
+          EXPECT_LT(*dst, mesh.num_nodes())
+              << traffic_pattern_name(p) << " k=" << k;
+          EXPECT_NE(*dst, src) << traffic_pattern_name(p) << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(PatternProperties, DeterministicDrawSequencePerSeed) {
+  const Mesh mesh(8);
+  for (TrafficPattern p : kAllPatterns) {
+    auto collect = [&](std::uint64_t seed) {
+      Rng rng(seed);
+      std::vector<int> v;
+      for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+        for (int draw = 0; draw < 8; ++draw) {
+          const auto dst = pattern_destination(p, mesh, src, rng);
+          v.push_back(dst ? static_cast<int>(*dst) : -1);
+        }
+      }
+      return v;
+    };
+    EXPECT_EQ(collect(77), collect(77)) << traffic_pattern_name(p);
+  }
+}
+
+TEST(PatternProperties, TornadoOffsetExactOnLargeMeshes) {
+  // Section IV: (x, y) -> (x + k/2 - 1, y), valid whenever the offset is
+  // nonzero (k >= 4).
+  for (int k : {4, 8}) {
+    const Mesh mesh(k);
+    Rng rng(1);
+    for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+      const Coord c = mesh.coord(src);
+      const auto dst = pattern_destination(TrafficPattern::Tornado, mesh, src, rng);
+      ASSERT_TRUE(dst.has_value()) << "k=" << k;
+      EXPECT_EQ(mesh.coord(*dst).x, (c.x + k / 2 - 1) % k);
+      EXPECT_EQ(mesh.coord(*dst).y, c.y);
+    }
+  }
+}
+
+TEST(PatternProperties, TornadoFallsBackToUniformOnTinyMeshes) {
+  // k <= 3 makes the tornado offset zero: the strict formula maps every
+  // node to itself and the mesh would offer no load at all. The generator
+  // instead falls back to a uniform draw — verify it actually spreads over
+  // the whole mesh rather than pinning to any fixed offset.
+  for (int k : {2, 3}) {
+    const Mesh mesh(k);
+    Rng rng(0x70a2);
+    std::set<NodeId> seen;
+    int delivered = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const auto dst = pattern_destination(TrafficPattern::Tornado, mesh, 0, rng);
+      if (!dst) continue;
+      ++delivered;
+      seen.insert(*dst);
+    }
+    EXPECT_GT(delivered, 1000) << "k=" << k;  // tiny mesh still offers load
+    EXPECT_EQ(static_cast<int>(seen.size()), mesh.num_nodes() - 1)
+        << "k=" << k;  // covers every non-self destination
+  }
+}
+
+TEST(PatternProperties, ShuffleIsExactBitRotationOnPowerOfTwoMeshes) {
+  for (int k : {4, 8}) {
+    const Mesh mesh(k);
+    const auto n = static_cast<std::uint32_t>(mesh.num_nodes());
+    std::uint32_t bits = 0;
+    while ((1u << bits) < n) ++bits;
+    Rng rng(1);
+    for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+      const auto s = static_cast<std::uint32_t>(src);
+      const auto rotated = ((s << 1) | (s >> (bits - 1))) & (n - 1);
+      const auto dst = pattern_destination(TrafficPattern::Shuffle, mesh, src, rng);
+      if (rotated == s) {
+        EXPECT_FALSE(dst.has_value()) << "k=" << k << " src=" << src;
+      } else {
+        ASSERT_TRUE(dst.has_value()) << "k=" << k << " src=" << src;
+        EXPECT_EQ(static_cast<std::uint32_t>(*dst), rotated);
+      }
+    }
+  }
+}
+
+TEST(PatternProperties, ShuffleWrapsIntoRangeOnNonPowerOfTwoMeshes) {
+  // On 3x3 and 6x6 the rotated id space (16 / 64 ids) is larger than the
+  // mesh; ids past the last node must wrap back into range instead of being
+  // dropped, so (almost) every source still offers load.
+  for (int k : {3, 6}) {
+    const Mesh mesh(k);
+    Rng rng(1);
+    int offering = 0;
+    for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+      const auto dst = pattern_destination(TrafficPattern::Shuffle, mesh, src, rng);
+      if (!dst) continue;
+      ++offering;
+      EXPECT_GE(*dst, 0);
+      EXPECT_LT(*dst, mesh.num_nodes());
+      EXPECT_NE(*dst, src);
+    }
+    // Only rotation fixed points (and wrap collisions onto the source) may
+    // skip injection; the bulk of the mesh must offer load.
+    EXPECT_GE(offering, mesh.num_nodes() - mesh.num_nodes() / 4) << "k=" << k;
+  }
+}
+
+TEST(PatternProperties, HotspotMassNearQuarterOn8x8) {
+  const Mesh mesh(8);
+  Rng rng(0x407a11);
+  const std::set<NodeId> hotspots = {mesh.node({4, 4}), mesh.node({3, 4}),
+                                     mesh.node({4, 3}), mesh.node({3, 3})};
+  int hot = 0;
+  int delivered = 0;
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) {
+    const auto dst = pattern_destination(TrafficPattern::Hotspot, mesh, 0, rng);
+    if (!dst) continue;
+    ++delivered;
+    if (hotspots.count(*dst)) ++hot;
+  }
+  // Expected hotspot share among delivered packets: 25% directed mass plus
+  // the uniform component's 4/64, ~0.30 after excluding self-draws.
+  const double share = static_cast<double>(hot) / delivered;
+  EXPECT_GT(share, 0.26);
+  EXPECT_LT(share, 0.34);
+}
+
+TEST(PatternProperties, HotspotDegenerateOn2x2StaysValid) {
+  // k = 2 clamps the lower hotspot coordinate (k/2 - 1 = 0): the four
+  // hotspots collapse onto the whole mesh. The draw must stay in bounds and
+  // still reach every non-self node.
+  const Mesh mesh(2);
+  Rng rng(0xbee);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto dst = pattern_destination(TrafficPattern::Hotspot, mesh, 0, rng);
+    if (dst) seen.insert(*dst);
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), mesh.num_nodes() - 1);
+}
+
+}  // namespace
+}  // namespace hybridnoc

@@ -82,6 +82,13 @@ TrafficPattern pattern_arg(const std::string& name) {
   std::exit(2);
 }
 
+Fidelity fidelity_arg(const std::string& name) {
+  if (name == "cycle") return Fidelity::Cycle;
+  if (name == "fast") return Fidelity::Fast;
+  std::cerr << "unknown --fidelity '" << name << "' (cycle|fast)\n";
+  std::exit(2);
+}
+
 RunParams run_params(const Args& a, TrafficPattern pattern, double rate) {
   RunParams p;
   p.pattern = pattern;
@@ -89,6 +96,7 @@ RunParams run_params(const Args& a, TrafficPattern pattern, double rate) {
   p.warmup_packets = static_cast<std::uint64_t>(a.num("warmup", 1000));
   p.measure_packets = static_cast<std::uint64_t>(a.num("packets", 20000));
   p.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  p.fidelity = fidelity_arg(a.get("fidelity", "cycle"));
   return p;
 }
 
@@ -104,9 +112,11 @@ int cmd_synth(const Args& a) {
   const int k = static_cast<int>(a.num("k", 6));
   const NocConfig cfg = arch_config(a, "tdm", k);
   const TrafficPattern pattern = pattern_arg(a.get("pattern", "uniform"));
-  const auto r = run_synthetic(cfg, run_params(a, pattern, a.num("rate", 0.1)));
+  const RunParams params = run_params(a, pattern, a.num("rate", 0.1));
+  const auto r = run_synthetic(cfg, params);
   TextTable t({"metric", "value"});
   t.add_row({"config", cfg.summary()});
+  t.add_row({"fidelity", fidelity_name(params.fidelity)});
   t.add_row({"pattern", traffic_pattern_name(pattern)});
   t.add_row({"offered (flits/node/cyc)", TextTable::num(r.offered_rate, 3)});
   t.add_row({"accepted", TextTable::num(r.accepted_rate, 3)});
@@ -228,8 +238,10 @@ int cmd_trace_run(const Args& a) {
 int usage() {
   std::cerr <<
       "usage: hybridnoc <command> [--key value ...]\n"
-      "  synth      one synthetic run   (--arch --pattern --rate --k --threads --csv)\n"
-      "  sweep      load sweep          (--arch --pattern --from --to --step)\n"
+      "  synth      one synthetic run   (--arch --pattern --rate --k --threads\n"
+      "                                  --fidelity cycle|fast --csv)\n"
+      "  sweep      load sweep          (--arch --pattern --from --to --step\n"
+      "                                  --fidelity cycle|fast)\n"
       "  hetero     CPU+GPU workload    (--arch --cpu --gpu --cycles)\n"
       "  trace-gen  record a trace      (--pattern --rate --cycles --out)\n"
       "  trace-run  replay a trace      (--arch --in)\n";
