@@ -7,6 +7,7 @@
 #include "sim/driver.hpp"
 #include "tdm/hybrid_network.hpp"
 #include "tdm/slot_table.hpp"
+#include "workloads/workload.hpp"
 
 namespace hybridnoc {
 namespace {
@@ -166,6 +167,43 @@ void BM_FastModelRun(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
 }
 BENCHMARK(BM_FastModelRun)->Unit(benchmark::kMillisecond);
+
+/// Workload-zoo replay speed: the cycle core running the generated traces
+/// end to end (trace build cost included once, outside the timed loop).
+/// items_per_second is simulated cycles per wall second, comparable to
+/// BM_CycleCoreRun — the gap between them is what trace replay (mixed
+/// message sizes, looped injection schedule) costs over synthetic injection.
+void BM_NNDataflowRun(benchmark::State& state) {
+  const NocConfig cfg = NocConfig::hybrid_tdm_vc4(8);
+  WorkloadOptions wo;
+  wo.k = 8;
+  const WorkloadTrace wt = build_workload("nn:resnet50", wo);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    RunParams p = speedgate_params(6000);
+    const RunResult r = run_trace(cfg, wt.entries, p);
+    benchmark::DoNotOptimize(r.avg_latency);
+    cycles += r.cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_NNDataflowRun)->Unit(benchmark::kMillisecond);
+
+void BM_CoherenceRun(benchmark::State& state) {
+  const NocConfig cfg = NocConfig::hybrid_tdm_vc4(8);
+  WorkloadOptions wo;
+  wo.k = 8;
+  const WorkloadTrace wt = build_workload("coherence", wo);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    RunParams p = speedgate_params(6000);
+    const RunResult r = run_trace(cfg, wt.entries, p);
+    benchmark::DoNotOptimize(r.avg_latency);
+    cycles += r.cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_CoherenceRun)->Unit(benchmark::kMillisecond);
 
 void BM_IdleFastForward(benchmark::State& state) {
   // Whole-window skip: what an idle stretch costs when the driver may jump

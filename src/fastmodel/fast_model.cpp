@@ -90,8 +90,18 @@ struct HopEvent {
   std::uint16_t remaining = 0; ///< links left to cross, including this one
   std::uint16_t dst = 0;       ///< destination node (ejection server)
   std::uint32_t created = 0;   ///< creation cycle; 32 bits keeps the event
-                               ///< at 12 bytes (~6M live copies per run, the
+                               ///< small (~6M live copies per run, the
                                ///< model checks max_cycles fits at startup)
+  std::uint16_t flits = 0;     ///< packet length (trace-driven runs vary it)
+};
+
+/// A finished transfer awaiting delivery bookkeeping: when it was created
+/// (latency) and the payload flits it carried (accepted-rate accounting —
+/// the flits the workload injected, not the possibly CS-compressed wire
+/// flits, so both fidelities and both switching modes count identically).
+struct Delivery {
+  std::uint32_t created = 0;
+  std::uint32_t flits = 0;
 };
 
 /// Bucket-ring ("calendar") event queue for the simulation's two hot event
@@ -291,7 +301,19 @@ class FastModel {
     }
   }
 
+  /// Trace-driven run: replay `trace` (looped) instead of drawing a
+  /// synthetic injection process. The synthetic ctor still runs so the
+  /// policy shadow and rng streams are set up identically; the injection
+  /// calendar is simply never armed.
+  FastModel(const NocConfig& cfg, const RunParams& params,
+            const std::vector<TraceEntry>& trace)
+      : FastModel(cfg, params) {
+    HN_CHECK_MSG(!trace.empty(), "fast model: empty trace");
+    trace_ = &trace;
+  }
+
   RunResult run() {
+    if (trace_) return run_trace_mode();
     if (p_ > 0.0) {
       for (NodeId v = 0; v < n_; ++v) inj_.push(inject_gap(v), v);
     }
@@ -327,6 +349,44 @@ class FastModel {
   }
 
  private:
+  /// The trace twin of run(): the next event time is the next trace entry
+  /// (shifted by the loop offset) instead of the injection calendar. Entry
+  /// cycles strictly increase across loop passes (offset advances by the
+  /// span), which is what the calendars' forward-only cursors require.
+  RunResult run_trace_mode() {
+    const std::vector<TraceEntry>& tr = *trace_;
+    const Cycle span = tr.back().cycle + 1;  // TraceTraffic's loop period
+    size_t pos = 0;
+    Cycle offset = 0;
+    while (!done_) {
+      const Cycle t_inj = tr[pos].cycle + offset;
+      const Cycle hop_bound = std::min(t_inj, params_.max_cycles - 1);
+      Cycle t_hop;
+      while ((t_hop = hops_.next_at(hop_bound)) != kCycleNever) {
+        hops_.consume(t_hop, [this, t_hop](const HopEvent& h) {
+          process_hop(t_hop, h);
+        });
+      }
+      if (t_inj >= params_.max_cycles) {
+        drain_deliveries(params_.max_cycles);
+        if (!done_) end_cycle_ = params_.max_cycles;
+        break;
+      }
+      drain_deliveries(t_inj);
+      if (done_) break;
+      if (armed_ && !measuring_ && t_inj >= measure_start_) begin_window();
+      while (pos < tr.size() && tr[pos].cycle + offset == t_inj) {
+        const TraceEntry& e = tr[pos];
+        process_trace_injection(e.src, e.dst, e.flits, t_inj);
+        if (++pos == tr.size()) {
+          pos = 0;
+          offset += span;
+        }
+      }
+    }
+    return finalize();
+  }
+
   // --- topology helpers ---------------------------------------------------
 
   static int link_id(NodeId node, Port out) {
@@ -391,16 +451,16 @@ class FastModel {
       // cycle's deliveries still co-count (the cycle core tallies every
       // delivery of that cycle before its loop breaks) — they fall through
       // the same bookkeeping with only the gate check disabled.
-      deliveries_.consume(t, [this, t](Cycle created) {
+      deliveries_.consume(t, [this, t](const Delivery& d) {
         ++delivered_total_;
         if (!armed_ && delivered_total_ >= params_.warmup_packets) {
           armed_ = true;
           measure_start_ = std::max(t + 1, params_.warmup_min_cycles);
         }
         if (!armed_ || t < measure_start_) return;
-        ++window_deliveries_;
-        if (created < measure_start_) return;
-        record_latency(t - created);
+        window_delivered_flits_ += d.flits;
+        if (d.created < measure_start_) return;
+        record_latency(t - d.created);
         ++measured_;
         if (!done_ &&
             (measured_ >= params_.measure_packets ||
@@ -416,7 +476,10 @@ class FastModel {
     }
   }
 
-  void push_delivery(Cycle at, Cycle created) { deliveries_.push(at, created); }
+  void push_delivery(Cycle at, Cycle created, int payload_flits) {
+    deliveries_.push(at, Delivery{static_cast<std::uint32_t>(created),
+                                  static_cast<std::uint32_t>(payload_flits)});
+  }
 
   // Latency statistics, kept as flat local state instead of the shared
   // StatAccumulator/Histogram classes: this runs once per measured packet in
@@ -510,7 +573,7 @@ class FastModel {
 
   /// Launch one data packet: serialize at the source NI, then walk the route
   /// hop by hop via HopEvents so links serve heads in arrival order.
-  void ps_launch(NodeId src, NodeId dst, Cycle t) {
+  void ps_launch(NodeId src, NodeId dst, Cycle t, int flits) {
     const size_t key =
         static_cast<size_t>(src) * static_cast<size_t>(n_) +
         static_cast<size_t>(dst);
@@ -520,17 +583,18 @@ class FastModel {
       rr = route_ref_[key];
     }
     const Cycle head = std::max(t, ni_free_[static_cast<size_t>(src)]);
-    ni_free_[static_cast<size_t>(src)] = head + static_cast<Cycle>(fps_);
+    ni_free_[static_cast<size_t>(src)] = head + static_cast<Cycle>(flits);
     if (tdm_) {
       // ewma_inject_delay: the base NI smooths (injection - creation) of
       // every non-config head flit with a 0.9/0.1 EWMA.
       NiState& st = ni_[static_cast<size_t>(src)];
       st.ewma = 0.9 * st.ewma + 0.1 * static_cast<double>(head - t);
     }
-    ps_energy(rr.hops, fps_, /*is_data=*/true);
+    ps_energy(rr.hops, flits, /*is_data=*/true);
     const HopEvent ev{rr.off, static_cast<std::uint16_t>(rr.hops),
                       static_cast<std::uint16_t>(dst),
-                      static_cast<std::uint32_t>(t)};
+                      static_cast<std::uint32_t>(t),
+                      static_cast<std::uint16_t>(flits)};
     if (head == t) {
       // NI idle: the head reaches its first router two cycles from now with
       // nothing able to overtake it in between — claim in place and save the
@@ -553,19 +617,22 @@ class FastModel {
     // (the next head re-arbitrates after the previous tail). It only delays
     // followers, so zero-load latency is untouched, and it supplies the
     // congestion spread a pure serialisation model otherwise understates.
-    link_free_[static_cast<size_t>(l)] = depart + link_service(l, fps_) + 1;
+    link_free_[static_cast<size_t>(l)] =
+        depart + link_service(l, h.flits) + 1;
     if (h.remaining > 1) {
       hops_.push(depart + 2,
                  HopEvent{h.link_idx + 1,
                           static_cast<std::uint16_t>(h.remaining - 1), h.dst,
-                          h.created});
+                          h.created, h.flits});
       return;
     }
     // Arrived at the destination router: pipeline, ejection channel, tail.
     const Cycle ej =
         std::max(depart + 2 + 3, eject_free_[static_cast<size_t>(h.dst)]);
-    eject_free_[static_cast<size_t>(h.dst)] = ej + static_cast<Cycle>(fps_);
-    push_delivery(ej + 2 + static_cast<Cycle>(fps_ - 1), h.created);
+    eject_free_[static_cast<size_t>(h.dst)] =
+        ej + static_cast<Cycle>(h.flits);
+    push_delivery(ej + 2 + static_cast<Cycle>(h.flits - 1), h.created,
+                  h.flits);
   }
 
   // --- TDM policy shadow --------------------------------------------------
@@ -732,7 +799,7 @@ class FastModel {
 
   enum class CsAttempt { Scheduled, NoWindow, NotWorth };
 
-  CsAttempt try_circuit(NodeId src, NodeId dst, Cycle t) {
+  CsAttempt try_circuit(NodeId src, NodeId dst, Cycle t, int payload_flits) {
     NiState& st = ni_[static_cast<size_t>(src)];
     Conn& conn = st.conns[dst];
     const Route& rt = route(src, dst);
@@ -782,7 +849,7 @@ class FastModel {
     }
     push_delivery(best + 2 * static_cast<Cycle>(h) + 2 +
                       static_cast<Cycle>(fcs_ - 1),
-                  t);
+                  t, payload_flits);
     return CsAttempt::Scheduled;
   }
 
@@ -800,20 +867,51 @@ class FastModel {
     if (tdm_) epoch_tick(v, t);
     const NodeId dst = draw_destination(v);
     if (dst < 0) return;
-    if (measuring_) ++window_generated_;
+    if (measuring_) window_generated_flits_ += static_cast<std::uint64_t>(fps_);
 
     if (tdm_) {
       NiState& st = ni_[static_cast<size_t>(v)];
       ++st.freq[static_cast<size_t>(dst)];
       if (!st.conns.empty() && st.conns.find(dst) != st.conns.end()) {
-        const CsAttempt r = try_circuit(v, dst, t);
+        const CsAttempt r = try_circuit(v, dst, t, fps_);
         if (r == CsAttempt::Scheduled) return;
         if (r == CsAttempt::NoWindow)
           maybe_setup(v, dst, t, /*force=*/true, /*supplement=*/true);
       }
       maybe_setup(v, dst, t, /*force=*/false, /*supplement=*/false);
     }
-    ps_launch(v, dst, t);
+    ps_launch(v, dst, t, fps_);
+  }
+
+  /// Trace-entry twin of process_injection: source/destination/length come
+  /// from the trace. Messages shorter than the fixed CS transfer size are
+  /// circuit-ineligible (they would be padded out by it), mirroring
+  /// run_trace's rule and HybridNi's cs_eligible gate — they skip the whole
+  /// policy block, including the pair-frequency count.
+  void process_trace_injection(NodeId v, NodeId dst, int flits, Cycle t) {
+    const int unit = flits > 0 ? flits : 1;
+    if (ni_free_[static_cast<size_t>(v)] > t &&
+        (ni_free_[static_cast<size_t>(v)] - t) / static_cast<Cycle>(unit) >
+            2000) {
+      saturated_ = true;
+      return;
+    }
+    if (tdm_) epoch_tick(v, t);
+    if (measuring_)
+      window_generated_flits_ += static_cast<std::uint64_t>(flits);
+
+    if (tdm_ && flits >= fcs_) {
+      NiState& st = ni_[static_cast<size_t>(v)];
+      ++st.freq[static_cast<size_t>(dst)];
+      if (!st.conns.empty() && st.conns.find(dst) != st.conns.end()) {
+        const CsAttempt r = try_circuit(v, dst, t, flits);
+        if (r == CsAttempt::Scheduled) return;
+        if (r == CsAttempt::NoWindow)
+          maybe_setup(v, dst, t, /*force=*/true, /*supplement=*/true);
+      }
+      maybe_setup(v, dst, t, /*force=*/false, /*supplement=*/false);
+    }
+    ps_launch(v, dst, t, flits);
   }
 
   /// pattern_destination, specialised at construction time: deterministic
@@ -866,12 +964,11 @@ class FastModel {
     r.saturated = saturated_ || measured_ < params_.measure_packets;
     if (r.cycles > 0) {
       const auto window = static_cast<double>(r.cycles);
-      r.accepted_rate = static_cast<double>(window_deliveries_) *
-                        static_cast<double>(fps_) /
+      r.accepted_rate = static_cast<double>(window_delivered_flits_) /
                         (static_cast<double>(n_) * window);
-      const double offered_actual = static_cast<double>(window_generated_) *
-                                    static_cast<double>(fps_) /
-                                    (static_cast<double>(n_) * window);
+      const double offered_actual =
+          static_cast<double>(window_generated_flits_) /
+          (static_cast<double>(n_) * window);
       if (r.accepted_rate < 0.85 * offered_actual) r.saturated = true;
 
       EnergyCounters e = dyn_ - dyn_snap_;
@@ -930,17 +1027,18 @@ class FastModel {
 
   double inv_log1m_p_ = 0.0;  ///< 1 / log1p(-p), hoisted for inject_gap
 
-  Calendar<NodeId> inj_;        ///< next injection time per node
-  Calendar<Cycle> deliveries_;  ///< payload: creation cycle
+  Calendar<NodeId> inj_;           ///< next injection time per node
+  Calendar<Delivery> deliveries_;  ///< finished transfers awaiting tallying
   Calendar<HopEvent> hops_;
+  const std::vector<TraceEntry>* trace_ = nullptr;  ///< non-null: trace mode
   std::vector<int> links_flat_;        ///< per-route link ids, concatenated
   std::vector<RouteRef> route_ref_;    ///< route -> {links_flat_ offset, hops}
 
   // measurement
   bool armed_ = false, measuring_ = false, saturated_ = false, done_ = false;
   Cycle measure_start_ = 0, end_cycle_ = 0;
-  std::uint64_t delivered_total_ = 0, window_deliveries_ = 0;
-  std::uint64_t window_generated_ = 0, measured_ = 0;
+  std::uint64_t delivered_total_ = 0, window_delivered_flits_ = 0;
+  std::uint64_t window_generated_flits_ = 0, measured_ = 0;
   static constexpr size_t kHistBuckets = 400;  ///< Histogram(5.0, 400) twin
   static constexpr size_t kHistWidth = 5;
   std::uint64_t lat_count_ = 0;
@@ -980,6 +1078,15 @@ RunResult run_synthetic_fast(const NocConfig& cfg, const RunParams& params) {
   std::string why;
   HN_CHECK_MSG(fast_model_supports(cfg, &why), why.c_str());
   return FastModel(cfg, params).run();
+}
+
+RunResult run_trace_fast(const NocConfig& cfg,
+                         const std::vector<TraceEntry>& entries,
+                         const RunParams& params) {
+  cfg.validate();
+  std::string why;
+  HN_CHECK_MSG(fast_model_supports(cfg, &why), why.c_str());
+  return FastModel(cfg, params, entries).run();
 }
 
 }  // namespace hybridnoc

@@ -35,9 +35,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "sim/run_types.hpp"
+#include "traffic/trace.hpp"
 
 namespace hybridnoc {
 
@@ -56,5 +58,14 @@ inline double fast_zero_load_ps_latency(int hops, int flits) {
 /// run_synthetic's warmup/measurement/saturation methodology. Aborts
 /// (HN_CHECK) when !fast_model_supports(cfg).
 RunResult run_synthetic_fast(const NocConfig& cfg, const RunParams& params);
+
+/// Transfer-level twin of run_trace: replays `entries` (looped) with the
+/// same methodology. Message sizes come from the trace; entries shorter
+/// than cfg.cs_data_flits are circuit-ineligible, mirroring the cycle
+/// driver's rule. Aborts (HN_CHECK) when !fast_model_supports(cfg) or the
+/// trace is empty.
+RunResult run_trace_fast(const NocConfig& cfg,
+                         const std::vector<TraceEntry>& entries,
+                         const RunParams& params);
 
 }  // namespace hybridnoc

@@ -2,32 +2,48 @@
 
 #include <algorithm>
 #include <memory>
+#include <unordered_map>
 
 #include "fastmodel/fast_model.hpp"
 
 namespace hybridnoc {
 
-RunResult run_synthetic(const NocConfig& cfg, const RunParams& params) {
-  if (params.fidelity == Fidelity::Fast) return run_synthetic_fast(cfg, params);
+namespace {
+
+/// Shared warmup/measure/saturation loop of the cycle core. `gen(now,
+/// inject)` is called once per cycle and emits that cycle's injections via
+/// inject(src, dst, flits, cs_eligible). Flit accounting is
+/// payload-equivalent: accepted/offered rates count the flits the workload
+/// injected, not the (possibly CS-compressed) wire flits, so fidelities and
+/// switching modes compare on identical payload.
+template <typename GenerateFn>
+RunResult run_cycle_measured(const NocConfig& cfg, const RunParams& params,
+                             double offered_rate, GenerateFn&& gen) {
   auto net = make_network(cfg);
-  SyntheticTraffic traffic(net->mesh(), params.pattern, params.injection_rate,
-                           cfg.ps_data_flits, params.seed);
 
   StatAccumulator lat;
   Histogram hist(5.0, 400);
   bool measuring = false;
   Cycle measure_start_cycle = 0;
   std::uint64_t delivered_total = 0;
-  std::uint64_t window_deliveries = 0;
-  std::uint64_t window_generated = 0;
+  std::uint64_t window_delivered_flits = 0;
+  std::uint64_t window_generated_flits = 0;
   std::uint64_t measured = 0;
   EnergyCounters energy_start;
   std::uint64_t ps_start = 0, cs_start = 0, cfgf_start = 0;
 
+  // Payload flits as injected, keyed by packet id: circuit transfers rewrite
+  // num_flits to the fixed CS transfer size, so the packet itself no longer
+  // remembers what the workload offered.
+  std::unordered_map<PacketId, int> payload_flits;
+
   net->set_deliver_handler([&](const PacketPtr& pkt, Cycle at) {
     ++delivered_total;
+    const auto it = payload_flits.find(pkt->id);
+    const int flits = it != payload_flits.end() ? it->second : 0;
+    if (it != payload_flits.end()) payload_flits.erase(it);
     if (!measuring) return;
-    ++window_deliveries;
+    window_delivered_flits += static_cast<std::uint64_t>(flits);
     if (pkt->created >= measure_start_cycle) {
       const double l = static_cast<double>(at - pkt->created);
       lat.add(l);
@@ -40,17 +56,20 @@ RunResult run_synthetic(const NocConfig& cfg, const RunParams& params) {
   bool saturated = false;
   const int n_nodes = net->mesh().num_nodes();
 
-  const auto inject = [&](NodeId src, NodeId dst) {
+  const auto inject = [&](NodeId src, NodeId dst, int flits,
+                          bool cs_eligible) {
     if (net->inject_queue_depth(src) > 2000) {
       saturated = true;  // source queues diverging: deep saturation
       return;
     }
-    if (measuring) ++window_generated;
+    if (measuring) window_generated_flits += static_cast<std::uint64_t>(flits);
     auto p = std::make_shared<Packet>();
     p->id = next_id++;
     p->src = src;
     p->dst = dst;
-    p->num_flits = cfg.ps_data_flits;
+    p->num_flits = flits;
+    p->cs_eligible = cs_eligible;
+    payload_flits.emplace(p->id, flits);
     net->send(std::move(p));
   };
 
@@ -66,7 +85,7 @@ RunResult run_synthetic(const NocConfig& cfg, const RunParams& params) {
     }
     if (measuring && measured >= params.measure_packets) break;
 
-    traffic.generate(inject);
+    gen(net->now(), inject);
     net->tick();
 
     // Early exit once mean latency shows the knee is far behind us.
@@ -78,22 +97,21 @@ RunResult run_synthetic(const NocConfig& cfg, const RunParams& params) {
   }
 
   RunResult r;
-  r.offered_rate = params.injection_rate;
+  r.offered_rate = offered_rate;
   r.measured_packets = measured;
   r.cycles = measuring ? net->now() - measure_start_cycle : 0;
   r.avg_latency = lat.mean();
   r.p99_latency = hist.quantile(0.99);
   r.saturated = saturated || measured < params.measure_packets;
   if (r.cycles > 0) {
-    r.accepted_rate = static_cast<double>(window_deliveries) *
-                      static_cast<double>(cfg.ps_data_flits) /
-                      (static_cast<double>(n_nodes) * static_cast<double>(r.cycles));
+    r.accepted_rate =
+        static_cast<double>(window_delivered_flits) /
+        (static_cast<double>(n_nodes) * static_cast<double>(r.cycles));
     // Standard saturation criterion: the network no longer accepts what is
     // actually offered (patterns where some nodes never inject — e.g. the
     // transpose diagonal — make the nominal rate an overestimate).
     const double offered_actual =
-        static_cast<double>(window_generated) *
-        static_cast<double>(cfg.ps_data_flits) /
+        static_cast<double>(window_generated_flits) /
         (static_cast<double>(n_nodes) * static_cast<double>(r.cycles));
     if (r.accepted_rate < 0.85 * offered_actual) r.saturated = true;
     r.energy = net->energy() - energy_start;
@@ -104,6 +122,54 @@ RunResult run_synthetic(const NocConfig& cfg, const RunParams& params) {
     r.config_flit_fraction = safe_ratio(cf, ps + cs + cf);
   }
   return r;
+}
+
+}  // namespace
+
+RunResult run_synthetic(const NocConfig& cfg, const RunParams& params) {
+  if (params.fidelity == Fidelity::Fast) return run_synthetic_fast(cfg, params);
+  const Mesh mesh(cfg.k);
+  SyntheticTraffic traffic(mesh, params.pattern, params.injection_rate,
+                           cfg.ps_data_flits, params.seed);
+  return run_cycle_measured(
+      cfg, params, params.injection_rate, [&](Cycle, const auto& inject) {
+        traffic.generate([&](NodeId src, NodeId dst) {
+          inject(src, dst, cfg.ps_data_flits, /*cs_eligible=*/true);
+        });
+      });
+}
+
+RunResult run_trace(const NocConfig& cfg,
+                    const std::vector<TraceEntry>& entries,
+                    const RunParams& params) {
+  HN_CHECK_MSG(!entries.empty(), "run_trace: empty trace");
+  const int n_nodes = cfg.k * cfg.k;
+  std::uint64_t total_flits = 0;
+  for (const TraceEntry& e : entries) {
+    HN_CHECK_MSG(e.src >= 0 && e.src < n_nodes && e.dst >= 0 &&
+                     e.dst < n_nodes,
+                 "run_trace: trace entry outside the mesh");
+    HN_CHECK_MSG(e.src != e.dst, "run_trace: self-directed trace entry");
+    total_flits += static_cast<std::uint64_t>(e.flits);
+  }
+  const Cycle span = entries.back().cycle + 1;
+  const double offered_rate =
+      static_cast<double>(total_flits) /
+      (static_cast<double>(span) * static_cast<double>(n_nodes));
+
+  if (params.fidelity == Fidelity::Fast) {
+    RunResult r = run_trace_fast(cfg, entries, params);
+    r.offered_rate = offered_rate;  // finalize() reports injection_rate
+    return r;
+  }
+
+  TraceTraffic traffic(entries, /*loop=*/true);
+  return run_cycle_measured(
+      cfg, params, offered_rate, [&](Cycle now, const auto& inject) {
+        traffic.generate(now, [&](NodeId src, NodeId dst, int flits) {
+          inject(src, dst, flits, /*cs_eligible=*/flits >= cfg.cs_data_flits);
+        });
+      });
 }
 
 std::vector<RunResult> sweep_load(const NocConfig& cfg, RunParams params,

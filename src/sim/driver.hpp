@@ -16,11 +16,27 @@
 #include "sim/net_adapter.hpp"
 #include "sim/run_types.hpp"
 
+#include "traffic/trace.hpp"
+
 namespace hybridnoc {
 
 /// One run of `cfg` under a synthetic pattern (dispatches on
 /// params.fidelity).
 RunResult run_synthetic(const NocConfig& cfg, const RunParams& params);
+
+/// One run of `cfg` replaying `entries` (looped, so a short capture models
+/// steady state), with the same warmup/measure/saturation methodology as
+/// run_synthetic. Dispatches on params.fidelity; params.pattern and
+/// params.injection_rate are ignored (the trace defines both — the reported
+/// offered_rate is total trace flits / (span * nodes)). Messages shorter
+/// than cfg.cs_data_flits are marked circuit-ineligible: a control message
+/// would be padded out by the fixed CS transfer size, so short traffic
+/// always packet-switches (the heterogeneous model's CPU-traffic rule).
+/// Aborts (HN_CHECK) on an empty trace or entries that are out of mesh or
+/// self-directed.
+RunResult run_trace(const NocConfig& cfg,
+                    const std::vector<TraceEntry>& entries,
+                    const RunParams& params);
 
 /// Load sweep: one run per rate (stops early once saturated twice).
 std::vector<RunResult> sweep_load(const NocConfig& cfg, RunParams params,

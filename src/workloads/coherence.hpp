@@ -1,0 +1,67 @@
+// Coherence request/reply workload generator: directory-protocol-shaped
+// traffic with the bimodal message-size mix real multicores put on the NoC.
+//
+// Each transaction starts as a short control request (requester -> home
+// node). The reply is injected a configurable service latency after the
+// request is estimated to deliver (zero-load flight time of the modeled
+// pipeline), and is either a data burst straight from the home
+// (`data_fraction`) or a three-hop forwarded intervention
+// (`forward_fraction`): home -> sharer control probe, then sharer ->
+// requester data. Home-node choice is seeded and skewed — each requester
+// favours one home with probability `home_locality` — so the trace exhibits
+// the recurring requester/home pairs a directory's address interleaving
+// produces.
+//
+// The generator returns the trace plus a parallel event log (one
+// CoherenceEvent per trace entry, same index) recording each entry's role
+// and its owning transaction, which the property suite uses to check that
+// every reply pairs with an earlier matching request.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "traffic/trace.hpp"
+
+namespace hybridnoc {
+
+struct CoherenceParams {
+  int k = 8;                   ///< mesh radix
+  Cycle cycles = 4000;         ///< request-generation horizon
+  double request_rate = 0.02;  ///< per-node per-cycle request probability
+  int ctrl_flits = 1;          ///< short control message size
+  int data_flits = 5;          ///< data burst size (cache line + header)
+  double data_fraction = 0.7;  ///< replies that carry data (vs control ack)
+  double forward_fraction = 0.2;  ///< of data replies: 3-hop interventions
+  Cycle service_latency = 20;  ///< home/sharer lookup latency before reply
+  int num_homes = 0;           ///< directory nodes (0 = every node is a home)
+  double home_locality = 0.5;  ///< probability a requester uses its favourite
+                               ///< home instead of a uniform one
+  std::uint64_t seed = 1;
+};
+
+enum class CoherenceMsg : std::uint8_t {
+  Request,  ///< requester -> home, ctrl_flits
+  Reply,    ///< home -> requester, ctrl or data flits
+  Forward,  ///< home -> sharer probe, ctrl_flits
+  Data,     ///< sharer -> requester, data_flits
+};
+
+struct CoherenceEvent {
+  CoherenceMsg msg = CoherenceMsg::Request;
+  /// Transaction id shared by a request and every message it triggers;
+  /// transaction n's request always precedes its other messages in time.
+  std::uint64_t txn = 0;
+  friend bool operator==(const CoherenceEvent&, const CoherenceEvent&) = default;
+};
+
+struct CoherenceTrace {
+  std::vector<TraceEntry> entries;     ///< sorted by cycle
+  std::vector<CoherenceEvent> events;  ///< events[i] describes entries[i]
+};
+
+/// Deterministic generation: same params => identical trace and event log.
+CoherenceTrace generate_coherence_trace(const CoherenceParams& p);
+
+}  // namespace hybridnoc

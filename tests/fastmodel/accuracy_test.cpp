@@ -18,6 +18,7 @@
 #include <string>
 
 #include "sim/driver.hpp"
+#include "workloads/workload.hpp"
 
 namespace hybridnoc {
 namespace {
@@ -96,6 +97,77 @@ INSTANTIATE_TEST_SUITE_P(
         Scenario{8, TrafficPattern::Hotspot, 0.10},
         Scenario{8, TrafficPattern::Tornado, 0.10}),
     scenario_name);
+
+// Workload-zoo twin runs: replay the NN-dataflow and coherence generators
+// through run_trace at both fidelities. Trace replay mixes message sizes
+// (short circuit-ineligible control flits next to CS-compressed bursts), a
+// regime the fast model approximates more coarsely than steady synthetic
+// load, so each scenario carries its own drift bounds (measured values in
+// EXPERIMENTS.md, "Workload zoo").
+struct WorkloadScenario {
+  const char* spec;
+  int k;
+  double lat_bound;     // |relative mean-latency error| ceiling
+  double energy_bound;  // |relative energy-per-packet error| ceiling
+};
+
+std::string workload_scenario_name(
+    const ::testing::TestParamInfo<WorkloadScenario>& info) {
+  const WorkloadScenario& s = info.param;
+  std::string name(s.spec);
+  for (char& c : name) {
+    if (c == ':') c = '_';
+  }
+  return name + "_" + std::to_string(s.k) + "x" + std::to_string(s.k);
+}
+
+class WorkloadAccuracy : public ::testing::TestWithParam<WorkloadScenario> {};
+
+TEST_P(WorkloadAccuracy, FastModelTracksCycleCore) {
+  const WorkloadScenario& s = GetParam();
+  const NocConfig cfg = NocConfig::hybrid_tdm_vc4(s.k);
+
+  WorkloadOptions wo;
+  wo.k = s.k;
+  wo.seed = 1;
+  const WorkloadTrace wt = build_workload(s.spec, wo);
+
+  RunParams p;
+  p.measure_packets = 6000;
+  p.seed = 1;
+  p.fidelity = Fidelity::Cycle;
+  const RunResult cycle = run_trace(cfg, wt.entries, p);
+  p.fidelity = Fidelity::Fast;
+  const RunResult fast = run_trace(cfg, wt.entries, p);
+
+  ASSERT_FALSE(cycle.saturated) << "workload saturates the cycle core";
+  ASSERT_FALSE(fast.saturated);
+  ASSERT_GT(cycle.measured_packets, 0u);
+  ASSERT_GT(fast.measured_packets, 0u);
+
+  const double lat_err =
+      (fast.avg_latency - cycle.avg_latency) / cycle.avg_latency;
+  EXPECT_LE(std::abs(lat_err), s.lat_bound)
+      << "mean latency: cycle=" << cycle.avg_latency
+      << " fast=" << fast.avg_latency;
+
+  const double cycle_epp =
+      cycle.total_energy_pj() / static_cast<double>(cycle.measured_packets);
+  const double fast_epp =
+      fast.total_energy_pj() / static_cast<double>(fast.measured_packets);
+  const double energy_err = (fast_epp - cycle_epp) / cycle_epp;
+  EXPECT_LE(std::abs(energy_err), s.energy_bound)
+      << "energy/packet: cycle=" << cycle_epp << " fast=" << fast_epp;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, WorkloadAccuracy,
+    ::testing::Values(WorkloadScenario{"nn:resnet50", 6, 0.15, 0.10},
+                      WorkloadScenario{"nn:resnet50", 8, 0.15, 0.10},
+                      WorkloadScenario{"nn:gnmt", 8, 0.20, 0.10},
+                      WorkloadScenario{"coherence", 6, 0.15, 0.10},
+                      WorkloadScenario{"coherence", 8, 0.15, 0.10}),
+    workload_scenario_name);
 
 }  // namespace
 }  // namespace hybridnoc

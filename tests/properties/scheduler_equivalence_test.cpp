@@ -23,6 +23,8 @@
 #include "tdm/fault_trace.hpp"
 #include "tdm/hybrid_network.hpp"
 #include "traffic/synthetic.hpp"
+#include "workloads/coherence.hpp"
+#include "workloads/nn_dataflow.hpp"
 
 namespace hybridnoc {
 namespace {
@@ -353,6 +355,132 @@ TEST(SchedulerEquivalence, SeededLinkFaultStorm) {
   EXPECT_EQ(active.failed_links, 1);
   EXPECT_GT(active.delivered, 100u);
   expect_same(active, run_link_fault_storm(false));
+}
+
+// ---------------------------------------------------------------------------
+// Workload-zoo storms, both engines
+// ---------------------------------------------------------------------------
+// The NN-dataflow and coherence generators double as fault-storm substrates:
+// their traces mix circuit-forming long-lived flows (NN bursts, coherence
+// data) with circuit-ineligible short control messages, so the engines must
+// agree while circuits are set up, faulted and torn down under both message
+// classes at once.
+
+const char kStormNnDag[] = R"(
+# 4x4 storm pipeline: three stages, heavy recurring pairs
+mesh 4
+layer in   0 0 4 1
+layer mid  0 1 4 2
+layer out  0 3 4 1
+edge in  mid 4096
+edge mid out 2048
+)";
+
+std::vector<TraceEntry> storm_nn_trace() {
+  const NnDescriptor d = parse_nn_descriptor_string(kStormNnDag, "storm-nn");
+  NnGenParams p;
+  p.iterations = 6;
+  p.seed = 3;
+  return generate_nn_trace(d, p);
+}
+
+std::vector<TraceEntry> storm_coherence_trace() {
+  CoherenceParams p;
+  p.k = 4;
+  p.cycles = 3000;
+  p.request_rate = 0.04;
+  p.seed = 5;
+  return generate_coherence_trace(p).entries;
+}
+
+/// Replay a workload trace once through (no looping). Short entries are
+/// circuit-ineligible, mirroring run_trace's rule.
+void drive_trace(HybridNetwork& net, const std::vector<TraceEntry>& entries,
+                 int cs_data_flits) {
+  std::size_t pos = 0;
+  PacketId next_id = 1;
+  const Cycle total = entries.back().cycle + 1;
+  while (net.now() < total) {
+    while (pos < entries.size() && entries[pos].cycle <= net.now()) {
+      const TraceEntry& e = entries[pos++];
+      auto p = std::make_shared<Packet>();
+      p->id = next_id++;
+      p->src = e.src;
+      p->dst = e.dst;
+      p->num_flits = e.flits;
+      p->cs_eligible = e.flits >= cs_data_flits;
+      net.ni(e.src).send(std::move(p), net.now());
+    }
+    net.tick();
+  }
+}
+
+RunFingerprint run_nn_storm(bool active_set) {
+  NocConfig cfg = small_hybrid_cfg(/*sharing=*/false);
+  cfg.dynamic_slot_sizing = true;
+  cfg.initial_active_slots = 8;
+  cfg.active_set_scheduler = active_set;
+
+  RunFingerprint fp;
+  HybridNetwork net(cfg);
+  install_delivery_capture(net, fp);
+
+  ConfigFaultParams p;
+  p.drop_prob = 0.02;
+  p.delay_prob = 0.02;
+  p.dup_prob = 0.01;
+  p.max_delay_cycles = 40;
+  p.seed = 4321;
+  net.enable_config_faults(p);
+  drive_trace(net, storm_nn_trace(), cfg.cs_data_flits);
+  net.disable_config_faults();
+  const Cycle end = net.now() + 6000;
+  while (net.now() < end) net.tick();
+  harvest_hybrid(net, fp);
+  return fp;
+}
+
+TEST(SchedulerEquivalence, NnDataflowFaultStorm) {
+  const RunFingerprint active = run_nn_storm(true);
+  // Non-vacuity: the pipeline delivered, its recurring pairs formed
+  // circuits, and config faults actually fired against the setups.
+  EXPECT_GT(active.delivered, 100u);
+  EXPECT_GT(active.cs_packets, 0u);
+  EXPECT_GT(active.faults_dropped + active.faults_delayed +
+                active.faults_duplicated,
+            0u);
+  expect_same(active, run_nn_storm(false));
+}
+
+RunFingerprint run_coherence_storm(bool active_set) {
+  NocConfig cfg = small_hybrid_cfg(/*sharing=*/false);
+  cfg.active_set_scheduler = active_set;
+  cfg.link_ber = 1e-3;
+  cfg.fault_seed = 42;
+  cfg.e2e_recovery = true;
+  cfg.retx_timeout_cycles = 512;
+
+  RunFingerprint fp;
+  HybridNetwork net(cfg);
+  install_delivery_capture(net, fp);
+  net.ensure_fault_model().kill_link(6, Port::East, 1500);
+
+  drive_trace(net, storm_coherence_trace(), cfg.cs_data_flits);
+  const Cycle end = net.now() + 8000;
+  while (net.now() < end) net.tick();
+  harvest_hybrid(net, fp);
+  return fp;
+}
+
+TEST(SchedulerEquivalence, CoherenceLinkFaultStorm) {
+  const RunFingerprint active = run_coherence_storm(true);
+  // Non-vacuity: bimodal traffic delivered through BER corruption, CRC
+  // recovery fired, and the scheduled link death stuck.
+  EXPECT_GT(active.delivered, 100u);
+  EXPECT_GT(active.corrupted_traversals, 0u);
+  EXPECT_GT(active.crc_flagged, 0u);
+  EXPECT_EQ(active.failed_links, 1);
+  expect_same(active, run_coherence_storm(false));
 }
 
 // ---------------------------------------------------------------------------

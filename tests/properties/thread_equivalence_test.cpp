@@ -23,6 +23,8 @@
 #include "tdm/fault_trace.hpp"
 #include "tdm/hybrid_network.hpp"
 #include "traffic/synthetic.hpp"
+#include "workloads/coherence.hpp"
+#include "workloads/nn_dataflow.hpp"
 
 namespace hybridnoc {
 namespace {
@@ -371,6 +373,121 @@ TEST(ThreadEquivalence, SeededLinkFaultStorm) {
   EXPECT_GT(one.delivered, 100u);
   expect_same(one, run_link_fault_storm(2));
   expect_same(one, run_link_fault_storm(max_threads()));
+}
+
+// ---------------------------------------------------------------------------
+// Workload-zoo storms at 1 / 2 / max threads
+// ---------------------------------------------------------------------------
+// Application-shaped substrates for the shard barrier: the NN pipeline's
+// bursty circuit-forming flows and the coherence mix of short control and
+// data messages (with short entries circuit-ineligible, mirroring
+// run_trace's rule) must tick identically at every thread count.
+
+const char kStormNnDag[] = R"(
+mesh 4
+layer in   0 0 4 1
+layer mid  0 1 4 2
+layer out  0 3 4 1
+edge in  mid 4096
+edge mid out 2048
+)";
+
+/// Replay a workload trace once through (no looping).
+void drive_trace(HybridNetwork& net, const std::vector<TraceEntry>& entries,
+                 int cs_data_flits) {
+  std::size_t pos = 0;
+  PacketId next_id = 1;
+  const Cycle total = entries.back().cycle + 1;
+  while (net.now() < total) {
+    while (pos < entries.size() && entries[pos].cycle <= net.now()) {
+      const TraceEntry& e = entries[pos++];
+      auto p = std::make_shared<Packet>();
+      p->id = next_id++;
+      p->src = e.src;
+      p->dst = e.dst;
+      p->num_flits = e.flits;
+      p->cs_eligible = e.flits >= cs_data_flits;
+      net.ni(e.src).send(std::move(p), net.now());
+    }
+    net.tick();
+  }
+}
+
+RunFingerprint run_nn_storm(int threads) {
+  NocConfig cfg = small_hybrid_cfg(/*sharing=*/false);
+  cfg.tick_threads = threads;
+  cfg.link_ber = 1e-3;
+  cfg.fault_seed = 57;
+  cfg.e2e_recovery = true;
+  cfg.retx_timeout_cycles = 512;
+
+  RunFingerprint fp;
+  HybridNetwork net(cfg);
+  install_delivery_capture(net, fp);
+  net.ensure_fault_model().stick_link(9, Port::North, 400, 300);
+
+  const NnDescriptor d = parse_nn_descriptor_string(kStormNnDag, "storm-nn");
+  NnGenParams p;
+  p.iterations = 6;
+  p.seed = 3;
+  drive_trace(net, generate_nn_trace(d, p), cfg.cs_data_flits);
+  const Cycle end = net.now() + 8000;
+  while (net.now() < end) net.tick();
+  harvest_hybrid(net, fp);
+  return fp;
+}
+
+TEST(ThreadEquivalence, NnDataflowStorm) {
+  const RunFingerprint one = run_nn_storm(1);
+  // Non-vacuity: the pipeline delivered, formed circuits, and the BER storm
+  // fired through them.
+  EXPECT_GT(one.delivered, 100u);
+  EXPECT_GT(one.cs_packets, 0u);
+  EXPECT_GT(one.corrupted_traversals, 0u);
+  expect_same(one, run_nn_storm(2));
+  expect_same(one, run_nn_storm(max_threads()));
+}
+
+RunFingerprint run_coherence_storm(int threads) {
+  NocConfig cfg = small_hybrid_cfg(/*sharing=*/false);
+  cfg.dynamic_slot_sizing = true;
+  cfg.initial_active_slots = 8;
+  cfg.tick_threads = threads;
+
+  RunFingerprint fp;
+  HybridNetwork net(cfg);
+  install_delivery_capture(net, fp);
+
+  // Config faults exercise the serial fallback under the bimodal mix.
+  ConfigFaultParams p;
+  p.drop_prob = 0.02;
+  p.delay_prob = 0.02;
+  p.dup_prob = 0.01;
+  p.max_delay_cycles = 40;
+  p.seed = 2468;
+  net.enable_config_faults(p);
+
+  CoherenceParams cp;
+  cp.k = 4;
+  cp.cycles = 3000;
+  cp.request_rate = 0.04;
+  cp.seed = 5;
+  drive_trace(net, generate_coherence_trace(cp).entries, cfg.cs_data_flits);
+  net.disable_config_faults();
+  const Cycle end = net.now() + 6000;
+  while (net.now() < end) net.tick();
+  harvest_hybrid(net, fp);
+  return fp;
+}
+
+TEST(ThreadEquivalence, CoherenceStorm) {
+  const RunFingerprint one = run_coherence_storm(1);
+  // Non-vacuity: requests and replies delivered, and config faults fired.
+  EXPECT_GT(one.delivered, 100u);
+  EXPECT_GT(one.faults_dropped + one.faults_delayed + one.faults_duplicated,
+            0u);
+  expect_same(one, run_coherence_storm(2));
+  expect_same(one, run_coherence_storm(max_threads()));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,11 +1,15 @@
 // hybridnoc — command-line front end for the simulator.
 //
 //   hybridnoc synth  --arch tdm --pattern tornado --rate 0.2 [--k 6] [--csv]
+//   hybridnoc synth  --workload nn:resnet50 --fidelity fast --k 8
 //   hybridnoc sweep  --arch tdm --pattern uniform --from 0.05 --to 0.4 --step 0.05
 //   hybridnoc hetero --cpu APPLU --gpu BLACKSCHOLES --arch hop-vct
 //   hybridnoc trace-gen --pattern tornado --rate 0.2 --cycles 5000 --out t.trace
+//   hybridnoc trace-gen --workload coherence --k 8 --out c.trace
 //   hybridnoc trace-run --arch tdm --in t.trace
 //
+// `hybridnoc --workload ...` with no command is shorthand for `synth`.
+// Workloads: nn:resnet50 | nn:transformer | nn:gnmt | nn:@file | coherence
 // Architectures: packet | sdm | tdm | tdm-vct | hop | hop-vct
 #include <fstream>
 #include <iostream>
@@ -16,6 +20,7 @@
 #include "hetero/hetero_system.hpp"
 #include "sim/driver.hpp"
 #include "traffic/trace.hpp"
+#include "workloads/workload.hpp"
 
 using namespace hybridnoc;
 
@@ -37,8 +42,18 @@ struct Args {
 
 Args parse(int argc, char** argv) {
   Args a;
-  if (argc > 1) a.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int first_flag = 2;
+  if (argc > 1) {
+    // A leading flag (`hybridnoc --workload ...`) means "synth" — the
+    // acceptance-criteria shorthand for running a workload end to end.
+    if (std::string(argv[1]).rfind("--", 0) == 0) {
+      a.command = "synth";
+      first_flag = 1;
+    } else {
+      a.command = argv[1];
+    }
+  }
+  for (int i = first_flag; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) continue;
     key = key.substr(2);
@@ -108,16 +123,39 @@ void emit(const Args& a, TextTable& t) {
   }
 }
 
+WorkloadOptions workload_options(const Args& a, int k) {
+  WorkloadOptions w;
+  w.k = k;
+  w.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  w.intensity = a.num("intensity", 1.0);
+  w.nn_iterations = static_cast<int>(a.num("iterations", 4));
+  w.coherence_cycles = static_cast<Cycle>(a.num("cycles", 4000));
+  return w;
+}
+
 int cmd_synth(const Args& a) {
   const int k = static_cast<int>(a.num("k", 6));
   const NocConfig cfg = arch_config(a, "tdm", k);
-  const TrafficPattern pattern = pattern_arg(a.get("pattern", "uniform"));
-  const RunParams params = run_params(a, pattern, a.num("rate", 0.1));
-  const auto r = run_synthetic(cfg, params);
+  const bool workload = a.flag("workload");
+  std::string source;
+  RunResult r;
+  RunParams params;
+  if (workload) {
+    const WorkloadTrace wt =
+        build_workload(a.get("workload", ""), workload_options(a, k));
+    params = run_params(a, TrafficPattern::UniformRandom, wt.offered_rate);
+    r = run_trace(cfg, wt.entries, params);
+    source = wt.name;
+  } else {
+    const TrafficPattern pattern = pattern_arg(a.get("pattern", "uniform"));
+    params = run_params(a, pattern, a.num("rate", 0.1));
+    r = run_synthetic(cfg, params);
+    source = traffic_pattern_name(pattern);
+  }
   TextTable t({"metric", "value"});
   t.add_row({"config", cfg.summary()});
   t.add_row({"fidelity", fidelity_name(params.fidelity)});
-  t.add_row({"pattern", traffic_pattern_name(pattern)});
+  t.add_row({workload ? "workload" : "pattern", source});
   t.add_row({"offered (flits/node/cyc)", TextTable::num(r.offered_rate, 3)});
   t.add_row({"accepted", TextTable::num(r.accepted_rate, 3)});
   t.add_row({"avg latency (cycles)", TextTable::num(r.avg_latency, 2)});
@@ -177,14 +215,20 @@ int cmd_hetero(const Args& a) {
 
 int cmd_trace_gen(const Args& a) {
   const int k = static_cast<int>(a.num("k", 6));
-  const Mesh mesh(k);
-  SyntheticTraffic traffic(mesh, pattern_arg(a.get("pattern", "uniform")),
-                           a.num("rate", 0.1), 5,
-                           static_cast<std::uint64_t>(a.num("seed", 1)));
   std::vector<TraceEntry> entries;
-  const auto cycles = static_cast<Cycle>(a.num("cycles", 5000));
-  for (Cycle c = 0; c < cycles; ++c) {
-    traffic.generate([&](NodeId s, NodeId d) { entries.push_back({c, s, d, 5}); });
+  if (a.flag("workload")) {
+    entries =
+        build_workload(a.get("workload", ""), workload_options(a, k)).entries;
+  } else {
+    const Mesh mesh(k);
+    SyntheticTraffic traffic(mesh, pattern_arg(a.get("pattern", "uniform")),
+                             a.num("rate", 0.1), 5,
+                             static_cast<std::uint64_t>(a.num("seed", 1)));
+    const auto cycles = static_cast<Cycle>(a.num("cycles", 5000));
+    for (Cycle c = 0; c < cycles; ++c) {
+      traffic.generate(
+          [&](NodeId s, NodeId d) { entries.push_back({c, s, d, 5}); });
+    }
   }
   const std::string path = a.get("out", "traffic.trace");
   std::ofstream out(path);
@@ -240,10 +284,14 @@ int usage() {
       "usage: hybridnoc <command> [--key value ...]\n"
       "  synth      one synthetic run   (--arch --pattern --rate --k --threads\n"
       "                                  --fidelity cycle|fast --csv)\n"
+      "             or workload run     (--workload nn:resnet50|nn:transformer\n"
+      "                                  |nn:gnmt|nn:@file|coherence\n"
+      "                                  --intensity --iterations --cycles)\n"
       "  sweep      load sweep          (--arch --pattern --from --to --step\n"
       "                                  --fidelity cycle|fast)\n"
       "  hetero     CPU+GPU workload    (--arch --cpu --gpu --cycles)\n"
-      "  trace-gen  record a trace      (--pattern --rate --cycles --out)\n"
+      "  trace-gen  record a trace      (--pattern --rate --cycles --out,\n"
+      "                                  or --workload ...)\n"
       "  trace-run  replay a trace      (--arch --in)\n";
   return 2;
 }
