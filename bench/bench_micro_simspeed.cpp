@@ -41,29 +41,38 @@ NocConfig engine_cfg(NocConfig cfg, benchmark::State& state) {
   return cfg;
 }
 
-/// state.range(1), where present, is the per-node injection probability in
-/// permille. 40 is the historical near-saturation point; 5 is the sparse
-/// regime (most components idle most cycles) the active-set engine targets.
+/// Drive `net` for the benchmark loop at a fixed per-node injection
+/// probability per cycle. items_per_second is node-cycles per wall second.
 template <typename Net>
-void run_injected_cycles(Net& net, benchmark::State& state) {
-  const double rate = static_cast<double>(state.range(1)) / 1000.0;
+void run_injected_cycles_at(Net& net, benchmark::State& state, double rate) {
   Rng rng(1);
   PacketId id = 1;
   for (auto _ : state) {
-    for (NodeId s = 0; s < net.num_nodes(); ++s) {
-      if (net.ni(s).inject_queue_depth() < 4 && rng.bernoulli(rate)) {
-        auto p = std::make_shared<Packet>();
-        p->id = id++;
-        p->src = s;
-        p->dst = static_cast<NodeId>(rng.uniform_int(net.num_nodes()));
-        if (p->dst == s) continue;
-        p->num_flits = 5;
-        net.ni(s).send(std::move(p), net.now());
+    if (rate > 0.0) {
+      for (NodeId s = 0; s < net.num_nodes(); ++s) {
+        if (net.ni(s).inject_queue_depth() < 4 && rng.bernoulli(rate)) {
+          auto p = std::make_shared<Packet>();
+          p->id = id++;
+          p->src = s;
+          p->dst = static_cast<NodeId>(rng.uniform_int(net.num_nodes()));
+          if (p->dst == s) continue;
+          p->num_flits = 5;
+          net.ni(s).send(std::move(p), net.now());
+        }
       }
     }
     net.tick();
   }
   state.SetItemsProcessed(state.iterations() * net.num_nodes());
+}
+
+/// state.range(1), where present, is the per-node injection probability in
+/// permille. 40 is the historical near-saturation point; 5 is the sparse
+/// regime (most components idle most cycles) the active-set engine targets.
+template <typename Net>
+void run_injected_cycles(Net& net, benchmark::State& state) {
+  run_injected_cycles_at(net, state,
+                         static_cast<double>(state.range(1)) / 1000.0);
 }
 
 void BM_IdleNetworkCycle(benchmark::State& state) {
@@ -204,6 +213,37 @@ void BM_CoherenceRun(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
 }
 BENCHMARK(BM_CoherenceRun)->Unit(benchmark::kMillisecond);
+
+/// Large-mesh scaling: the ISSUE's tentpole deliverable. Args are
+/// {k, tick_threads, injection permille}; items_per_second is node-cycles
+/// per wall second, so equal values across mesh sizes mean perfectly linear
+/// scaling and HIGHER values at larger k mean the per-cycle cost grows
+/// sublinearly in node count (idle rows should: the run-list scheduler makes
+/// an idle cycle O(active), not O(nodes)). The 8x8 idle row is the
+/// reference point for the "64x64 idle within 4x of 8x8" acceptance bound —
+/// compare their per-CYCLE costs, i.e. items_per_second scaled by nodes.
+/// Rows: idle (0), sparse (5 permille), loaded (100 permille), the loaded
+/// pair serial vs 4 tick threads.
+void BM_LargeMeshCycle(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  NocConfig cfg = NocConfig::packet_vc4(k);
+  cfg.tick_threads = static_cast<int>(state.range(1));
+  Network net(cfg);
+  run_injected_cycles_at(net, state,
+                         static_cast<double>(state.range(2)) / 1000.0);
+}
+BENCHMARK(BM_LargeMeshCycle)
+    ->Args({8, 1, 0})
+    ->Args({8, 1, 100})
+    ->Args({32, 1, 0})
+    ->Args({32, 1, 5})
+    ->Args({32, 1, 100})
+    ->Args({32, 4, 100})
+    ->Args({64, 1, 0})
+    ->Args({64, 1, 5})
+    ->Args({64, 1, 100})
+    ->Args({64, 4, 100})
+    ->UseRealTime();
 
 void BM_IdleFastForward(benchmark::State& state) {
   // Whole-window skip: what an idle stretch costs when the driver may jump

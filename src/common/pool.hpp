@@ -1,0 +1,149 @@
+// Block-recycling allocator for the simulator's hot heap objects.
+//
+// Packets are minted on every injection and freed on every delivery; under
+// load at 64x64 that is tens of millions of identically-sized
+// std::allocate_shared control blocks per run, and the general-purpose
+// allocator's size-class lookup plus cross-thread free-list handling becomes a
+// measurable slice of the cycle core. PoolAlloc routes those blocks through a
+// process-wide bucketed free list instead: deallocation pushes the raw block
+// onto the bucket for its size, allocation pops it back. Blocks never shrink
+// or merge — every block in a bucket has exactly the bucket's size, so a pop
+// is always a fit.
+//
+// Thread-safety: a plain std::mutex per pool. Packets are created on shard
+// threads and released wherever the last FlitPtr/PacketPtr dies (often a
+// different shard, or the drain on the main thread), so lock-free would buy
+// little — the lock is uncontended in the serial engine and amortised by the
+// allocator's own work in the parallel one.
+//
+// Sanitizer builds bypass recycling entirely: a recycled block would hide
+// use-after-free bugs from asan (the memory stays live in the pool), so under
+// asan/tsan/msan make_packet degrades to plain operator new/delete and keeps
+// full poisoning coverage.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "common/types.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define HN_POOL_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define HN_POOL_DISABLED 1
+#endif
+#endif
+#ifndef HN_POOL_DISABLED
+#define HN_POOL_DISABLED 0
+#endif
+
+namespace hybridnoc {
+
+/// Process-wide bucketed block pool backing PoolAlloc. Buckets are spaced a
+/// cache line apart and capped in length so a burst (a storm test minting a
+/// million packets, then idling) cannot pin unbounded memory.
+class BlockPool {
+ public:
+  static BlockPool& instance() {
+    static BlockPool pool;
+    return pool;
+  }
+
+  void* allocate(std::size_t bytes) {
+    const int b = bucket_of(bytes);
+    if (b >= 0) {
+      std::lock_guard<std::mutex> lk(mu_);
+      std::vector<void*>& list = free_[static_cast<std::size_t>(b)];
+      if (!list.empty()) {
+        void* p = list.back();
+        list.pop_back();
+        return p;
+      }
+    }
+    return ::operator new(b >= 0 ? bucket_bytes(b) : bytes);
+  }
+
+  void deallocate(void* p, std::size_t bytes) {
+    const int b = bucket_of(bytes);
+    if (b >= 0) {
+      std::lock_guard<std::mutex> lk(mu_);
+      std::vector<void*>& list = free_[static_cast<std::size_t>(b)];
+      if (list.size() < kMaxPerBucket) {
+        list.push_back(p);
+        return;
+      }
+    }
+    ::operator delete(p);
+  }
+
+ private:
+  static constexpr std::size_t kBucketStep = 64;   ///< one cache line
+  static constexpr std::size_t kNumBuckets = 16;   ///< up to 1 KiB blocks
+  static constexpr std::size_t kMaxPerBucket = 4096;
+
+  static int bucket_of(std::size_t bytes) {
+    const std::size_t b = (bytes + kBucketStep - 1) / kBucketStep;
+    return b >= 1 && b <= kNumBuckets ? static_cast<int>(b - 1) : -1;
+  }
+  static std::size_t bucket_bytes(int b) {
+    return (static_cast<std::size_t>(b) + 1) * kBucketStep;
+  }
+
+  std::mutex mu_;
+  std::vector<void*> free_[kNumBuckets];
+};
+
+/// Stateless allocator adapter over BlockPool, usable with
+/// std::allocate_shared (the packet + shared_ptr control block land in one
+/// pooled allocation).
+template <typename T>
+struct PoolAlloc {
+  using value_type = T;
+
+  PoolAlloc() = default;
+  template <typename U>
+  PoolAlloc(const PoolAlloc<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+#if HN_POOL_DISABLED
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+#else
+    return static_cast<T*>(BlockPool::instance().allocate(n * sizeof(T)));
+#endif
+  }
+  void deallocate(T* p, std::size_t n) {
+#if HN_POOL_DISABLED
+    ::operator delete(p);
+#else
+    BlockPool::instance().deallocate(p, n * sizeof(T));
+#endif
+  }
+
+  template <typename U>
+  bool operator==(const PoolAlloc<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const PoolAlloc<U>&) const {
+    return false;
+  }
+};
+
+/// Mint a Packet whose storage (object + control block, fused by
+/// allocate_shared) comes from the block pool. Drop-in replacement for
+/// std::make_shared<Packet>() at every injection site.
+inline PacketPtr make_packet() {
+  return std::allocate_shared<Packet>(PoolAlloc<Packet>{});
+}
+
+/// Pool-backed copy-construction (retransmission and hop-off clones).
+inline PacketPtr make_packet(const Packet& src) {
+  return std::allocate_shared<Packet>(PoolAlloc<Packet>{}, src);
+}
+
+}  // namespace hybridnoc

@@ -1,5 +1,7 @@
 #include "hetero/hetero_system.hpp"
 
+#include "common/pool.hpp"
+
 namespace hybridnoc {
 
 HeteroSystem::HeteroSystem(const NocConfig& cfg, const WorkloadMix& mix,
@@ -44,7 +46,7 @@ HeteroSystem::HeteroSystem(const NocConfig& cfg, const WorkloadMix& mix,
 void HeteroSystem::send_msg(NodeId src, NodeId dst, int flits, TrafficClass cls,
                             bool cs_eligible, std::int64_t slack,
                             std::uint64_t key) {
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   p->id = next_pkt_id_++;
   p->src = src;
   p->dst = dst;

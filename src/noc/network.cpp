@@ -25,6 +25,11 @@ Network::Network(const NocConfig& cfg, RouterFactory make_router, NiFactory make
     routers_.push_back(make_router(cfg_, n, mesh_));
     nis_.push_back(make_ni(cfg_, n, mesh_));
   }
+  router_ptrs_.reserve(routers_.size());
+  ni_ptrs_.reserve(nis_.size());
+  for (auto& r : routers_) router_ptrs_.push_back(r.get());
+  for (auto& ni : nis_) ni_ptrs_.push_back(ni.get());
+  watchdog_enabled_ = cfg_.watchdog_stall_cycles > 0;
   if (cfg_.tick_threads > 1) {
     engine_ = std::make_unique<ParallelTickEngine>(*this, cfg_.tick_threads);
   } else if (use_sched_) {
@@ -119,49 +124,59 @@ void Network::build() {
 void Network::watchdog_tick() {
   // Sweep cadence matches the reservation-lease sweep so the two scans share
   // wake cycles. Flagging is stat-only (stall_flagged + counters), so where
-  // the sweep lands inside the cycle is unobservable.
-  if (cfg_.watchdog_stall_cycles == 0 || now_ == 0 || (now_ & 1023) != 0) {
-    return;
+  // the sweep lands inside the cycle is unobservable. The caller has already
+  // checked watchdog_enabled_ and the 1024-cycle boundary, so every call
+  // here is a real sweep, never a per-cycle no-op.
+  ++profile_.watchdog_sweeps;
+  for (NetworkInterface* ni : ni_ptrs_) {
+    ni->watchdog_scan(now_, cfg_.watchdog_stall_cycles);
   }
-  for (auto& ni : nis_) ni->watchdog_scan(now_, cfg_.watchdog_stall_cycles);
 }
 
 void Network::tick() {
-  watchdog_tick();
+  ++profile_.cycles;
+  if (watchdog_enabled_ && now_ != 0 && (now_ & 1023) == 0) watchdog_tick();
   if (engine_) {
     engine_->run_cycle(now_);
     ++now_;
     return;
   }
   if (!use_sched_) {
-    for (auto& ni : nis_) ni->tick(now_);
-    for (auto& r : routers_) r->tick(now_);
+    for (NetworkInterface* ni : ni_ptrs_) ni->tick(now_);
+    for (Router* r : router_ptrs_) r->tick(now_);
+    profile_.ni_ticks += static_cast<std::uint64_t>(ni_ptrs_.size());
+    profile_.router_ticks += static_cast<std::uint64_t>(router_ptrs_.size());
     ++now_;
     return;
   }
   sched_.begin_cycle(now_);
   if (sched_.anything_active()) {
-    // Walk the fixed sweep order (NIs then routers — scheduler ids are
-    // assigned so ascending id == legacy order) and tick the active ones.
-    // Checking the flag at each position means a component activated
-    // mid-sweep is handled exactly as under the full sweep: still ahead ->
-    // ticks this cycle, already passed -> ticks next cycle.
+    // Drain the scheduler's sorted active run list (NIs then routers —
+    // scheduler ids are assigned so ascending id == legacy order). The cost
+    // is O(active components), not O(nodes): an idle 64x64 mesh pays the
+    // same per-cycle dispatch cost as an idle 8x8. Components activated
+    // mid-sweep are handled exactly as under the full flag-scan: still
+    // ahead -> spliced in and ticked this cycle, already passed -> ticks
+    // next cycle (see TickScheduler::sweep).
     const int nn = num_nodes();
-    for (int id = 0; id < nn; ++id) {
-      if (sched_.component_active(id)) nis_[static_cast<size_t>(id)]->tick(now_);
-    }
-    for (int id = nn; id < 2 * nn; ++id) {
-      if (sched_.component_active(id)) routers_[static_cast<size_t>(id - nn)]->tick(now_);
-    }
+    sched_.sweep([&](int id) {
+      if (id < nn) {
+        ni_ptrs_[static_cast<size_t>(id)]->tick(now_);
+        ++profile_.ni_ticks;
+      } else {
+        router_ptrs_[static_cast<size_t>(id - nn)]->tick(now_);
+        ++profile_.router_ticks;
+      }
+    });
     sched_.compact(
         [&](int id) {
-          return id < nn ? nis_[static_cast<size_t>(id)]->sched_busy()
-                         : routers_[static_cast<size_t>(id - nn)]->sched_busy();
+          return id < nn ? ni_ptrs_[static_cast<size_t>(id)]->sched_busy()
+                         : router_ptrs_[static_cast<size_t>(id - nn)]->sched_busy();
         },
         [&](int id) {
           return id < nn
-                     ? nis_[static_cast<size_t>(id)]->sched_next_event(now_)
-                     : routers_[static_cast<size_t>(id - nn)]->sched_next_event(now_);
+                     ? ni_ptrs_[static_cast<size_t>(id)]->sched_next_event(now_)
+                     : router_ptrs_[static_cast<size_t>(id - nn)]->sched_next_event(now_);
         });
   }
   ++now_;
@@ -191,10 +206,14 @@ void Network::fast_forward(Cycle target) {
                                external_next_event(now_)});
         // The starvation watchdog must observe every sweep boundary, or its
         // flags would differ between the engines.
-        if (cfg_.watchdog_stall_cycles > 0) {
+        if (watchdog_enabled_) {
           jump = std::min(jump, (now_ | 1023) + 1);
         }
-        if (jump > now_) now_ = jump;
+        if (jump > now_) {
+          ++profile_.ff_jumps;
+          profile_.ff_skipped_cycles += jump - now_;
+          now_ = jump;
+        }
         if (now_ >= target) break;
       }
     }
@@ -221,10 +240,22 @@ bool Network::quiescent() const {
 }
 
 EnergyCounters Network::total_energy() const {
+  // Incrementally settled query: the component sweep runs at most once per
+  // cycle value. Energy only changes inside ticks (which advance now_
+  // afterwards), so a repeat query at an unchanged clock returns the memo.
+  if (energy_memo_at_ == now_) return energy_memo_;
   EnergyCounters total;
-  for (const auto& r : routers_) total += r->settled_energy(now_);
-  for (const auto& ni : nis_) total += ni->settled_energy(now_);
+  for (const Router* r : router_ptrs_) total += r->settled_energy(now_);
+  for (const NetworkInterface* ni : ni_ptrs_) total += ni->settled_energy(now_);
+  energy_memo_ = total;
+  energy_memo_at_ = now_;
   return total;
+}
+
+TickProfile Network::tick_profile() const {
+  TickProfile p = profile_;
+  if (engine_) engine_->accumulate_profile(p);
+  return p;
 }
 
 std::uint64_t Network::total_data_sent() const {

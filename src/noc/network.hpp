@@ -20,6 +20,19 @@ namespace hybridnoc {
 
 class ParallelTickEngine;
 
+/// Per-subsystem cycle-cost counters, maintained on the tick hot paths at
+/// the cost of a few local increments. tools/profile_tick dumps them for any
+/// config; dividing by `cycles` gives the per-cycle dispatch cost the
+/// large-mesh scaling work optimizes (EXPERIMENTS.md, scaling methodology).
+struct TickProfile {
+  std::uint64_t cycles = 0;           ///< tick() invocations
+  std::uint64_t ni_ticks = 0;         ///< NI tick dispatches
+  std::uint64_t router_ticks = 0;     ///< router tick dispatches
+  std::uint64_t watchdog_sweeps = 0;  ///< full watchdog scans (1024-cycle)
+  std::uint64_t ff_jumps = 0;         ///< fast-forward quiescent jumps
+  std::uint64_t ff_skipped_cycles = 0;  ///< cycles skipped by those jumps
+};
+
 /// Per-run fault-tolerance outcome: how much workload survived, what the
 /// recovery machinery did, and how much of the fabric is left.
 struct DegradationReport {
@@ -100,6 +113,14 @@ class Network {
   /// True when no flit exists anywhere: NI queues, router buffers, channels.
   bool quiescent() const;
 
+  /// Dispatch-cost counters since construction (see TickProfile). Sums the
+  /// parallel engine's per-shard counters when one is running.
+  TickProfile tick_profile() const;
+
+  /// Settled energy of every component as of now(). O(components) on the
+  /// first query at a given cycle, O(1) when re-queried before the clock
+  /// advances — callers sampling energy between ticks (the driver reads it
+  /// at measure start and end) never pay the sweep twice.
   EnergyCounters total_energy() const;
 
   std::uint64_t total_data_sent() const;
@@ -140,12 +161,27 @@ class Network {
 
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  /// Raw dispatch tables mirroring routers_/nis_: the tick hot loops index
+  /// these flat pointer arrays instead of chasing unique_ptr storage, so a
+  /// sweep touches one contiguous cache line per 8 components.
+  std::vector<Router*> router_ptrs_;
+  std::vector<NetworkInterface*> ni_ptrs_;
   std::vector<std::unique_ptr<FlitChannel>> flit_channels_;
   std::vector<std::unique_ptr<CreditChannel>> credit_channels_;
   std::unique_ptr<FaultModel> faults_;
 
   TickScheduler sched_;
   bool use_sched_ = false;
+  /// cfg_.watchdog_stall_cycles > 0, hoisted so the per-tick check is one
+  /// branch on a bool instead of a 64-bit compare.
+  bool watchdog_enabled_ = false;
+  mutable TickProfile profile_;
+  /// total_energy memo: valid while the clock stays at energy_memo_at_.
+  /// Energy only mutates inside component ticks (and settle_energy, which
+  /// by construction does not change the settled total at a fixed cycle),
+  /// so a repeated query at one cycle is provably the same sum.
+  mutable Cycle energy_memo_at_ = kCycleNever;
+  mutable EnergyCounters energy_memo_;
   /// Sharded parallel tick engine, created when cfg.tick_threads > 1. When
   /// null the tick path is byte-for-byte the single-threaded engine.
   std::unique_ptr<ParallelTickEngine> engine_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/pool.hpp"
 #include "noc/fault_model.hpp"
 
 namespace hybridnoc {
@@ -167,7 +168,7 @@ void NetworkInterface::send_e2e_ack(const PacketPtr& pkt, PacketId key, Cycle no
   // retransmissions. A duplicate arriving after the previous ack launched
   // still acks (that ack may have been corrupted en route).
   if (!acks_pending_.insert(key).second) return;
-  auto ack = std::make_shared<Packet>();
+  auto ack = make_packet();
   ack->id = fresh_packet_id();
   ack->src = id_;
   ack->dst = pkt->origin;
@@ -261,7 +262,7 @@ void NetworkInterface::e2e_tick(Cycle now) {
     }
     ++o.attempts;
     ++retransmits_;
-    auto clone = std::make_shared<Packet>(*o.pkt);
+    auto clone = make_packet(*o.pkt);
     clone->id = fresh_packet_id();
     clone->retx_of = key;
     clone->src = id_;

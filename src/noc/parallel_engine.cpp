@@ -39,10 +39,25 @@ ParallelTickEngine::ParallelTickEngine(Network& net, int threads)
   HN_CHECK(threads >= 2);
   shards_.resize(static_cast<size_t>(num_shards_));
   node_shard_.resize(static_cast<size_t>(num_nodes_));
+  // Row-aligned partitioning: with row-major node ids, cutting only on row
+  // boundaries means the sole cross-shard channels are the North/South links
+  // of one row seam per shard pair — a mid-row cut would additionally stage
+  // every East/West link it severs. At 64x64 that roughly halves the staged
+  // channel count per seam and keeps each shard's working set a contiguous
+  // block of whole rows. Partitioning only affects which channels stage, so
+  // this is bit-identical by construction (thread-equivalence suite covers
+  // it). Falls back to the plain node split when shards outnumber rows.
+  const int k = net.mesh().k();
+  const bool row_aligned = num_shards_ <= k;
   for (int s = 0; s < num_shards_; ++s) {
     Shard& sh = shards_[static_cast<size_t>(s)];
-    sh.node_lo = s * num_nodes_ / num_shards_;
-    sh.node_hi = (s + 1) * num_nodes_ / num_shards_;
+    if (row_aligned) {
+      sh.node_lo = (s * k / num_shards_) * k;
+      sh.node_hi = ((s + 1) * k / num_shards_) * k;
+    } else {
+      sh.node_lo = s * num_nodes_ / num_shards_;
+      sh.node_hi = (s + 1) * num_nodes_ / num_shards_;
+    }
     for (int n = sh.node_lo; n < sh.node_hi; ++n) {
       node_shard_[static_cast<size_t>(n)] = s;
     }
@@ -136,24 +151,29 @@ void ParallelTickEngine::compute_phase(int s, Cycle now) {
   Shard& sh = shards_[static_cast<size_t>(s)];
   if (!use_sched_) {
     for (int n = sh.node_lo; n < sh.node_hi; ++n) {
-      net_.nis_[static_cast<size_t>(n)]->tick(now);
+      net_.ni_ptrs_[static_cast<size_t>(n)]->tick(now);
     }
     for (int n = sh.node_lo; n < sh.node_hi; ++n) {
-      net_.routers_[static_cast<size_t>(n)]->tick(now);
+      net_.router_ptrs_[static_cast<size_t>(n)]->tick(now);
     }
+    const auto span = static_cast<std::uint64_t>(sh.node_hi - sh.node_lo);
+    sh.ni_ticks += span;
+    sh.router_ticks += span;
     return;
   }
+  // Drain the shard scheduler's run list directly — O(active in shard), not
+  // O(shard size). Ascending slot order within the shard is its NIs then its
+  // routers, matching the slice of the legacy global sweep this shard owns.
   sh.sched.begin_cycle(now);
-  for (int n = sh.node_lo; n < sh.node_hi; ++n) {
-    if (sh.sched.component_active(n)) {
-      net_.nis_[static_cast<size_t>(n)]->tick(now);
+  sh.sched.sweep([&](int id) {
+    if (id < num_nodes_) {
+      net_.ni_ptrs_[static_cast<size_t>(id)]->tick(now);
+      ++sh.ni_ticks;
+    } else {
+      net_.router_ptrs_[static_cast<size_t>(id - num_nodes_)]->tick(now);
+      ++sh.router_ticks;
     }
-  }
-  for (int n = sh.node_lo; n < sh.node_hi; ++n) {
-    if (sh.sched.component_active(num_nodes_ + n)) {
-      net_.routers_[static_cast<size_t>(n)]->tick(now);
-    }
-  }
+  });
 }
 
 void ParallelTickEngine::commit_compact_phase(int s, Cycle now) {
@@ -166,14 +186,14 @@ void ParallelTickEngine::commit_compact_phase(int s, Cycle now) {
   sh.sched.compact(
       [&](int id) {
         return id < num_nodes_
-                   ? net_.nis_[static_cast<size_t>(id)]->sched_busy()
-                   : net_.routers_[static_cast<size_t>(id - num_nodes_)]
+                   ? net_.ni_ptrs_[static_cast<size_t>(id)]->sched_busy()
+                   : net_.router_ptrs_[static_cast<size_t>(id - num_nodes_)]
                          ->sched_busy();
       },
       [&](int id) {
         return id < num_nodes_
-                   ? net_.nis_[static_cast<size_t>(id)]->sched_next_event(now)
-                   : net_.routers_[static_cast<size_t>(id - num_nodes_)]
+                   ? net_.ni_ptrs_[static_cast<size_t>(id)]->sched_next_event(now)
+                   : net_.router_ptrs_[static_cast<size_t>(id - num_nodes_)]
                          ->sched_next_event(now);
       });
 }
@@ -187,18 +207,18 @@ void ParallelTickEngine::serial_cycle(Cycle now) {
     for (int n = 0; n < num_nodes_; ++n) {
       if (shards_[static_cast<size_t>(node_shard_[static_cast<size_t>(n)])]
               .sched.component_active(n)) {
-        net_.nis_[static_cast<size_t>(n)]->tick(now);
+        net_.ni_ptrs_[static_cast<size_t>(n)]->tick(now);
       }
     }
     for (int n = 0; n < num_nodes_; ++n) {
       if (shards_[static_cast<size_t>(node_shard_[static_cast<size_t>(n)])]
               .sched.component_active(num_nodes_ + n)) {
-        net_.routers_[static_cast<size_t>(n)]->tick(now);
+        net_.router_ptrs_[static_cast<size_t>(n)]->tick(now);
       }
     }
   } else {
-    for (auto& ni : net_.nis_) ni->tick(now);
-    for (auto& r : net_.routers_) r->tick(now);
+    for (NetworkInterface* ni : net_.ni_ptrs_) ni->tick(now);
+    for (Router* r : net_.router_ptrs_) r->tick(now);
   }
   // Staged channels stay staged; their outboxes just drain on one thread.
   // Cross-channel commit order is irrelevant (one producer per channel,
@@ -237,7 +257,17 @@ void ParallelTickEngine::run_cycle(Cycle now) {
 }
 
 void ParallelTickEngine::drain_deliveries() {
-  for (auto& ni : net_.nis_) ni->flush_staged_deliveries();
+  for (NetworkInterface* ni : net_.ni_ptrs_) ni->flush_staged_deliveries();
+}
+
+void ParallelTickEngine::accumulate_profile(TickProfile& p) const {
+  // Shard counters are written only by the owning worker inside a cycle;
+  // reading them here (between cycles, after the closing barrier) is
+  // ordered by that barrier's release/acquire pair.
+  for (const Shard& sh : shards_) {
+    p.ni_ticks += sh.ni_ticks;
+    p.router_ticks += sh.router_ticks;
+  }
 }
 
 void ParallelTickEngine::begin_cycle(Cycle now) {

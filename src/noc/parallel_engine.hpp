@@ -1,9 +1,10 @@
 // Deterministic sharded parallel tick engine.
 //
-// The mesh is partitioned into contiguous spatial shards — node range
-// [s*N/S, (s+1)*N/S) per shard, NI n and router n always together — with one
-// worker thread per shard (the caller's thread doubles as shard 0). A cycle
-// runs in two phases:
+// The mesh is partitioned into contiguous spatial shards — whole rows per
+// shard when shards <= k (so only North/South links cross a seam), the plain
+// node-range split [s*N/S, (s+1)*N/S) otherwise; NI n and router n always
+// land together — with one worker thread per shard (the caller's thread
+// doubles as shard 0). A cycle runs in two phases:
 //
 //   compute: every shard ticks its own components against last cycle's
 //            channel state. Sends into a channel whose consumer lives in
@@ -58,6 +59,7 @@
 namespace hybridnoc {
 
 class Network;
+struct TickProfile;
 
 class ParallelTickEngine {
  public:
@@ -98,6 +100,9 @@ class ParallelTickEngine {
   /// Serial-fallback switch for order-observing modes (see file comment).
   void set_force_serial(bool on) { force_serial_ = on; }
 
+  /// Fold the per-shard dispatch counters into `p` (Network::tick_profile).
+  void accumulate_profile(TickProfile& p) const;
+
  private:
   struct Shard {
     int node_lo = 0;
@@ -105,6 +110,9 @@ class ParallelTickEngine {
     TickScheduler sched;
     /// Staged channels this shard consumes, in construction order.
     std::vector<ChannelBase*> commit_list;
+    /// Dispatch counters, written only by the owning worker thread.
+    std::uint64_t ni_ticks = 0;
+    std::uint64_t router_ticks = 0;
   };
 
   int shard_of(int id) const {

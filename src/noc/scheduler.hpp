@@ -17,6 +17,16 @@
 //    component can have observable work, and on *every* wake the component
 //    either stays active or re-derives a fresh next-event from scratch.
 //
+// Cost model: the scheduler maintains a sorted run list of the active slots
+// so a cycle's dispatch is O(active) — not O(components) — which is what
+// lets a 64x64 mesh tick at 8x8 cost when only a handful of nodes are busy.
+// sweep() walks the run list in ascending slot order (identical to the
+// legacy full sweep's visit order); components that activate mid-sweep at a
+// position the cursor has not reached yet are spliced in through a small
+// side-heap, so they tick this cycle exactly as the flag-scan would have
+// ticked them, and components that activate at an already-passed position
+// wait for the next cycle, again exactly like the flag-scan.
+//
 // The scheduler can serve either the whole network (reset: one flat id
 // range) or one shard of the parallel tick engine (reset_ranges: the shard's
 // NI ids plus its router ids, two disjoint global ranges mapped onto one
@@ -25,6 +35,7 @@
 // single-scheduler path compiles to exactly the pre-shard arithmetic.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -91,19 +102,59 @@ class TickScheduler {
     }
   }
 
-  /// Should the network tick component `id` when its turn in the fixed
-  /// sweep order comes around? The network walks ids ascending (NIs then
-  /// routers, matching the legacy sweep) and skips unset flags. A component
-  /// activated mid-sweep behaves exactly as under the full sweep: if its
-  /// position is still ahead it ticks this cycle (and, like the legacy
-  /// sweep, sees the same-cycle work), if already passed it ticks next
-  /// cycle (like the legacy sweep, which had already ticked it).
+  /// Is component `id` marked active right now? Only the parallel engine's
+  /// serial fallback still polls this per position (its dispatch *order* is
+  /// the observable artifact there); the hot paths drain the run list via
+  /// sweep() instead.
   bool component_active(int id) const {
     return active_[static_cast<size_t>(slot_of(id))] != 0;
   }
 
+  /// Dispatch the cycle: call `tick(id)` for every active component in
+  /// ascending slot order (NIs then routers — the legacy sweep order),
+  /// touching only the run list, never the full slot range. Components
+  /// activated from inside a tick behave exactly as under the legacy
+  /// flag-scan: a position still ahead of the cursor ticks this cycle (the
+  /// side-heap splices it in in order), an already-passed position ticks
+  /// next cycle.
+  template <typename TickFn>
+  void sweep(TickFn&& tick) {
+    merge_incoming();
+    in_sweep_ = true;
+    size_t w = 0;
+    const size_t n = run_list_.size();
+    for (size_t r = 0; r < n; ++r) {
+      const int slot = run_list_[r];
+      // Mid-sweep activations at positions before `slot` run first so the
+      // overall dispatch order stays ascending.
+      while (!sweep_extra_.empty() && sweep_extra_.top() < slot) {
+        cursor_ = sweep_extra_.top();
+        sweep_extra_.pop();
+        tick(id_of(cursor_));
+      }
+      cursor_ = slot;
+      if (!active_[static_cast<size_t>(slot)]) {
+        // Stale entry (slept since it was listed): drop it. The membership
+        // flag clears with it, so a later re-activation re-lists the slot.
+        in_list_[static_cast<size_t>(slot)] = 0;
+        continue;
+      }
+      run_list_[w++] = slot;
+      tick(id_of(slot));
+    }
+    while (!sweep_extra_.empty()) {
+      cursor_ = sweep_extra_.top();
+      sweep_extra_.pop();
+      tick(id_of(cursor_));
+    }
+    run_list_.resize(w);
+    in_sweep_ = false;
+  }
+
   /// Post-tick compaction: keep `busy(id)` components active; put the rest
   /// to sleep until `next_event(id)` (kCycleNever = wait for a channel wake).
+  /// Walks only the run list (plus anything that activated since the sweep),
+  /// so its cost tracks the active set, not the component count.
   ///
   /// Each component is only *considered* for sleep on its sampling slot —
   /// once every kSamplePeriod cycles, staggered by global id. Deactivating
@@ -118,25 +169,35 @@ class TickScheduler {
   /// still quiesces within kSamplePeriod cycles of its last event.
   template <typename BusyFn, typename NextEventFn>
   void compact(BusyFn&& busy, NextEventFn&& next_event) {
-    for (int slot = 0; slot < num_; ++slot) {
+    merge_incoming();
+    size_t w = 0;
+    const size_t n = run_list_.size();
+    for (size_t r = 0; r < n; ++r) {
+      const int slot = run_list_[r];
       const auto i = static_cast<size_t>(slot);
-      if (!active_[i]) continue;
-      const int id = id_of(slot);
-      if ((static_cast<Cycle>(id) & (kSamplePeriod - 1)) !=
-          (now_ & (kSamplePeriod - 1))) {
+      if (!active_[i]) {
+        in_list_[i] = 0;  // stale entry left behind by an earlier pass
         continue;
       }
-      if (busy(id)) continue;
-      active_[i] = 0;
-      --active_count_;
-      next_wake_[i] = kCycleNever;
-      const Cycle at = next_event(id);
-      if (at != kCycleNever) {
-        HN_CHECK_MSG(at > now_, "next-event cycle must lie in the future");
-        next_wake_[i] = at;
-        heap_.emplace(at, slot);
+      const int id = id_of(slot);
+      if ((static_cast<Cycle>(id) & (kSamplePeriod - 1)) ==
+              (now_ & (kSamplePeriod - 1)) &&
+          !busy(id)) {
+        active_[i] = 0;
+        --active_count_;
+        in_list_[i] = 0;
+        next_wake_[i] = kCycleNever;
+        const Cycle at = next_event(id);
+        if (at != kCycleNever) {
+          HN_CHECK_MSG(at > now_, "next-event cycle must lie in the future");
+          next_wake_[i] = at;
+          heap_.emplace(at, slot);
+        }
+        continue;  // removed from the run list
       }
+      run_list_[w++] = slot;
     }
+    run_list_.resize(w);
   }
 
   /// Earliest pending wake, or kCycleNever. Discards stale heap entries.
@@ -153,6 +214,7 @@ class TickScheduler {
   }
 
   bool anything_active() const { return active_count_ > 0; }
+  int active_count() const { return active_count_; }
 
  private:
   /// Cycles between sleep-eligibility checks per component (power of two).
@@ -163,8 +225,29 @@ class TickScheduler {
     active_count_ = num_slots;
     active_.assign(static_cast<size_t>(num_slots), 1);
     next_wake_.assign(static_cast<size_t>(num_slots), kCycleNever);
+    // Everyone starts active, so the run list starts as the full slot range.
+    run_list_.resize(static_cast<size_t>(num_slots));
+    for (int s = 0; s < num_slots; ++s) run_list_[static_cast<size_t>(s)] = s;
+    in_list_.assign(static_cast<size_t>(num_slots), 1);
+    incoming_.clear();
+    sweep_extra_ = {};
+    in_sweep_ = false;
+    cursor_ = 0;
     heap_ = {};
     now_ = 0;
+  }
+
+  /// Fold newly-listed slots into the sorted run list. Incoming batches are
+  /// tiny relative to the run list (a slot enters at most once between
+  /// merges), so sort-small + inplace_merge is the cheap path.
+  void merge_incoming() {
+    if (incoming_.empty()) return;
+    std::sort(incoming_.begin(), incoming_.end());
+    const auto mid = static_cast<std::ptrdiff_t>(run_list_.size());
+    run_list_.insert(run_list_.end(), incoming_.begin(), incoming_.end());
+    std::inplace_merge(run_list_.begin(), run_list_.begin() + mid,
+                       run_list_.end());
+    incoming_.clear();
   }
 
   /// Global component id -> dense internal slot. With the flat mapping
@@ -177,14 +260,35 @@ class TickScheduler {
   }
 
   void activate(int slot) {
-    active_[static_cast<size_t>(slot)] = 1;
-    next_wake_[static_cast<size_t>(slot)] = kCycleNever;
+    const auto i = static_cast<size_t>(slot);
+    active_[i] = 1;
+    next_wake_[i] = kCycleNever;
     ++active_count_;
+    if (!in_list_[i]) {
+      in_list_[i] = 1;
+      incoming_.push_back(slot);
+      // Activated from inside a tick at a position the cursor has not
+      // reached: splice it into this sweep so it runs this cycle, exactly
+      // where the legacy flag-scan would have found its flag set. (If the
+      // slot is already listed ahead of the cursor, the run-list entry
+      // itself will dispatch it — entries behind the cursor were either
+      // dispatched or dropped with their membership flag cleared.)
+      if (in_sweep_ && slot > cursor_) sweep_extra_.push(slot);
+    }
   }
 
   using HeapEntry = std::pair<Cycle, int>;  ///< (wake cycle, internal slot)
   std::vector<std::uint8_t> active_;
   std::vector<Cycle> next_wake_;  ///< valid pending wake, kCycleNever if none
+  /// Sorted slots the next sweep/compact must visit: every active slot plus
+  /// stale leftovers (pruned lazily on the next walk).
+  std::vector<int> run_list_;
+  std::vector<int> incoming_;  ///< newly-listed slots awaiting merge
+  std::vector<std::uint8_t> in_list_;  ///< slot is in run_list_ or incoming_
+  /// Mid-sweep activations ahead of the cursor, dispatched in slot order.
+  std::priority_queue<int, std::vector<int>, std::greater<int>> sweep_extra_;
+  bool in_sweep_ = false;
+  int cursor_ = 0;
   int num_ = 0;
   int active_count_ = 0;
   int lo1_ = 0;     ///< first global id of range 1 (the NIs)

@@ -1,5 +1,7 @@
 #include "sdm/sdm_network.hpp"
 
+#include "common/pool.hpp"
+
 namespace hybridnoc {
 
 namespace {
@@ -109,7 +111,7 @@ void SdmNetwork::send_packet_switched(const PacketPtr& pkt) {
   }
   next_plane_rr_ = (plane + 1) % cfg_.sdm_planes;
 
-  auto pp = std::make_shared<Packet>();
+  auto pp = make_packet();
   pp->id = pkt->id;
   pp->src = pkt->src;
   pp->dst = pkt->dst;

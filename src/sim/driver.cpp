@@ -4,6 +4,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/pool.hpp"
 #include "fastmodel/fast_model.hpp"
 
 namespace hybridnoc {
@@ -63,7 +64,7 @@ RunResult run_cycle_measured(const NocConfig& cfg, const RunParams& params,
       return;
     }
     if (measuring) window_generated_flits += static_cast<std::uint64_t>(flits);
-    auto p = std::make_shared<Packet>();
+    auto p = make_packet();
     p->id = next_id++;
     p->src = src;
     p->dst = dst;

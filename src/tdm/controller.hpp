@@ -81,6 +81,20 @@ class TdmController {
     return config_in_flight_.load(std::memory_order_relaxed);
   }
 
+  // --- NIs holding planned circuit injections ---
+  // Maintained by HybridNi on every empty <-> non-empty transition of its
+  // cs_plan_ (delta +1 / -1), so the reset-pending quiescence poll is an
+  // O(1) gauge read instead of an all-NI plan walk every cycle. Relaxed
+  // atomic for the same reason as the in-flight counters: shard threads
+  // mutate it from inside ticks, the controller reads it after the barrier.
+  void note_cs_plan_transition(int delta) {
+    nis_with_cs_plan_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// NIs whose circuit-injection plan is currently non-empty.
+  int nis_with_cs_plan() const {
+    return nis_with_cs_plan_.load(std::memory_order_relaxed);
+  }
+
   /// Installed by the hybrid network: true when no circuit-switched flit is
   /// planned or in flight anywhere (NIs' plans included) — the precondition
   /// for a safe table reset.
@@ -117,6 +131,7 @@ class TdmController {
   std::uint64_t total_successes_ = 0;
   std::atomic<std::uint64_t> cs_in_flight_{0};
   std::atomic<std::uint64_t> config_in_flight_{0};
+  std::atomic<int> nis_with_cs_plan_{0};
   std::function<bool()> quiesced_check_;
   bool reset_pending_ = false;
   Cycle epoch_start_ = 0;

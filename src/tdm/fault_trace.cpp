@@ -7,6 +7,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "common/pool.hpp"
+
 #include "common/assert.hpp"
 #include "noc/fault_model.hpp"
 #include "tdm/hybrid_network.hpp"
@@ -448,7 +450,7 @@ ScenarioOutcome run_fault_scenario(const FaultScenario& s, ScenarioMode mode,
   auto offer = [&](Cycle cycle) {
     while (tpos < s.traffic.size() && s.traffic[tpos].cycle <= cycle) {
       const TraceEntry& e = s.traffic[tpos++];
-      auto p = std::make_shared<Packet>();
+      auto p = make_packet();
       p->id = static_cast<PacketId>(tpos);
       p->src = e.src;
       p->dst = e.dst;

@@ -37,10 +37,10 @@ HybridNetwork::HybridNetwork(const NocConfig& cfg)
     }
   });
   controller().set_quiesced_check([this]() {
-    for (NodeId n = 0; n < num_nodes(); ++n) {
-      if (!hybrid_ni(n).cs_plan_empty()) return false;
-    }
-    return true;
+    // O(1): HybridNi maintains the controller's nis_with_cs_plan gauge on
+    // every empty <-> non-empty cs_plan_ transition, so the per-cycle
+    // reset-pending poll never has to walk the NIs.
+    return controller().nis_with_cs_plan() == 0;
   });
 }
 
@@ -272,9 +272,35 @@ std::uint64_t HybridNetwork::slot_state_digest() const {
 
 ReservationAudit HybridNetwork::audit_reservations() const {
   ReservationAudit a;
+
+  // Fast path: with no NI holding connection windows and no valid slot-table
+  // entries anywhere, the walk and the orphan scan are both vacuous. This is
+  // the common case for replay-time auditing of a quiesced network.
+  bool any_windows = false;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    if (static_cast<const HybridNi&>(ni(n)).has_connections()) {
+      any_windows = true;
+      break;
+    }
+  }
+  if (!any_windows && total_valid_slot_entries() == 0) return a;
+
   const int S = controller().active_slots();
-  std::vector<std::vector<bool>> visited(static_cast<size_t>(num_nodes()));
-  for (auto& v : visited) v.assign(static_cast<size_t>(S) * kNumPorts, false);
+  // Epoch-stamped scratch: reused across calls without clearing. A cell is
+  // visited iff it equals the current epoch; resizing (mesh is fixed, but S
+  // grows on dynamic resize) or epoch wrap-around forces a zero refill.
+  const size_t stride = static_cast<size_t>(S) * kNumPorts;
+  const size_t needed = static_cast<size_t>(num_nodes()) * stride;
+  if (audit_scratch_.size() != needed) {
+    audit_scratch_.assign(needed, 0);
+    audit_epoch_ = 0;
+  }
+  if (++audit_epoch_ == 0) {
+    std::fill(audit_scratch_.begin(), audit_scratch_.end(), 0u);
+    audit_epoch_ = 1;
+  }
+  const std::uint32_t epoch = audit_epoch_;
+  std::uint32_t* const visited = audit_scratch_.data();
 
   for (NodeId n = 0; n < num_nodes(); ++n) {
     const auto& src = static_cast<const HybridNi&>(ni(n));
@@ -302,9 +328,9 @@ ReservationAudit HybridNetwork::audit_reservations() const {
               break;
             }
             out = o;
-            visited[static_cast<size_t>(node)]
-                   [static_cast<size_t>(s) * kNumPorts +
-                    static_cast<size_t>(in)] = true;
+            visited[static_cast<size_t>(node) * stride +
+                    static_cast<size_t>(s) * kNumPorts +
+                    static_cast<size_t>(in)] = epoch;
           }
           if (!ok) break;
           if (*out == Port::Local) {
@@ -332,9 +358,9 @@ ReservationAudit HybridNetwork::audit_reservations() const {
       for (int j = 0; j < kNumPorts; ++j) {
         if (st.valid_entries(static_cast<Port>(j)) == 0) continue;
         if (st.lookup_slot(s, static_cast<Port>(j)).has_value() &&
-            !visited[static_cast<size_t>(n)]
-                    [static_cast<size_t>(s) * kNumPorts +
-                     static_cast<size_t>(j)]) {
+            visited[static_cast<size_t>(n) * stride +
+                    static_cast<size_t>(s) * kNumPorts +
+                    static_cast<size_t>(j)] != epoch) {
           ++a.orphan_entries;
         }
       }

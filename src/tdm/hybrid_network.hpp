@@ -3,8 +3,10 @@
 // time-division granularity.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "noc/network.hpp"
@@ -160,6 +162,13 @@ class HybridNetwork : private detail::ControllerHolder, public Network {
   std::uint64_t replay_events_ = 0;
   std::uint64_t replay_applied_ = 0;
   std::uint64_t replay_audit_failures_ = 0;
+
+  /// Epoch-stamped visited scratch for audit_reservations: a cell is
+  /// "visited" iff it holds the current epoch, so consecutive audits reuse
+  /// the allocation without clearing it (mutable: the audit is logically
+  /// const). Layout [node][slot * kNumPorts + in_port].
+  mutable std::vector<std::uint32_t> audit_scratch_;
+  mutable std::uint32_t audit_epoch_ = 0;
 };
 
 }  // namespace hybridnoc

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/pool.hpp"
+
 namespace hybridnoc {
 
 HybridNi::HybridNi(const NocConfig& cfg, NodeId id, const Mesh& mesh,
@@ -157,6 +159,7 @@ HybridNi::CsAttempt HybridNi::schedule_cs(const PacketPtr& pkt,
   pkt->num_flits = nflits;
   pkt->share_in_port = share_in;
   pkt->share_out_port = share_out;
+  const bool plan_was_empty = cs_plan_.empty();
   for (int i = 0; i < nflits; ++i) {
     Flit f;
     f.pkt = pkt;
@@ -175,6 +178,7 @@ HybridNi::CsAttempt HybridNi::schedule_cs(const PacketPtr& pkt,
     HN_CHECK(inserted);
     (void)it;
   }
+  note_cs_plan_change(plan_was_empty);
   if (!pkt->reinjected) ++data_packets_sent_;
   ++cs_packets_;
   // The transmission is committed to reserved slots: arm the end-to-end
@@ -306,6 +310,7 @@ bool HybridNi::circuit_inject(Cycle now) {
   }
   Flit f = it->second;
   cs_plan_.erase(it);
+  note_cs_plan_change(/*was_empty=*/false);
   if (f.is_head() && f.pkt->is_hitchhiker()) {
     // Re-validate the shared entry before committing the packet; the ride
     // may have been torn down since scheduling.
@@ -328,6 +333,7 @@ bool HybridNi::circuit_inject(Cycle now) {
 
 void HybridNi::bounce_packet(const PacketPtr& pkt, NodeId ride_dest, Cycle now) {
   // Cancel flits not yet on the wire.
+  const bool plan_was_empty = cs_plan_.empty();
   for (auto it = cs_plan_.begin(); it != cs_plan_.end();) {
     if (it->second.pkt == pkt) {
       it = cs_plan_.erase(it);
@@ -335,12 +341,13 @@ void HybridNi::bounce_packet(const PacketPtr& pkt, NodeId ride_dest, Cycle now) 
       ++it;
     }
   }
+  note_cs_plan_change(plan_was_empty);
   ++hitchhike_bounces_;
   if (dlt_.record_failure(ride_dest)) {
     // Counter saturated at '10': stop sharing, ask for a dedicated path.
     maybe_initiate_setup(pkt->final_dst, now, /*force=*/true);
   }
-  auto copy = std::make_shared<Packet>();
+  auto copy = make_packet();
   // The bounced message keeps its identity: none of its circuit flits were
   // forwarded (the head bounced at the hop-on crossbar and stray body flits
   // evaporate there), so no partial assembly exists anywhere.
@@ -367,7 +374,7 @@ void HybridNi::bounce_packet(const PacketPtr& pkt, NodeId ride_dest, Cycle now) 
 // ---------------------------------------------------------------------------
 
 PacketPtr HybridNi::make_config(MsgType type, NodeId dst, Cycle now) const {
-  auto p = std::make_shared<Packet>();
+  auto p = make_packet();
   p->id = const_cast<HybridNi*>(this)->fresh_packet_id();
   p->type = type;
   p->src = id_;
@@ -397,7 +404,7 @@ void HybridNi::dispatch_config(PacketPtr p, Cycle now) {
       case Action::Duplicate: {
         // A second, independent walker with the same id and payload —
         // routers mutate slot_id in place, so it must be a distinct object.
-        auto clone = std::make_shared<Packet>(*p);
+        auto clone = make_packet(*p);
         ctrl_->config_launched();
         NetworkInterface::send(std::move(clone), now);
         break;
@@ -642,7 +649,7 @@ void HybridNi::handle_config(const PacketPtr& pkt, Cycle now) {
 void HybridNi::handle_delivery(const PacketPtr& pkt, Cycle now) {
   if (pkt->final_dst != id_) {
     // Vicinity hop-off (Section III-A2): continue packet-switched.
-    auto copy = std::make_shared<Packet>();
+    auto copy = make_packet();
     copy->id = pkt->id;
     copy->src = id_;
     copy->dst = pkt->final_dst;

@@ -73,6 +73,9 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   void reset_circuit_state();
 
   bool cs_plan_empty() const { return cs_plan_.empty(); }
+  /// Any reservation windows held at this source? Cheap pre-check the
+  /// network-wide audit uses to skip its walk on circuit-free networks.
+  bool has_connections() const { return !connections_.empty(); }
 
   // CircuitNiHooks
   void on_setup_pass(NodeId dest, int slot, int duration, Port in, Port out,
@@ -216,6 +219,16 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   void execute_fault_teardown(NodeId dst, Cycle now);
 
   void epoch_tick(Cycle now);
+
+  /// Keep the controller's NIs-with-planned-circuits gauge in sync after a
+  /// cs_plan_ mutation: call with the pre-mutation emptiness. The gauge is
+  /// what makes the reset-pending quiescence poll O(1).
+  void note_cs_plan_change(bool was_empty) {
+    const bool is_empty = cs_plan_.empty();
+    if (was_empty != is_empty) {
+      ctrl_->note_cs_plan_transition(is_empty ? -1 : 1);
+    }
+  }
 
   std::unordered_map<NodeId, Connection> connections_;
   std::unordered_map<std::uint64_t, PendingSetup> pending_;
