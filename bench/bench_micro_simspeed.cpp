@@ -2,9 +2,13 @@
 // bound every experiment's wall-clock time.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "common/rng.hpp"
 #include "noc/network.hpp"
 #include "sim/driver.hpp"
+#include "sweep/orchestrator.hpp"
+#include "sweep/sweep_spec.hpp"
 #include "tdm/hybrid_network.hpp"
 #include "tdm/slot_table.hpp"
 #include "workloads/workload.hpp"
@@ -244,6 +248,49 @@ BENCHMARK(BM_LargeMeshCycle)
     ->Args({64, 1, 100})
     ->Args({64, 4, 100})
     ->UseRealTime();
+
+/// Sweep-orchestrator overhead on the all-cache-hits path: a resumed sweep
+/// whose every point is already in the result store. Times spec expansion +
+/// journal replay + integrity-checked (digest-verified) cache loads +
+/// aggregate formatting — everything the orchestrator adds around the
+/// simulator — with zero simulation in the loop. items_per_second is sweep
+/// points resolved per wall second. The first run (which simulates) happens
+/// once, outside the timed loop.
+void BM_SweepCachedResume(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "hn_bench_sweep").string();
+  fs::remove_all(dir);
+  sweep::SweepSpec spec;
+  sweep::SpecError serr;
+  const bool parsed = sweep::parse_sweep_spec(
+      "name = bench\n"
+      "set k = 4\n"
+      "set warmup_packets = 30\n"
+      "set warmup_min_cycles = 100\n"
+      "set measure_packets = 60\n"
+      "set max_cycles = 40000\n"
+      "sweep preset = packet_vc4, hybrid_tdm_vc4\n"
+      "sweep rate = 0.02, 0.04, 0.06, 0.08\n",
+      &spec, &serr);
+  if (!parsed) {
+    state.SkipWithError(serr.to_string().c_str());
+    return;
+  }
+  sweep::SweepOptions opt;
+  opt.out_dir = dir;
+  opt.workers = 2;
+  sweep::run_sweep(spec, opt);  // populate the store once, untimed
+  std::uint64_t points = 0;
+  for (auto _ : state) {
+    const sweep::SweepReport rep = sweep::run_sweep(spec, opt);
+    benchmark::DoNotOptimize(rep.degradation.cache_hits);
+    points += static_cast<std::uint64_t>(rep.degradation.points);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(points));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_SweepCachedResume)->Unit(benchmark::kMillisecond);
 
 void BM_IdleFastForward(benchmark::State& state) {
   // Whole-window skip: what an idle stretch costs when the driver may jump

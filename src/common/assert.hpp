@@ -4,19 +4,43 @@
 // silently skew results if allowed to proceed, so HN_CHECK stays active in
 // release builds. The cost is a predictable branch per check and is invisible
 // next to the per-cycle work of the simulator.
+//
+// By default a failed check aborts. Front ends that validate *external input*
+// (trace files, workload descriptors, sweep specs) can instead arm the
+// thread-local throw mode with ScopedCheckThrows: inside its scope a failed
+// check raises CheckFailure, which the caller converts into a structured
+// error message and a nonzero exit instead of a crash. Only parsing/
+// validation code may run under the throw mode — simulation state is not
+// exception-safe across a failed invariant.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace hybridnoc {
 
-[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
-                                      const char* msg) {
-  std::fprintf(stderr, "HN_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
-               msg ? " — " : "", msg ? msg : "");
-  std::abort();
-}
+/// Raised by HN_CHECK under ScopedCheckThrows instead of aborting.
+struct CheckFailure : std::runtime_error {
+  explicit CheckFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Arms throw-on-check-failure for the current thread for its lifetime.
+/// Nests safely (the previous mode is restored on destruction).
+class ScopedCheckThrows {
+ public:
+  ScopedCheckThrows();
+  ~ScopedCheckThrows();
+  ScopedCheckThrows(const ScopedCheckThrows&) = delete;
+  ScopedCheckThrows& operator=(const ScopedCheckThrows&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Aborts, or throws CheckFailure when the calling thread is inside a
+/// ScopedCheckThrows scope. Never returns normally either way.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const char* msg);
 
 }  // namespace hybridnoc
 

@@ -1,0 +1,128 @@
+#include "common/fileio.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace hybridnoc {
+
+namespace {
+
+int current_pid() {
+#ifdef _WIN32
+  return _getpid();
+#else
+  return static_cast<int>(::getpid());
+#endif
+}
+
+void set_error(std::string* error, const std::string& what) {
+  if (error) *error = what;
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, const std::string& content,
+                       std::string* error) {
+  const std::string tmp = path + ".tmp." + std::to_string(current_pid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      set_error(error, "cannot open temp file " + tmp + ": " +
+                           std::strerror(errno));
+      return false;
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      set_error(error, "write to temp file " + tmp + " failed");
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+#ifndef _WIN32
+  // Flush file data to disk before the rename publishes it, so a crash after
+  // rename cannot surface a published-but-empty file.
+  if (FILE* f = std::fopen(tmp.c_str(), "rb")) {
+    ::fsync(fileno(f));
+    std::fclose(f);
+  }
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, "rename " + tmp + " -> " + path + " failed: " +
+                         std::strerror(errno));
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string* content,
+               std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    set_error(error, "cannot open " + path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    set_error(error, "read error on " + path);
+    return false;
+  }
+  *content = buf.str();
+  return true;
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t len, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(const std::string& s) {
+  return fnv1a64(s.data(), s.size());
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex64(const std::string& s, std::uint64_t* out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace hybridnoc

@@ -1,0 +1,38 @@
+// Crash-safe file primitives shared by every artifact writer in the repo
+// (sweep result store, checkpoints, fault-scenario fixtures, golden traces,
+// bench baselines).
+//
+// write_file_atomic follows the write-temp-then-rename discipline: content is
+// written to `<path>.tmp.<pid>`, flushed to disk, and renamed over `path` in
+// one atomic step — so a reader can never observe a half-written file, and a
+// crash mid-write leaves at worst a stale temp file that later writes ignore.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hybridnoc {
+
+/// Write `content` to `path` atomically (temp file + fsync + rename).
+/// Returns false and fills `*error` (if non-null) on failure; a failed write
+/// never leaves a partial file at `path`.
+bool write_file_atomic(const std::string& path, const std::string& content,
+                       std::string* error = nullptr);
+
+/// Read the whole file into `*content`. Returns false (and fills `*error`)
+/// when the file cannot be opened or read.
+bool read_file(const std::string& path, std::string* content,
+               std::string* error = nullptr);
+
+/// FNV-1a 64-bit digest — the integrity fingerprint used by the result
+/// store, checkpoint files and the sweep journal.
+std::uint64_t fnv1a64(const void* data, std::size_t len,
+                      std::uint64_t seed = 14695981039346656037ull);
+std::uint64_t fnv1a64(const std::string& s);
+
+/// Fixed-width lowercase hex of a 64-bit value (16 chars, no prefix).
+std::string hex64(std::uint64_t v);
+/// Parse hex64 output; returns false on malformed input.
+bool parse_hex64(const std::string& s, std::uint64_t* out);
+
+}  // namespace hybridnoc

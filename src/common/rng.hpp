@@ -7,6 +7,7 @@
 // generator's authors.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/assert.hpp"
@@ -66,6 +67,16 @@ class Rng {
 
   /// Derive an independent stream (e.g. one per network node).
   Rng split();
+
+  /// Raw generator state, for checkpoint/restore: restoring a saved state
+  /// continues the exact draw sequence bit-for-bit.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    HN_CHECK_MSG(s[0] | s[1] | s[2] | s[3], "all-zero rng state");
+    for (int i = 0; i < 4; ++i) s_[i] = s[static_cast<size_t>(i)];
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

@@ -1,0 +1,142 @@
+#include "common/state_io.hpp"
+
+#include "common/fileio.hpp"
+
+namespace hybridnoc {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'N', 'S', 'T', 'A', 'T', 'E', '\n'};
+constexpr std::uint32_t kVersion = 1;
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t read_u32_at(const std::string& s, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(s[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t read_u64_at(const std::string& s, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(s[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void StateWriter::section(const char* name) {
+  const std::string tag(name);
+  u32(0x53454354u);  // 'SECT'
+  str(tag);
+}
+
+void StateWriter::u32(std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  raw(buf, 4);
+}
+
+void StateWriter::u64(std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  raw(buf, 8);
+}
+
+void StateWriter::str(const std::string& s) {
+  u64(s.size());
+  raw(s.data(), s.size());
+}
+
+std::string StateWriter::seal() const {
+  std::string out;
+  out.reserve(payload_.size() + 32);
+  out.append(kMagic, sizeof(kMagic));
+  append_u32(out, kVersion);
+  append_u64(out, payload_.size());
+  out += payload_;
+  append_u64(out, fnv1a64(payload_.data(), payload_.size()));
+  return out;
+}
+
+StateReader::StateReader(const std::string& sealed) {
+  constexpr std::size_t kHeader = sizeof(kMagic) + 4 + 8;
+  if (sealed.size() < kHeader + 8) throw StateError("state archive truncated");
+  if (std::memcmp(sealed.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw StateError("state archive bad magic");
+  }
+  const std::uint32_t version = read_u32_at(sealed, sizeof(kMagic));
+  if (version != kVersion) {
+    throw StateError("state archive version mismatch (have " +
+                     std::to_string(version) + ", want " +
+                     std::to_string(kVersion) + ")");
+  }
+  const std::uint64_t size = read_u64_at(sealed, sizeof(kMagic) + 4);
+  if (sealed.size() != kHeader + size + 8) {
+    throw StateError("state archive size mismatch");
+  }
+  const std::uint64_t want = read_u64_at(sealed, kHeader + size);
+  const std::uint64_t have = fnv1a64(sealed.data() + kHeader, size);
+  if (want != have) throw StateError("state archive digest mismatch");
+  payload_.assign(sealed, kHeader, size);
+}
+
+const void* StateReader::take(std::size_t len) {
+  if (pos_ + len > payload_.size()) throw StateError("state archive underrun");
+  const void* p = payload_.data() + pos_;
+  pos_ += len;
+  return p;
+}
+
+void StateReader::section(const char* name) {
+  const std::uint32_t tag = u32();
+  if (tag != 0x53454354u) {
+    throw StateError(std::string("expected section marker before '") + name + "'");
+  }
+  const std::string have = str();
+  if (have != name) {
+    throw StateError("section mismatch: expected '" + std::string(name) +
+                     "', found '" + have + "'");
+  }
+}
+
+std::uint8_t StateReader::u8() {
+  return *static_cast<const std::uint8_t*>(take(1));
+}
+
+std::uint32_t StateReader::u32() {
+  const auto* p = static_cast<const unsigned char*>(take(4));
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t StateReader::u64() {
+  const auto* p = static_cast<const unsigned char*>(take(8));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::string StateReader::str() {
+  const std::uint64_t n = u64();
+  if (n > payload_.size() - pos_) throw StateError("string length overruns archive");
+  const char* p = static_cast<const char*>(take(static_cast<std::size_t>(n)));
+  return std::string(p, static_cast<std::size_t>(n));
+}
+
+void StateReader::finish() const {
+  if (pos_ != payload_.size()) throw StateError("trailing bytes in state archive");
+}
+
+}  // namespace hybridnoc

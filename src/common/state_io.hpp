@@ -1,0 +1,88 @@
+// Binary state archive for network checkpoint/restore.
+//
+// A StateWriter accumulates tagged little-endian fields; seal() prepends a
+// versioned header and appends an FNV-1a digest over the payload. A
+// StateReader verifies the header and digest up front — a truncated,
+// bit-flipped or wrong-version archive is rejected *before* any state is
+// parsed — and then replays the fields in order. Section tags are written
+// into the stream and re-checked on read, so a save/restore field-order
+// mismatch fails loudly at the exact divergent section instead of silently
+// restoring garbage.
+//
+// All read-side failures throw StateError (never HN_CHECK): callers treat a
+// bad archive as "recompute from scratch", which must be a death-free path.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace hybridnoc {
+
+struct StateError : std::runtime_error {
+  explicit StateError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class StateWriter {
+ public:
+  /// Begin a named section; the tag is embedded and verified on read.
+  void section(const char* name);
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void u32(std::uint32_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// Bit-exact double round-trip (no decimal formatting involved).
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s);
+  void bytes(const std::string& s) { str(s); }
+
+  /// Finish: returns magic + version + payload-size + payload + digest.
+  std::string seal() const;
+
+ private:
+  void raw(const void* data, std::size_t len) {
+    payload_.append(static_cast<const char*>(data), len);
+  }
+  std::string payload_;
+};
+
+class StateReader {
+ public:
+  /// Verifies magic, version and digest; throws StateError on any mismatch.
+  explicit StateReader(const std::string& sealed);
+
+  void section(const char* name);
+
+  std::uint8_t u8();
+  bool b() { return u8() != 0; }
+  std::uint32_t u32();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str();
+
+  /// Throws StateError unless every payload byte was consumed.
+  void finish() const;
+
+ private:
+  const void* take(std::size_t len);
+
+  std::string payload_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hybridnoc

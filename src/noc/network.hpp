@@ -19,6 +19,8 @@
 namespace hybridnoc {
 
 class ParallelTickEngine;
+class StateWriter;
+class StateReader;
 
 /// Per-subsystem cycle-cost counters, maintained on the tick hot paths at
 /// the cost of a few local increments. tools/profile_tick dumps them for any
@@ -113,6 +115,23 @@ class Network {
   /// True when no flit exists anywhere: NI queues, router buffers, channels.
   bool quiescent() const;
 
+  /// Freeze proactive policy and tick until quiescent (or `max_cycles` have
+  /// elapsed). Returns true once quiescent. Policy stays frozen — callers
+  /// resume with set_policy_frozen(false) after the checkpoint.
+  bool drain(Cycle max_cycles);
+
+  /// Serialize the full simulation state (NIs, routers, slot tables,
+  /// scheduler-visible counters, RNGs, energy) into a sealed, digest-
+  /// protected archive. Preconditions (HN_CHECK): the network is quiescent
+  /// (use drain()), no fault model is installed, and tick_threads == 1.
+  /// Resuming a restored network is bit-identical to continuing this one.
+  std::string save_state() const;
+  /// Restore a save_state() archive into this freshly constructed network
+  /// (same NocConfig, now() == 0). Throws StateError on a truncated,
+  /// corrupted or mismatched archive — never aborts, so callers can treat
+  /// a bad checkpoint as "recompute from scratch".
+  void restore_state(const std::string& sealed);
+
   /// Dispatch-cost counters since construction (see TickProfile). Sums the
   /// parallel engine's per-shard counters when one is running.
   TickProfile tick_profile() const;
@@ -144,6 +163,11 @@ class Network {
   /// run cycles in the exact global component order. No-op when the engine
   /// is off.
   void set_engine_force_serial(bool on);
+
+  /// Checkpoint hooks for machinery outside the NIs/routers (the TDM
+  /// controller). Called between the network header and the components.
+  virtual void save_external_state(StateWriter& w) const { (void)w; }
+  virtual void restore_external_state(StateReader& r) { (void)r; }
 
  private:
   friend class ParallelTickEngine;

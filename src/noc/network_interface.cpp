@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/pool.hpp"
+#include "common/state_io.hpp"
 #include "noc/fault_model.hpp"
 
 namespace hybridnoc {
@@ -418,6 +419,87 @@ bool NetworkInterface::try_start_packet(Cycle now) {
     return true;
   }
   return false;
+}
+
+void NetworkInterface::save_state(StateWriter& w) const {
+  HN_CHECK_MSG(idle(), "NI checkpoint requires an idle NI");
+  HN_CHECK_MSG(poisoned_.empty() && acks_pending_.empty() &&
+                   staged_deliveries_.empty(),
+               "NI checkpoint requires drained recovery state");
+  w.section("ni");
+  w.u32(static_cast<std::uint32_t>(out_vcs_.size()));
+  for (const auto& v : out_vcs_) {
+    HN_CHECK(!v.pkt);
+    w.b(v.busy);
+    w.b(v.tail_sent);
+    w.i32(v.credits);
+    w.i32(v.next_seq);
+  }
+  w.i32(inject_rr_);
+  w.u64(accounted_until_);
+  hybridnoc::save_state(w, energy_);
+  for (const std::uint64_t f : flits_by_class_) w.u64(f);
+  w.u64(data_packets_sent_);
+  w.u64(data_packets_delivered_);
+  w.u64(ps_data_flits_);
+  w.u64(cs_data_flits_);
+  w.u64(config_flits_);
+  w.i32(eject_active_vcs_);
+  w.u64(local_ids_);
+  w.f64(ewma_inject_delay_);
+  // Destination-side dedup keys, sorted so the archive bytes (and thus the
+  // checkpoint digest) do not depend on hash-table layout.
+  std::vector<PacketId> seen(e2e_seen_.begin(), e2e_seen_.end());
+  std::sort(seen.begin(), seen.end());
+  w.u64(seen.size());
+  for (const PacketId k : seen) w.u64(k);
+  for (const std::uint64_t s : e2e_rng_.state()) w.u64(s);
+  w.u64(retransmits_);
+  w.u64(retx_give_ups_);
+  w.u64(crc_squashed_packets_);
+  w.u64(e2e_acks_sent_);
+  w.u64(e2e_duplicates_dropped_);
+  w.u64(unreachable_failed_);
+  w.u64(watchdog_flagged_);
+}
+
+void NetworkInterface::restore_state(StateReader& r) {
+  r.section("ni");
+  if (r.u32() != out_vcs_.size()) throw StateError("NI VC count mismatch");
+  for (auto& v : out_vcs_) {
+    v.busy = r.b();
+    v.tail_sent = r.b();
+    v.credits = r.i32();
+    v.next_seq = r.i32();
+  }
+  inject_rr_ = r.i32();
+  accounted_until_ = r.u64();
+  hybridnoc::restore_state(r, energy_);
+  for (std::uint64_t& f : flits_by_class_) f = r.u64();
+  data_packets_sent_ = r.u64();
+  data_packets_delivered_ = r.u64();
+  ps_data_flits_ = r.u64();
+  cs_data_flits_ = r.u64();
+  config_flits_ = r.u64();
+  eject_active_vcs_ = r.i32();
+  local_ids_ = r.u64();
+  ewma_inject_delay_ = r.f64();
+  e2e_seen_.clear();
+  const std::uint64_t nseen = r.u64();
+  for (std::uint64_t i = 0; i < nseen; ++i) e2e_seen_.insert(r.u64());
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& s : rng_state) s = r.u64();
+  if (!(rng_state[0] | rng_state[1] | rng_state[2] | rng_state[3])) {
+    throw StateError("all-zero NI rng state");
+  }
+  e2e_rng_.set_state(rng_state);
+  retransmits_ = r.u64();
+  retx_give_ups_ = r.u64();
+  crc_squashed_packets_ = r.u64();
+  e2e_acks_sent_ = r.u64();
+  e2e_duplicates_dropped_ = r.u64();
+  unreachable_failed_ = r.u64();
+  watchdog_flagged_ = r.u64();
 }
 
 }  // namespace hybridnoc

@@ -25,6 +25,9 @@
 
 namespace hybridnoc {
 
+class StateWriter;
+class StateReader;
+
 /// Called when a data packet fully arrives at its (final) destination NI.
 using DeliverFn = std::function<void(const PacketPtr&, Cycle)>;
 
@@ -70,6 +73,14 @@ class NetworkInterface : public VcHolder {
 
   /// No queued, in-flight or partially assembled traffic at this NI.
   virtual bool idle() const;
+
+  /// Checkpoint this NI's state. Requires idle() — containers holding live
+  /// packets (queue, assembly, e2e outstanding) must be empty; everything
+  /// else (counters, RNG, arbiter pointers, the e2e dedup set) serializes.
+  virtual void save_state(StateWriter& w) const;
+  /// Restore into a freshly constructed NI of the same configuration.
+  /// Throws StateError on malformed archives; never aborts.
+  virtual void restore_state(StateReader& r);
 
   /// Freeze proactive protocol activity (circuit setup initiation) so a
   /// simulation can drain; data in flight still completes. Base NI: no-op.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/state_io.hpp"
 #include "noc/fault_model.hpp"
 #include "noc/routing.hpp"
 
@@ -496,6 +497,73 @@ void Router::settle_energy(Cycle through) {
     accumulate_idle_energy(energy_, through + 1 - accounted_until_);
     accounted_until_ = through + 1;
   }
+}
+
+void Router::save_state(StateWriter& w) const {
+  HN_CHECK_MSG(idle(), "router checkpoint requires an idle router");
+  w.section("router");
+  for (const auto& ip : in_) {
+    if (!ip.data) continue;
+    // Idle VCs carry no observable state beyond the arbiter pointer: a head
+    // arrival rewrites route/eligibility fields from scratch.
+    w.i32(ip.sa_rr);
+  }
+  for (size_t p = 0; p < kNumPorts; ++p) {
+    const auto& op = out_[p];
+    if (!op.data) continue;
+    for (const int c : op.credits) w.i32(c);
+    for (size_t v = 0; v < op.vc_busy.size(); ++v) {
+      w.b(op.vc_busy[v]);
+      w.b(op.tail_sent[v]);
+    }
+    w.i32(op.sa_rr);
+    w.i32(op.va_rr);
+  }
+  w.u64(flits_traversed_);
+  w.u64(crc_flagged_flits_);
+  w.i32(announced_active_vcs_);
+  w.i32(draining_vc_);
+  w.u64(busy_vc_integral_);
+  w.u64(residency_sum_);
+  w.u64(residency_count_);
+  w.u64(epoch_start_);
+  hybridnoc::save_state(w, energy_);
+  w.u64(accounted_until_);
+}
+
+void Router::restore_state(StateReader& r) {
+  r.section("router");
+  for (auto& ip : in_) {
+    if (!ip.data) continue;
+    ip.sa_rr = r.i32();
+  }
+  for (size_t p = 0; p < kNumPorts; ++p) {
+    auto& op = out_[p];
+    if (!op.data) continue;
+    for (int& c : op.credits) c = r.i32();
+    for (size_t v = 0; v < op.vc_busy.size(); ++v) {
+      op.vc_busy[v] = r.b();
+      op.tail_sent[v] = r.b();
+    }
+    op.sa_rr = r.i32();
+    op.va_rr = r.i32();
+    // The congestion-metric cache keys off downstream gating state that may
+    // have changed: recompute on first use.
+    op.cached_active = -1;
+  }
+  flits_traversed_ = r.u64();
+  crc_flagged_flits_ = r.u64();
+  announced_active_vcs_ = r.i32();
+  if (announced_active_vcs_ < 1 || announced_active_vcs_ > cfg_.num_vcs) {
+    throw StateError("router active-VC count out of range");
+  }
+  draining_vc_ = r.i32();
+  busy_vc_integral_ = r.u64();
+  residency_sum_ = r.u64();
+  residency_count_ = r.u64();
+  epoch_start_ = r.u64();
+  hybridnoc::restore_state(r, energy_);
+  accounted_until_ = r.u64();
 }
 
 }  // namespace hybridnoc

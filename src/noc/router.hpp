@@ -41,6 +41,8 @@
 namespace hybridnoc {
 
 class FaultModel;
+class StateWriter;
+class StateReader;
 
 /// Anything that can hold an allocation of a downstream input VC — an
 /// upstream Router or a NetworkInterface. The VC-gating controller polls the
@@ -96,6 +98,12 @@ class Router : public VcHolder {
 
   /// No buffered flits and no pending crossbar grants.
   bool idle() const;
+
+  /// Checkpoint this router's state. Requires idle() — every VC must be
+  /// empty; arbiter pointers, credits, gating state and counters serialize.
+  virtual void save_state(StateWriter& w) const;
+  /// Restore into a freshly constructed router of the same configuration.
+  virtual void restore_state(StateReader& r);
 
   /// Total free credits on `out` across VCs usable by upstream — the
   /// congestion metric for adaptive route selection.

@@ -1,6 +1,7 @@
 #include "power/energy_model.hpp"
 
 #include "common/assert.hpp"
+#include "common/state_io.hpp"
 
 namespace hybridnoc {
 
@@ -35,6 +36,46 @@ EnergyCounters& EnergyCounters::operator+=(const EnergyCounters& o) {
   cs_misc_active_cycles += o.cs_misc_active_cycles;
   link_active_cycles += o.link_active_cycles;
   return *this;
+}
+
+void save_state(StateWriter& w, const EnergyCounters& c) {
+  w.section("energy");
+  w.u64(c.buffer_writes);
+  w.u64(c.buffer_reads);
+  w.u64(c.xbar_flits);
+  w.u64(c.vc_arbs);
+  w.u64(c.sw_arbs);
+  w.u64(c.link_flits);
+  w.u64(c.slot_table_reads);
+  w.u64(c.slot_table_writes);
+  w.u64(c.dlt_accesses);
+  w.u64(c.cs_latch_flits);
+  w.u64(c.cycles);
+  w.u64(c.vc_active_cycles);
+  w.u64(c.slot_entry_active_cycles);
+  w.u64(c.dlt_active_cycles);
+  w.u64(c.cs_misc_active_cycles);
+  w.u64(c.link_active_cycles);
+}
+
+void restore_state(StateReader& r, EnergyCounters& c) {
+  r.section("energy");
+  c.buffer_writes = r.u64();
+  c.buffer_reads = r.u64();
+  c.xbar_flits = r.u64();
+  c.vc_arbs = r.u64();
+  c.sw_arbs = r.u64();
+  c.link_flits = r.u64();
+  c.slot_table_reads = r.u64();
+  c.slot_table_writes = r.u64();
+  c.dlt_accesses = r.u64();
+  c.cs_latch_flits = r.u64();
+  c.cycles = r.u64();
+  c.vc_active_cycles = r.u64();
+  c.slot_entry_active_cycles = r.u64();
+  c.dlt_active_cycles = r.u64();
+  c.cs_misc_active_cycles = r.u64();
+  c.link_active_cycles = r.u64();
 }
 
 EnergyCounters& EnergyCounters::operator-=(const EnergyCounters& o) {

@@ -98,6 +98,13 @@ struct EnergyCounters {
   }
 };
 
+class StateWriter;
+class StateReader;
+
+/// Checkpoint helpers: every EnergyCounters field, in declaration order.
+void save_state(StateWriter& w, const EnergyCounters& c);
+void restore_state(StateReader& r, EnergyCounters& c);
+
 /// Per-component dynamic and static energy in pJ.
 struct EnergyBreakdown {
   std::array<double, kNumEnergyComponents> dynamic_pj{};

@@ -1,11 +1,15 @@
 #include "sim/driver.hpp"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <unordered_map>
 
+#include "common/assert.hpp"
 #include "common/pool.hpp"
+#include "common/state_io.hpp"
 #include "fastmodel/fast_model.hpp"
+#include "noc/network.hpp"
 
 namespace hybridnoc {
 
@@ -125,7 +129,246 @@ RunResult run_cycle_measured(const NocConfig& cfg, const RunParams& params,
   return r;
 }
 
+// --- drained-run methodology (warmup checkpointing) ---
+
+/// Archive section tag; bumped with any layout change so stale snapshot
+/// files fail the section check instead of restoring garbage.
+constexpr char kSnapshotSection[] = "warmup_snapshot_v1";
+
+/// Outcome of the shared warmup phase: the warmed, drained (still frozen)
+/// network plus the injection bookkeeping the measure phase continues from.
+struct WarmState {
+  std::unique_ptr<NetAdapter> net;
+  PacketId next_id = 1;
+  bool saturated = false;
+  bool drained = false;
+};
+
+void check_snapshot_eligible(const NocConfig& cfg, const RunParams& params) {
+  HN_CHECK_MSG(params.fidelity == Fidelity::Cycle,
+               "warmup checkpoints are a cycle-core methodology");
+  HN_CHECK_MSG(cfg.link_ber == 0.0 && cfg.tick_threads == 1,
+               "warmup checkpoints require a fault-free serial network");
+}
+
+/// Warm under `traffic` until the standard warmup criterion, then freeze
+/// policy and drain to quiescence. Mirrors run_cycle_measured's warmup
+/// phase exactly: same injection guard, same generate-then-tick order.
+WarmState warm_and_drain(const NocConfig& cfg, const RunParams& params,
+                         SyntheticTraffic& traffic) {
+  check_snapshot_eligible(cfg, params);
+  WarmState st;
+  st.net = make_network(cfg);
+  Network* mesh_net = st.net->mesh_network_mut();
+  HN_CHECK_MSG(mesh_net != nullptr,
+               "warmup checkpoints require a mesh-backed architecture");
+
+  std::uint64_t delivered_total = 0;
+  st.net->set_deliver_handler(
+      [&](const PacketPtr&, Cycle) { ++delivered_total; });
+
+  while (st.net->now() < params.max_cycles) {
+    if (delivered_total >= params.warmup_packets &&
+        st.net->now() >= params.warmup_min_cycles) {
+      break;
+    }
+    traffic.generate([&](NodeId src, NodeId dst) {
+      if (st.net->inject_queue_depth(src) > 2000) {
+        st.saturated = true;  // source queues diverging: deep saturation
+        return;
+      }
+      auto p = make_packet();
+      p->id = st.next_id++;
+      p->src = src;
+      p->dst = dst;
+      p->num_flits = cfg.ps_data_flits;
+      p->cs_eligible = true;
+      st.net->send(std::move(p));
+    });
+    st.net->tick();
+  }
+  st.drained = mesh_net->drain(params.max_cycles);
+  return st;
+}
+
+/// Measure from a warmed, drained network — the second half of the drained
+/// methodology, shared by the in-place and the restored-snapshot paths so
+/// the two are bit-identical by construction.
+RunResult measure_drained(const NocConfig& cfg, const RunParams& params,
+                          NetAdapter& net, SyntheticTraffic& traffic,
+                          PacketId next_id, bool warmup_saturated) {
+  net.set_policy_frozen(false);
+
+  StatAccumulator lat;
+  Histogram hist(5.0, 400);
+  const Cycle measure_start_cycle = net.now();
+  const EnergyCounters energy_start = net.energy();
+  const std::uint64_t ps_start = net.ps_flits();
+  const std::uint64_t cs_start = net.cs_flits();
+  const std::uint64_t cfgf_start = net.config_flits();
+  std::uint64_t window_delivered_flits = 0;
+  std::uint64_t window_generated_flits = 0;
+  std::uint64_t measured = 0;
+  bool saturated = warmup_saturated;
+  const int n_nodes = net.mesh().num_nodes();
+
+  // The network starts empty, so every packet delivered in this window was
+  // also created in it — no warmup stragglers to account separately.
+  std::unordered_map<PacketId, int> payload_flits;
+  net.set_deliver_handler([&](const PacketPtr& pkt, Cycle at) {
+    const auto it = payload_flits.find(pkt->id);
+    const int flits = it != payload_flits.end() ? it->second : 0;
+    if (it != payload_flits.end()) payload_flits.erase(it);
+    window_delivered_flits += static_cast<std::uint64_t>(flits);
+    const double l = static_cast<double>(at - pkt->created);
+    lat.add(l);
+    hist.add(l);
+    ++measured;
+  });
+
+  while (net.now() < params.max_cycles) {
+    if (measured >= params.measure_packets) break;
+    traffic.generate([&](NodeId src, NodeId dst) {
+      if (net.inject_queue_depth(src) > 2000) {
+        saturated = true;
+        return;
+      }
+      const int flits = cfg.ps_data_flits;
+      window_generated_flits += static_cast<std::uint64_t>(flits);
+      auto p = make_packet();
+      p->id = next_id++;
+      p->src = src;
+      p->dst = dst;
+      p->num_flits = flits;
+      p->cs_eligible = true;
+      payload_flits.emplace(p->id, flits);
+      net.send(std::move(p));
+    });
+    net.tick();
+    if ((net.now() & 0x7ff) == 0 && lat.count() > 500 &&
+        lat.mean() > params.latency_cap) {
+      saturated = true;
+      break;
+    }
+  }
+
+  RunResult r;
+  r.offered_rate = params.injection_rate;
+  r.measured_packets = measured;
+  r.cycles = net.now() - measure_start_cycle;
+  r.avg_latency = lat.mean();
+  r.p99_latency = hist.quantile(0.99);
+  r.saturated = saturated || measured < params.measure_packets;
+  if (r.cycles > 0) {
+    r.accepted_rate =
+        static_cast<double>(window_delivered_flits) /
+        (static_cast<double>(n_nodes) * static_cast<double>(r.cycles));
+    const double offered_actual =
+        static_cast<double>(window_generated_flits) /
+        (static_cast<double>(n_nodes) * static_cast<double>(r.cycles));
+    if (r.accepted_rate < 0.85 * offered_actual) r.saturated = true;
+    r.energy = net.energy() - energy_start;
+    const double ps = static_cast<double>(net.ps_flits() - ps_start);
+    const double cs = static_cast<double>(net.cs_flits() - cs_start);
+    const double cf = static_cast<double>(net.config_flits() - cfgf_start);
+    r.cs_flit_fraction = safe_ratio(cs, ps + cs);
+    r.config_flit_fraction = safe_ratio(cf, ps + cs + cf);
+  }
+  return r;
+}
+
+/// RunResult for a run whose warmup never reached a drainable steady state:
+/// by definition the network cannot keep up with the offered load.
+RunResult undrained_result(const RunParams& params) {
+  RunResult r;
+  r.offered_rate = params.injection_rate;
+  r.saturated = true;
+  return r;
+}
+
 }  // namespace
+
+WarmupSnapshot warmup_snapshot(const NocConfig& cfg, const RunParams& params) {
+  const Mesh mesh(cfg.k);
+  SyntheticTraffic traffic(mesh, params.pattern, params.injection_rate,
+                           cfg.ps_data_flits, params.seed);
+  WarmState st = warm_and_drain(cfg, params, traffic);
+  WarmupSnapshot out;
+  out.saturated = st.saturated;
+  if (!st.drained) return out;
+
+  StateWriter w;
+  w.section(kSnapshotSection);
+  // Warmup-identity guard: restoring under a different warmup would be
+  // silently wrong, so the relevant knobs are embedded and re-checked.
+  // Measure-phase params are deliberately absent. (The network archive
+  // inside guards the topology fields itself.)
+  w.u8(static_cast<std::uint8_t>(cfg.arch));
+  w.u8(static_cast<std::uint8_t>(params.pattern));
+  w.f64(params.injection_rate);
+  w.u64(params.warmup_packets);
+  w.u64(params.warmup_min_cycles);
+  w.u64(params.seed);
+  w.u64(cfg.seed);
+  w.i32(cfg.ps_data_flits);
+  w.b(st.saturated);
+  w.u64(st.next_id);
+  for (const std::uint64_t word : traffic.rng_state()) w.u64(word);
+  w.bytes(st.net->mesh_network_mut()->save_state());
+  out.sealed = w.seal();
+  out.ok = true;
+  return out;
+}
+
+RunResult run_synthetic_from_snapshot(const NocConfig& cfg,
+                                      const RunParams& params,
+                                      const std::string& sealed) {
+  check_snapshot_eligible(cfg, params);
+
+  StateReader r(sealed);
+  r.section(kSnapshotSection);
+  const bool guards_match =
+      r.u8() == static_cast<std::uint8_t>(cfg.arch) &&
+      r.u8() == static_cast<std::uint8_t>(params.pattern) &&
+      r.f64() == params.injection_rate &&
+      r.u64() == params.warmup_packets &&
+      r.u64() == params.warmup_min_cycles &&
+      r.u64() == params.seed && r.u64() == cfg.seed &&
+      r.i32() == cfg.ps_data_flits;
+  if (!guards_match) {
+    throw StateError("warmup snapshot belongs to a different cfg/params");
+  }
+  const bool warmup_saturated = r.b();
+  const PacketId next_id = r.u64();
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = r.u64();
+  const std::string net_state = r.str();
+  r.finish();
+
+  auto net = make_network(cfg);
+  Network* mesh_net = net->mesh_network_mut();
+  HN_CHECK_MSG(mesh_net != nullptr,
+               "warmup checkpoints require a mesh-backed architecture");
+  mesh_net->restore_state(net_state);  // throws StateError on corruption
+
+  const Mesh mesh(cfg.k);
+  SyntheticTraffic traffic(mesh, params.pattern, params.injection_rate,
+                           cfg.ps_data_flits, params.seed);
+  traffic.set_rng_state(rng_state);
+  return measure_drained(cfg, params, *net, traffic, next_id,
+                         warmup_saturated);
+}
+
+RunResult run_synthetic_drained(const NocConfig& cfg,
+                                const RunParams& params) {
+  const Mesh mesh(cfg.k);
+  SyntheticTraffic traffic(mesh, params.pattern, params.injection_rate,
+                           cfg.ps_data_flits, params.seed);
+  WarmState st = warm_and_drain(cfg, params, traffic);
+  if (!st.drained) return undrained_result(params);
+  return measure_drained(cfg, params, *st.net, traffic, st.next_id,
+                         st.saturated);
+}
 
 RunResult run_synthetic(const NocConfig& cfg, const RunParams& params) {
   if (params.fidelity == Fidelity::Fast) return run_synthetic_fast(cfg, params);

@@ -42,6 +42,7 @@ class MeshAdapter final : public NetAdapter {
     return net_->total_flits_of_class(c);
   }
   const Network* mesh_network() const override { return net_.get(); }
+  Network* mesh_network_mut() override { return net_.get(); }
 
  private:
   std::unique_ptr<Network> net_;

@@ -42,6 +42,9 @@ class NetAdapter {
   /// The underlying mesh network, when this adapter wraps one (packet or
   /// TDM hybrid); nullptr for SDM. For introspection in tests and benches.
   virtual const class Network* mesh_network() const { return nullptr; }
+  /// Mutable variant, for the checkpoint paths (drain / save_state /
+  /// restore_state live on Network, not on this interface).
+  virtual class Network* mesh_network_mut() { return nullptr; }
 };
 
 /// Instantiate the network matching cfg.arch.

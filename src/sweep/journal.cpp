@@ -1,0 +1,128 @@
+#include "sweep/journal.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "common/fileio.hpp"
+
+namespace hybridnoc::sweep {
+
+namespace {
+
+std::string checksummed_line(const std::string& payload) {
+  return hex64(fnv1a64(payload)) + " " + payload + "\n";
+}
+
+/// Splits a journal line into its verified payload; false on any damage.
+bool verify_line(const std::string& line, std::string* payload) {
+  if (line.size() < 18 || line[16] != ' ') return false;
+  std::uint64_t sum;
+  if (!parse_hex64(line.substr(0, 16), &sum)) return false;
+  const std::string body = line.substr(17);
+  if (fnv1a64(body) != sum) return false;
+  *payload = body;
+  return true;
+}
+
+}  // namespace
+
+Journal::Replay Journal::replay(const std::string& path,
+                                std::uint64_t spec_digest) {
+  Replay rep;
+  std::string text;
+  if (!read_file(path, &text)) return rep;
+  rep.exists = true;
+
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  // Track whether the file ends in '\n': a kill mid-append leaves a
+  // partial final line that getline still yields.
+  while (std::getline(in, line)) {
+    std::string payload;
+    if (!verify_line(line, &payload)) {
+      // Damaged line: everything from here on is untrusted. Count the
+      // remainder as torn and stop (under-reading is safe; see header).
+      ++rep.torn_lines;
+      while (std::getline(in, line)) ++rep.torn_lines;
+      break;
+    }
+    std::istringstream ps(payload);
+    std::string verb, hash_hex;
+    ps >> verb;
+    if (first) {
+      first = false;
+      std::uint64_t digest = 0;
+      ps >> hash_hex;
+      if (verb != "spec" || !parse_hex64(hash_hex, &digest) ||
+          digest != spec_digest) {
+        return rep;  // spec_match stays false; caller refuses to resume
+      }
+      rep.spec_match = true;
+      continue;
+    }
+    std::uint64_t hash = 0;
+    ps >> hash_hex;
+    if (!parse_hex64(hash_hex, &hash)) continue;
+    if (verb == "done") {
+      rep.done.insert(hash);
+    } else if (verb == "fail") {
+      int attempt = 0;
+      ps >> attempt;
+      if (attempt > rep.attempts[hash]) rep.attempts[hash] = attempt;
+    } else if (verb == "quarantine") {
+      rep.quarantined.insert(hash);
+    }
+    // Unknown verbs are skipped: forward compatibility.
+  }
+  return rep;
+}
+
+Journal::~Journal() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+bool Journal::open(const std::string& path, std::uint64_t spec_digest,
+                   bool truncate, std::string* error) {
+  bool need_header = truncate;
+  if (!truncate) {
+    std::string existing;
+    need_header = !read_file(path, &existing) || existing.empty();
+  }
+  f_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (f_ == nullptr) {
+    if (error) *error = "cannot open journal '" + path + "': " +
+                        std::strerror(errno);
+    return false;
+  }
+  if (need_header) append("spec " + hex64(spec_digest));
+  return true;
+}
+
+void Journal::record_done(std::uint64_t hash, int attempts) {
+  append("done " + hex64(hash) + " " + std::to_string(attempts));
+}
+
+void Journal::record_fail(std::uint64_t hash, int attempt,
+                          const std::string& why) {
+  append("fail " + hex64(hash) + " " + std::to_string(attempt) + " " + why);
+}
+
+void Journal::record_quarantine(std::uint64_t hash, int attempts) {
+  append("quarantine " + hex64(hash) + " " + std::to_string(attempts));
+}
+
+void Journal::append(const std::string& payload) {
+  if (f_ == nullptr) return;
+  const std::string line = checksummed_line(payload);
+  std::fwrite(line.data(), 1, line.size(), f_);
+  std::fflush(f_);
+  // Durability: a kill immediately after a journaled decision must not
+  // un-make it on resume.
+  ::fsync(fileno(f_));
+}
+
+}  // namespace hybridnoc::sweep

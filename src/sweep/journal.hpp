@@ -1,0 +1,65 @@
+// Append-only, checksummed sweep journal — the machinery that makes a
+// sweep killable (kill -9 included) and resumable to bit-identical output.
+//
+// Every line is `<fnv-hex16> <payload>\n`, checksum over the payload. The
+// first line binds the journal to the spec (`spec <digest>`); later lines
+// record per-point progress:
+//
+//   done <hash> <attempts>          result computed and stored
+//   fail <hash> <attempt> <reason>  one attempt failed (reason is free text)
+//   quarantine <hash> <attempts>    retry budget exhausted
+//
+// Replay is torn-tail tolerant: a kill mid-append leaves at most one
+// truncated or checksum-failing final line, which replay drops (counting
+// it) before returning the reconstructed per-point state. Any corrupt line
+// *before* the tail also just ends replay there — the journal is an
+// optimization over the (self-verifying) result store, so under-reading it
+// is always safe: the worst case is recomputation.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+namespace hybridnoc::sweep {
+
+class Journal {
+ public:
+  /// Reconstructed progress from an existing journal.
+  struct Replay {
+    bool exists = false;      ///< a journal file was present
+    bool spec_match = false;  ///< ...and its header matches `spec_digest`
+    std::set<std::uint64_t> done;
+    std::set<std::uint64_t> quarantined;
+    /// Failed attempts per point (for resuming the retry budget and the
+    /// deterministic fault/backoff sequences at the right position).
+    std::map<std::uint64_t, int> attempts;
+    int torn_lines = 0;  ///< trailing lines dropped by the checksum
+  };
+
+  /// Parse `path` (missing file -> Replay{exists=false}). Never throws.
+  static Replay replay(const std::string& path, std::uint64_t spec_digest);
+
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Open for appending, writing the `spec` header when the file is new or
+  /// being truncated. Returns false with *error on I/O failure.
+  bool open(const std::string& path, std::uint64_t spec_digest,
+            bool truncate, std::string* error);
+
+  void record_done(std::uint64_t hash, int attempts);
+  void record_fail(std::uint64_t hash, int attempt, const std::string& why);
+  void record_quarantine(std::uint64_t hash, int attempts);
+
+ private:
+  void append(const std::string& payload);
+
+  std::FILE* f_ = nullptr;
+};
+
+}  // namespace hybridnoc::sweep

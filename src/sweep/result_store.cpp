@@ -1,0 +1,77 @@
+#include "sweep/result_store.hpp"
+
+#include <filesystem>
+
+#include "common/assert.hpp"
+#include "common/fileio.hpp"
+#include "common/state_io.hpp"
+#include "power/energy_model.hpp"
+
+namespace hybridnoc::sweep {
+
+std::string encode_result(std::uint64_t config_hash, const RunResult& r) {
+  StateWriter w;
+  w.section("sweep_result");
+  w.u32(kResultStoreVersion);
+  w.u64(config_hash);
+  w.f64(r.offered_rate);
+  w.f64(r.accepted_rate);
+  w.f64(r.avg_latency);
+  w.f64(r.p99_latency);
+  w.b(r.saturated);
+  w.u64(r.measured_packets);
+  w.u64(r.cycles);
+  save_state(w, r.energy);
+  w.f64(r.cs_flit_fraction);
+  w.f64(r.config_flit_fraction);
+  return w.seal();
+}
+
+std::optional<RunResult> decode_result(const std::string& bytes,
+                                       std::uint64_t config_hash) {
+  try {
+    StateReader rd(bytes);
+    rd.section("sweep_result");
+    if (rd.u32() != kResultStoreVersion) return std::nullopt;
+    if (rd.u64() != config_hash) return std::nullopt;
+    RunResult r;
+    r.offered_rate = rd.f64();
+    r.accepted_rate = rd.f64();
+    r.avg_latency = rd.f64();
+    r.p99_latency = rd.f64();
+    r.saturated = rd.b();
+    r.measured_packets = rd.u64();
+    r.cycles = rd.u64();
+    restore_state(rd, r.energy);
+    r.cs_flit_fraction = rd.f64();
+    r.config_flit_fraction = rd.f64();
+    rd.finish();
+    return r;
+  } catch (const StateError&) {
+    return std::nullopt;
+  }
+}
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  HN_CHECK_MSG(!ec, "result store: cannot create directory");
+}
+
+std::string ResultStore::path_for(std::uint64_t config_hash) const {
+  return dir_ + "/" + hex64(config_hash) + ".result";
+}
+
+std::optional<RunResult> ResultStore::load(std::uint64_t config_hash) const {
+  std::string bytes;
+  if (!read_file(path_for(config_hash), &bytes)) return std::nullopt;
+  return decode_result(bytes, config_hash);
+}
+
+bool ResultStore::store(std::uint64_t config_hash, const RunResult& r,
+                        std::string* error) {
+  return write_file_atomic(path_for(config_hash),
+                           encode_result(config_hash, r), error);
+}
+
+}  // namespace hybridnoc::sweep

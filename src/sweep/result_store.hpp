@@ -1,0 +1,51 @@
+// Durable, integrity-checked cache of sweep-point results.
+//
+// One file per point, named by its content address
+// (<dir>/<hex16-config-hash>.result). Entries are sealed StateWriter
+// archives (magic + version + digest) that additionally embed the owning
+// config hash and a store format version — so a truncated, bit-flipped,
+// wrong-version or mis-filed entry is detected on load and reported as a
+// plain cache miss, never as bad data and never as a crash. Writes are
+// atomic (write-temp-then-rename), so a reader can never observe a torn
+// entry produced by a well-behaved writer; torn entries produced by crashes
+// or harness-injected corruption fall out through the digest check.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/run_types.hpp"
+
+namespace hybridnoc::sweep {
+
+/// Bump on any entry-layout change; other versions read as misses.
+inline constexpr std::uint32_t kResultStoreVersion = 1;
+
+/// Entry serialization, exposed for the cache-poisoning tests.
+std::string encode_result(std::uint64_t config_hash, const RunResult& r);
+/// nullopt on any corruption, version skew, or config-hash mismatch.
+std::optional<RunResult> decode_result(const std::string& bytes,
+                                       std::uint64_t config_hash);
+
+class ResultStore {
+ public:
+  /// Creates `dir` (and parents) if needed; HN_CHECKs on failure — callers
+  /// validate the directory up front.
+  explicit ResultStore(std::string dir);
+
+  std::string path_for(std::uint64_t config_hash) const;
+
+  /// Cache lookup. Missing, unreadable, corrupt or mismatched entries all
+  /// return nullopt (the death-free "recompute" path).
+  std::optional<RunResult> load(std::uint64_t config_hash) const;
+
+  /// Atomic durable write. Returns false and fills *error on I/O failure.
+  bool store(std::uint64_t config_hash, const RunResult& r,
+             std::string* error);
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace hybridnoc::sweep

@@ -1,0 +1,63 @@
+// Declarative sweep specification.
+//
+// A spec is a small line-oriented text file expanded into the cartesian
+// product of its axes:
+//
+//   # comment                        (blank lines and #-comments ignored)
+//   name = load_sweep                (optional; defaults to "sweep")
+//   set preset = hybrid_tdm_vc4      (fixed assignment)
+//   set k = 4
+//   sweep rate = 0.02, 0.05, 0.08    (axis: one point per value)
+//   sweep pattern = uniform, tornado
+//
+// Assignments apply in file order on top of the defaults (so `set preset`
+// first, field overrides after it); axes expand with the last `sweep` line
+// varying fastest. Every parse or validation problem is reported as a
+// structured SpecError with a line number — specs are external input and
+// must never abort the process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/run_types.hpp"
+
+namespace hybridnoc::sweep {
+
+struct SpecError {
+  int line = 0;  ///< 1-based line in the spec text; 0 = not line-specific
+  std::string message;
+  std::string to_string() const;
+};
+
+/// One expanded sweep point: a fully resolved configuration, its
+/// content-address, and a human label built from its axis values.
+struct SweepPoint {
+  NocConfig cfg;
+  RunParams params;
+  std::string label;       ///< "rate=0.05,pattern=tornado" (axis keys only)
+  std::uint64_t hash = 0;  ///< config_hash(cfg, params)
+};
+
+struct SweepSpec {
+  std::string name = "sweep";
+  std::vector<std::string> axis_keys;  ///< file order
+  std::vector<SweepPoint> points;      ///< deterministic expansion order
+  /// FNV-1a over the raw spec text: the journal's resume guard — a sweep
+  /// directory can only be resumed with the byte-identical spec.
+  std::uint64_t spec_digest = 0;
+};
+
+/// The keys accepted by `set`/`sweep`, for error messages and docs.
+std::string known_spec_keys();
+
+/// Parse and expand. Returns false and fills *err on any problem; *out is
+/// only valid on success.
+bool parse_sweep_spec(const std::string& text, SweepSpec* out, SpecError* err);
+
+/// load + parse_sweep_spec; unreadable file reported through *err.
+bool load_sweep_spec(const std::string& path, SweepSpec* out, SpecError* err);
+
+}  // namespace hybridnoc::sweep

@@ -1,0 +1,147 @@
+#include "sweep/worker_pool.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hybridnoc::sweep {
+
+WorkerPool::WorkerPool(int num_workers) {
+  HN_CHECK_MSG(num_workers >= 1, "worker pool needs at least one worker");
+  std::lock_guard<std::mutex> lk(mu_);
+  for (int i = 0; i < num_workers; ++i) spawn_worker_locked();
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    for (auto& [id, token] : tokens_) token.cancel();
+    queue_.clear();
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+std::uint64_t WorkerPool::submit(Job job) {
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    id = next_task_id_++;
+    Task t;
+    t.id = id;
+    t.job = std::move(job);
+    tokens_.emplace(id, t.token);
+    queue_.push_back(std::move(t));
+  }
+  work_cv_.notify_one();
+  return id;
+}
+
+std::optional<TaskDone> WorkerPool::wait_any(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!done_cv_.wait_until(lk, deadline,
+                           [&] { return !completions_.empty(); })) {
+    return std::nullopt;
+  }
+  TaskDone d = std::move(completions_.front());
+  completions_.pop_front();
+  return d;
+}
+
+void WorkerPool::abandon(std::uint64_t task_id) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto tok = tokens_.find(task_id);
+    if (tok == tokens_.end()) return;  // already completed
+    tok->second.cancel();
+
+    const auto run = running_.find(task_id);
+    if (run != running_.end()) {
+      // Retire the stuck worker and restore capacity immediately. The
+      // worker's eventual completion is flagged `abandoned`.
+      run->second->retired = true;
+      ++abandoned_count_;
+      spawn_worker_locked();
+    } else {
+      // Still queued: drop it and synthesize the failed completion.
+      const auto it = std::find_if(queue_.begin(), queue_.end(),
+                                   [&](const Task& t) { return t.id == task_id; });
+      if (it != queue_.end()) {
+        queue_.erase(it);
+        tokens_.erase(tok);
+        TaskDone d;
+        d.task_id = task_id;
+        d.ok = false;
+        d.error = "cancelled before start";
+        completions_.push_back(std::move(d));
+      }
+    }
+  }
+  done_cv_.notify_all();
+}
+
+int WorkerPool::workers_abandoned() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return abandoned_count_;
+}
+
+int WorkerPool::workers_spawned() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void WorkerPool::spawn_worker_locked() {
+  auto w = std::make_unique<Worker>();
+  Worker* self = w.get();
+  workers_.push_back(std::move(w));
+  self->thread = std::thread([this, self] { worker_main(self); });
+}
+
+void WorkerPool::worker_main(Worker* self) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return stop_ || self->retired || !queue_.empty();
+      });
+      if (stop_ || self->retired) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      running_[task.id] = self;
+    }
+
+    TaskDone d;
+    d.task_id = task.id;
+    try {
+      task.job(task.token);
+      d.ok = true;
+    } catch (const std::exception& e) {
+      d.ok = false;
+      d.error = e.what();
+    } catch (...) {
+      d.ok = false;
+      d.error = "unknown worker exception";
+    }
+
+    bool retired;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      running_.erase(task.id);
+      tokens_.erase(task.id);
+      // `retired` can only have been set while we were running this task
+      // (abandon marks the worker, then spawns the replacement).
+      retired = self->retired;
+      d.abandoned = retired;
+      completions_.push_back(std::move(d));
+    }
+    done_cv_.notify_all();
+    if (retired) return;
+  }
+}
+
+}  // namespace hybridnoc::sweep

@@ -1,0 +1,107 @@
+// Persistent in-process worker pool with cooperative cancellation and
+// worker abandonment.
+//
+// The sweep orchestrator submits one job per (sweep point, attempt) and
+// waits for completions. A job that exceeds its wall-clock budget is
+// *abandoned*: its cancel token is set, the worker running it is retired
+// (it exits as soon as the job returns — injected hangs poll the token and
+// return promptly) and a replacement worker is spawned so pool capacity is
+// unaffected. Abandoned jobs that do eventually complete surface with
+// `abandoned = true` so their results are discarded, not double-counted.
+//
+// Worker exceptions are captured and returned as failed completions; a
+// throwing job never takes the pool down.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hybridnoc::sweep {
+
+/// Shared cancellation flag. Jobs with unbounded waits must poll
+/// cancelled() and return; the simulator itself does not poll (a genuine
+/// runaway simulation delays pool teardown until it finishes).
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+  void cancel() const { flag_->store(true, std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+struct TaskDone {
+  std::uint64_t task_id = 0;
+  bool ok = false;         ///< job returned without throwing
+  bool abandoned = false;  ///< completion of an abandoned job: discard
+  std::string error;       ///< exception message when !ok
+};
+
+class WorkerPool {
+ public:
+  using Job = std::function<void(const CancelToken&)>;
+
+  explicit WorkerPool(int num_workers);
+  /// Cancels everything and joins every worker, retired ones included.
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueue a job; returns its task id.
+  std::uint64_t submit(Job job);
+
+  /// Block until any completion is available or `deadline` passes
+  /// (nullopt). Completions are delivered in finish order.
+  std::optional<TaskDone> wait_any(
+      std::chrono::steady_clock::time_point deadline);
+
+  /// Abandon `task_id`: cancel its token; if running, retire the worker and
+  /// spawn a replacement; if still queued, drop it (its completion arrives
+  /// as ok=false). Completed/unknown ids are a no-op.
+  void abandon(std::uint64_t task_id);
+
+  int workers_abandoned() const;
+  int workers_spawned() const;
+
+ private:
+  struct Worker {
+    std::thread thread;
+    bool retired = false;  ///< exit after the current job
+  };
+  struct Task {
+    std::uint64_t id = 0;
+    Job job;
+    CancelToken token;
+  };
+
+  void spawn_worker_locked();
+  void worker_main(Worker* self);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for tasks
+  std::condition_variable done_cv_;  ///< wait_any waits for completions
+  std::deque<Task> queue_;
+  std::deque<TaskDone> completions_;
+  /// Live tokens for queued + running tasks, so abandon() can cancel.
+  std::map<std::uint64_t, CancelToken> tokens_;
+  /// task id -> worker currently running it.
+  std::map<std::uint64_t, Worker*> running_;
+  std::vector<std::unique_ptr<Worker>> workers_;  ///< incl. retired
+  std::uint64_t next_task_id_ = 1;
+  int abandoned_count_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace hybridnoc::sweep

@@ -1,5 +1,7 @@
 #include "tdm/controller.hpp"
 
+#include "common/state_io.hpp"
+
 namespace hybridnoc {
 
 TdmController::TdmController(const NocConfig& cfg)
@@ -59,6 +61,38 @@ Cycle TdmController::next_event(Cycle now) const {
   if (!boundary_matters) return kCycleNever;
   const auto period = static_cast<Cycle>(cfg_.policy_epoch_cycles);
   return epoch_start_ + period * ((now - epoch_start_) / period + 1);
+}
+
+void TdmController::save_state(StateWriter& w) const {
+  HN_CHECK_MSG(cs_in_flight() == 0 && config_in_flight() == 0 &&
+                   nis_with_cs_plan() == 0,
+               "controller checkpoint requires a drained circuit fabric");
+  w.section("tdm_controller");
+  w.i32(active_slots_);
+  w.u64(generation_);
+  w.u64(failures_.load(std::memory_order_relaxed));
+  w.u64(successes_.load(std::memory_order_relaxed));
+  w.u64(total_failures_);
+  w.u64(total_successes_);
+  w.b(reset_pending_);
+  w.u64(epoch_start_);
+  w.i32(resizes_);
+}
+
+void TdmController::restore_state(StateReader& r) {
+  r.section("tdm_controller");
+  active_slots_ = r.i32();
+  if (active_slots_ < 1 || active_slots_ > cfg_.slot_table_size) {
+    throw StateError("controller active-slot count out of range");
+  }
+  generation_ = r.u64();
+  failures_.store(r.u64(), std::memory_order_relaxed);
+  successes_.store(r.u64(), std::memory_order_relaxed);
+  total_failures_ = r.u64();
+  total_successes_ = r.u64();
+  reset_pending_ = r.b();
+  epoch_start_ = r.u64();
+  resizes_ = r.i32();
 }
 
 }  // namespace hybridnoc

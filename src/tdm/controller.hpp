@@ -22,6 +22,9 @@
 
 namespace hybridnoc {
 
+class StateWriter;
+class StateReader;
+
 class TdmController {
  public:
   explicit TdmController(const NocConfig& cfg);
@@ -120,6 +123,11 @@ class TdmController {
   int resizes() const { return resizes_; }
   std::uint64_t total_setup_failures() const { return total_failures_; }
   std::uint64_t total_setup_successes() const { return total_successes_; }
+
+  /// Checkpoint: requires a drained fabric (no circuit or config traffic in
+  /// flight, no NI holding a planned circuit injection).
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   const NocConfig cfg_;

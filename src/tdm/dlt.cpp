@@ -1,6 +1,7 @@
 #include "tdm/dlt.hpp"
 
 #include "common/assert.hpp"
+#include "common/state_io.hpp"
 
 namespace hybridnoc {
 
@@ -95,6 +96,44 @@ int DestinationLookupTable::size() const {
   for (const auto& e : entries_)
     if (e.dest != kInvalidNode) ++n;
   return n;
+}
+
+void DestinationLookupTable::save_state(StateWriter& w) const {
+  w.section("dlt");
+  w.i32(capacity_);
+  for (const auto& e : entries_) {
+    w.i32(e.dest);
+    w.i32(e.slot);
+    w.i32(e.duration);
+    w.u8(static_cast<std::uint8_t>(e.in));
+    w.u8(static_cast<std::uint8_t>(e.out));
+    w.u8(e.fail_count);
+    w.u64(e.last_used);
+    w.u64(e.generation);
+    w.b(e.active);
+  }
+  w.u64(accesses_);
+}
+
+void DestinationLookupTable::restore_state(StateReader& r) {
+  r.section("dlt");
+  if (r.i32() != capacity_) throw StateError("DLT capacity mismatch");
+  for (auto& e : entries_) {
+    e.dest = r.i32();
+    e.slot = r.i32();
+    e.duration = r.i32();
+    e.in = static_cast<Port>(r.u8());
+    e.out = static_cast<Port>(r.u8());
+    if (static_cast<int>(e.in) >= kNumPorts ||
+        static_cast<int>(e.out) >= kNumPorts) {
+      throw StateError("DLT entry port out of range");
+    }
+    e.fail_count = r.u8();
+    e.last_used = r.u64();
+    e.generation = r.u64();
+    e.active = r.b();
+  }
+  accesses_ = r.u64();
 }
 
 }  // namespace hybridnoc

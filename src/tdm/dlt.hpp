@@ -15,6 +15,9 @@
 
 namespace hybridnoc {
 
+class StateWriter;
+class StateReader;
+
 struct DltEntry {
   NodeId dest = kInvalidNode;
   int slot = 0;      ///< crossbar slot at this node's router
@@ -79,6 +82,11 @@ class DestinationLookupTable {
   int size() const;
   int capacity() const { return capacity_; }
   std::uint64_t accesses() const { return accesses_; }
+
+  /// Checkpoint: every entry in vector order (positions matter — the linear
+  /// scans' first-match order and LRU fill order must survive a restore).
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   int index_of(NodeId dest) const;

@@ -10,6 +10,7 @@
 #include "common/pool.hpp"
 
 #include "common/assert.hpp"
+#include "common/fileio.hpp"
 #include "noc/fault_model.hpp"
 #include "tdm/hybrid_network.hpp"
 
@@ -353,11 +354,13 @@ FaultScenario read_fault_scenario_file(const std::string& path) {
 
 void write_fault_scenario_file(const std::string& path,
                                const FaultScenario& s) {
-  std::ofstream out(path);
-  HN_CHECK_MSG(out.good(), "cannot write fault scenario file");
+  // Atomic write-temp-then-rename: an interrupted writer (shrinker, test
+  // fixture recorder) never leaves a torn scenario behind.
+  std::ostringstream out;
   save_fault_scenario(out, s);
-  out.flush();
-  HN_CHECK_MSG(out.good(), "error writing fault scenario file");
+  std::string err;
+  HN_CHECK_MSG(write_file_atomic(path, out.str(), &err),
+               "cannot write fault scenario file");
 }
 
 // ---------------------------------------------------------------------------

@@ -57,6 +57,18 @@ Cycle HybridNetwork::external_next_event(Cycle now) const {
   return ev == kCycleNever ? kCycleNever : ev - 1;
 }
 
+void HybridNetwork::save_external_state(StateWriter& w) const {
+  HN_CHECK_MSG(fault_mode_ == FaultMode::Off && !recording_,
+               "checkpoint excludes the config-fault harness");
+  controller().save_state(w);
+}
+
+void HybridNetwork::restore_external_state(StateReader& r) {
+  HN_CHECK_MSG(fault_mode_ == FaultMode::Off && !recording_,
+               "restore excludes the config-fault harness");
+  controller().restore_state(r);
+}
+
 // ---------------------------------------------------------------------------
 // Config-message fault injection, recording and replay
 // ---------------------------------------------------------------------------

@@ -129,6 +129,12 @@ class HybridNetwork : private detail::ControllerHolder, public Network {
   /// pending-resize quiescence poll.
   Cycle external_next_event(Cycle now) const override;
 
+  /// Checkpoint the TDM controller alongside the fabric. Requires the
+  /// config-fault harness to be off (its record/replay cursors are not
+  /// simulation state and are not serialized).
+  void save_external_state(StateWriter& w) const override;
+  void restore_external_state(StateReader& r) override;
+
  private:
   enum class FaultMode : std::uint8_t { Off, Seeded, Replay };
 

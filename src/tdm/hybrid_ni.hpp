@@ -56,6 +56,12 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   bool idle() const override;
   void set_policy_frozen(bool frozen) override { frozen_ = frozen; }
 
+  /// Checkpoint: base NI state plus connection table, pending/deferred
+  /// protocol state, frequency counters, DLT and the setup RNG. Requires
+  /// idle() (no planned circuit flits, no held-back config messages).
+  void save_state(StateWriter& w) const override;
+  void restore_state(StateReader& r) override;
+
   /// Active-set scheduling: wakes for scheduled circuit injections, delayed
   /// config releases, and policy-epoch boundaries that are not no-ops.
   Cycle sched_next_event(Cycle now) const override;
@@ -230,8 +236,13 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
     }
   }
 
-  std::unordered_map<NodeId, Connection> connections_;
-  std::unordered_map<std::uint64_t, PendingSetup> pending_;
+  /// Ordered maps on purpose: both are iterated on behaviour-relevant paths
+  /// (vicinity scan, idlest-connection search, epoch teardowns, pending
+  /// expiry), and checkpoint/restore must reproduce the exact visit order —
+  /// sorted iteration makes the order a function of the keys alone, not of
+  /// hash-table insertion history.
+  std::map<NodeId, Connection> connections_;
+  std::map<std::uint64_t, PendingSetup> pending_;
   std::set<NodeId> pending_dsts_;
   std::unordered_map<NodeId, int> freq_;
   std::unordered_map<NodeId, Cycle> cooldown_until_;

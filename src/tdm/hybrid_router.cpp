@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/state_io.hpp"
+
 namespace hybridnoc {
 
 HybridRouter::HybridRouter(const NocConfig& cfg, NodeId id, const Mesh& mesh,
@@ -286,6 +288,30 @@ Cycle HybridRouter::sched_next_event(Cycle now) const {
   if (cfg_.reservation_lease_cycles > 0 && slots_.valid_entries() > 0)
     next = std::min(next, (now | Cycle{1023}) + 1);
   return next;
+}
+
+void HybridRouter::save_state(StateWriter& w) const {
+  Router::save_state(w);
+  HN_CHECK_MSG(cs_now_.empty() && hh_overrides_.empty(),
+               "hybrid-router checkpoint requires no in-flight CS traversal");
+  w.section("hybrid_router");
+  slots_.save_state(w);
+  w.u64(cs_flits_traversed_);
+  w.u64(ps_steals_);
+  w.u64(stale_config_drops_);
+  w.u64(expired_reservations_);
+  w.u64(corrupt_config_drops_);
+}
+
+void HybridRouter::restore_state(StateReader& r) {
+  Router::restore_state(r);
+  r.section("hybrid_router");
+  slots_.restore_state(r);
+  cs_flits_traversed_ = r.u64();
+  ps_steals_ = r.u64();
+  stale_config_drops_ = r.u64();
+  expired_reservations_ = r.u64();
+  corrupt_config_drops_ = r.u64();
 }
 
 }  // namespace hybridnoc

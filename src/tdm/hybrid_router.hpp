@@ -82,6 +82,11 @@ class HybridRouter : public Router {
   bool sched_busy() const override;
   Cycle sched_next_event(Cycle now) const override;
 
+  /// Checkpoint: base router state plus the slot table and CS counters.
+  /// Requires no in-flight circuit traversal or hitchhike latch.
+  void save_state(StateWriter& w) const override;
+  void restore_state(StateReader& r) override;
+
  protected:
   bool handle_arrival(Flit& flit, Port in, Cycle now) override;
   bool st_ok(Port in, Port out, Cycle st_cycle) override;

@@ -1,6 +1,7 @@
 #include "tdm/slot_table.hpp"
 
 #include "common/assert.hpp"
+#include "common/state_io.hpp"
 
 namespace hybridnoc {
 
@@ -149,6 +150,63 @@ void SlotTable::set_active_size(int active) {
   HN_CHECK(is_pow2(active) && active <= capacity_);
   reset();
   active_ = active;
+}
+
+void SlotTable::save_state(StateWriter& w) const {
+  w.section("slot_table");
+  w.i32(capacity_);
+  w.i32(active_);
+  w.b(track_expiry_);
+  for (int j = 0; j < kNumPorts; ++j) {
+    const Port in = static_cast<Port>(j);
+    w.i32(valid_by_port_[static_cast<size_t>(j)]);
+    for (int s = 0; s < active_; ++s) {
+      const Entry& e = at(s, in);
+      if (!e.valid) continue;
+      w.i32(s);
+      w.u8(static_cast<std::uint8_t>(e.out));
+      w.u64(e.owner);
+      w.u64(e.stamp);
+    }
+  }
+}
+
+void SlotTable::restore_state(StateReader& r) {
+  r.section("slot_table");
+  const int capacity = r.i32();
+  if (capacity != capacity_) throw StateError("slot-table capacity mismatch");
+  const int active = r.i32();
+  if (!is_pow2(active) || active > capacity_) {
+    throw StateError("slot-table active size invalid");
+  }
+  const bool track = r.b();
+  // Rebuild with tracking off so the entry fill carries no bucket
+  // bookkeeping, then re-enable to reindex from the restored entries.
+  const bool had_tracking = track_expiry_;
+  if (had_tracking) set_expiry_tracking(false);
+  set_active_size(active);
+  for (int j = 0; j < kNumPorts; ++j) {
+    const Port in = static_cast<Port>(j);
+    const int valid = r.i32();
+    if (valid < 0 || valid > active) {
+      throw StateError("slot-table valid count out of range");
+    }
+    for (int n = 0; n < valid; ++n) {
+      const int s = r.i32();
+      if (s < 0 || s >= active) throw StateError("slot index out of range");
+      Entry& e = at(s, in);
+      if (e.valid) throw StateError("duplicate slot entry");
+      e.valid = true;
+      e.out = static_cast<Port>(r.u8());
+      if (static_cast<int>(e.out) >= kNumPorts) {
+        throw StateError("slot entry port out of range");
+      }
+      e.owner = r.u64();
+      e.stamp = r.u64();
+      ++valid_by_port_[static_cast<size_t>(j)];
+    }
+  }
+  if (track) set_expiry_tracking(true);
 }
 
 }  // namespace hybridnoc

@@ -44,6 +44,9 @@
 
 namespace hybridnoc {
 
+class StateWriter;
+class StateReader;
+
 class SlotTable {
  public:
   /// `capacity` is the physical table size; `active` the initially powered
@@ -182,6 +185,15 @@ class SlotTable {
 
   /// Set the active region explicitly (clears the table).
   void set_active_size(int active);
+
+  /// Checkpoint: serialize active size, tracking mode and every valid entry
+  /// (sparse — owner/stamp/out per valid slot). The expiry-bucket index is
+  /// not serialized; restore rebuilds it, which preserves behaviour because
+  /// expiry callbacks are commutative across entries (see expire_older_than).
+  void save_state(StateWriter& w) const;
+  /// Restores into a table of the same capacity; throws StateError on a
+  /// structural mismatch (never aborts — a bad archive means "recompute").
+  void restore_state(StateReader& r);
 
  private:
   /// 1024-cycle expiry buckets, matching the routers' sweep cadence.

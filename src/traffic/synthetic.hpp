@@ -3,6 +3,7 @@
 // hotspot patterns commonly used alongside them (Dally & Towles).
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string>
 
@@ -51,6 +52,13 @@ class SyntheticTraffic {
 
   double packet_probability() const { return packet_prob_; }
   TrafficPattern pattern() const { return pattern_; }
+
+  /// RNG stream position — the generator's only mutable state, exposed so a
+  /// warmup checkpoint can resume the exact injection sequence.
+  std::array<std::uint64_t, 4> rng_state() const { return rng_.state(); }
+  void set_rng_state(const std::array<std::uint64_t, 4>& s) {
+    rng_.set_state(s);
+  }
 
  private:
   const Mesh& mesh_;

@@ -1,0 +1,156 @@
+// End-to-end crash-safety: run the real hybridnoc_sweep binary, SIGKILL it
+// mid-sweep (after the journal shows progress), rerun the same command, and
+// require the resumed aggregate to be byte-identical to an uninterrupted
+// run in a clean directory. This is the `kill -9` contract from the tool's
+// header, exercised through fork/exec — no in-process shortcuts.
+//
+// HN_SWEEP_TOOL is injected by CMake as $<TARGET_FILE:hybridnoc_sweep>.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fileio.hpp"
+
+namespace hybridnoc::sweep {
+namespace {
+
+// Big enough that the process is very unlikely to finish before the journal
+// shows first progress plus our kill latency; small enough to finish fast.
+constexpr const char* kSpecText =
+    "name = killres\n"
+    "set k = 4\n"
+    "set warmup_packets = 40\n"
+    "set warmup_min_cycles = 200\n"
+    "set measure_packets = 150\n"
+    "set max_cycles = 60000\n"
+    "sweep preset = packet_vc4, hybrid_tdm_vc4\n"
+    "sweep rate = 0.02, 0.04, 0.06, 0.08\n";
+
+class KillResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("hn_killres_") + ::testing::UnitTest::GetInstance()
+                                              ->current_test_info()
+                                              ->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    spec_path_ = dir_ + "/spec.txt";
+    ASSERT_TRUE(write_file_atomic(spec_path_, kSpecText));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  pid_t spawn_sweep(const std::string& out_dir) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      // Child: quiet stdout; the test reads state from the out dir.
+      ::freopen("/dev/null", "w", stdout);
+      execl(HN_SWEEP_TOOL, HN_SWEEP_TOOL, "run", "--spec",
+            spec_path_.c_str(), "--out", out_dir.c_str(), "--workers", "2",
+            static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    return pid;
+  }
+
+  /// Wait for the child and return its exit code (-signal if killed).
+  static int join(pid_t pid) {
+    int status = 0;
+    EXPECT_EQ(waitpid(pid, &status, 0), pid);
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) return -WTERMSIG(status);
+    return -1000;
+  }
+
+  /// Number of journaled `done` records (0 when the journal is absent).
+  static int done_count(const std::string& out_dir) {
+    std::string text;
+    if (!read_file(out_dir + "/journal", &text)) return 0;
+    int n = 0;
+    for (std::size_t pos = 0;
+         (pos = text.find(" done ", pos)) != std::string::npos; ++pos) {
+      ++n;
+    }
+    return n;
+  }
+
+  std::string dir_;
+  std::string spec_path_;
+};
+
+TEST_F(KillResumeTest, Sigkill9MidSweepResumesBitIdentically) {
+  // Reference: an uninterrupted run in its own directory.
+  const std::string clean_dir = dir_ + "/clean";
+  ASSERT_EQ(join(spawn_sweep(clean_dir)), 0);
+  std::string clean_aggregate;
+  ASSERT_TRUE(read_file(clean_dir + "/aggregate.tsv", &clean_aggregate));
+  EXPECT_NE(clean_aggregate.find("\tok\t"), std::string::npos);
+
+  // Victim: kill -9 once the journal proves real progress (>= 1 done, not
+  // yet all 8). If the process wins the race and finishes first, that run
+  // simply becomes a (valid) fully-complete first pass — the resume below
+  // must then be pure cache replay, which the byte-compare still verifies.
+  const std::string victim_dir = dir_ + "/victim";
+  const pid_t victim = spawn_sweep(victim_dir);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(2);
+  while (done_count(victim_dir) < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(done_count(victim_dir), 1) << "no progress before deadline";
+  kill(victim, SIGKILL);
+  const int killed_status = join(victim);
+  const int first_pass_done = done_count(victim_dir);
+
+  // Resume the identical command in the same directory: it must finish the
+  // remaining points and produce the exact bytes of the clean run.
+  ASSERT_EQ(join(spawn_sweep(victim_dir)), 0);
+  std::string resumed_aggregate;
+  ASSERT_TRUE(read_file(victim_dir + "/aggregate.tsv", &resumed_aggregate));
+  EXPECT_EQ(resumed_aggregate, clean_aggregate);
+
+  // When the kill landed mid-run (the overwhelmingly common case), check
+  // the resume actually had work left to do.
+  if (killed_status == -SIGKILL) {
+    EXPECT_LT(first_pass_done, 8) << "kill landed after completion";
+  }
+}
+
+TEST_F(KillResumeTest, ExpandModeListsAllPoints) {
+  // Smoke the expand path through the real binary too: 8 points, one line
+  // each plus the header.
+  const std::string cmd = std::string(HN_SWEEP_TOOL) + " expand --spec " +
+                          spec_path_ + " > " + dir_ + "/expand.txt";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  std::string text;
+  ASSERT_TRUE(read_file(dir_ + "/expand.txt", &text));
+  EXPECT_NE(text.find("8 points"), std::string::npos);
+  EXPECT_NE(text.find("preset=hybrid_tdm_vc4,rate=0.08"), std::string::npos);
+}
+
+TEST_F(KillResumeTest, MalformedSpecIsAStructuredError) {
+  ASSERT_TRUE(write_file_atomic(spec_path_, "set bogus_key = 1\n"));
+  const std::string cmd = std::string(HN_SWEEP_TOOL) + " run --spec " +
+                          spec_path_ + " --out " + dir_ + "/out 2> " +
+                          dir_ + "/err.txt > /dev/null";
+  const int rc = std::system(cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 2);  // structured error, not an abort
+  std::string err;
+  ASSERT_TRUE(read_file(dir_ + "/err.txt", &err));
+  EXPECT_NE(err.find("unknown key 'bogus_key'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hybridnoc::sweep

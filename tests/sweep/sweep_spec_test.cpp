@@ -1,0 +1,162 @@
+// Sweep-spec parsing and expansion: deterministic cartesian order,
+// content-addressing, and structured (never-aborting) error reporting.
+#include <gtest/gtest.h>
+
+#include "sweep/canonical.hpp"
+#include "sweep/sweep_spec.hpp"
+
+namespace hybridnoc::sweep {
+namespace {
+
+TEST(SweepSpec, ExpandsCartesianLastAxisFastest) {
+  SweepSpec spec;
+  SpecError err;
+  // `set k` comes after the preset axis: lines apply in file order and a
+  // preset resets the config wholesale.
+  ASSERT_TRUE(parse_sweep_spec("name = demo\n"
+                               "sweep preset = packet_vc4, hybrid_tdm_vc4\n"
+                               "set k = 4\n"
+                               "sweep rate = 0.02, 0.05, 0.08\n",
+                               &spec, &err))
+      << err.to_string();
+  EXPECT_EQ(spec.name, "demo");
+  ASSERT_EQ(spec.points.size(), 6u);
+  EXPECT_EQ(spec.axis_keys, (std::vector<std::string>{"preset", "rate"}));
+  EXPECT_EQ(spec.points[0].label, "preset=packet_vc4,rate=0.02");
+  EXPECT_EQ(spec.points[1].label, "preset=packet_vc4,rate=0.05");
+  EXPECT_EQ(spec.points[2].label, "preset=packet_vc4,rate=0.08");
+  EXPECT_EQ(spec.points[3].label, "preset=hybrid_tdm_vc4,rate=0.02");
+  EXPECT_EQ(spec.points[0].cfg.arch, RouterArch::PacketSwitched);
+  EXPECT_EQ(spec.points[3].cfg.arch, RouterArch::HybridTdm);
+  EXPECT_EQ(spec.points[0].cfg.k, 4);
+  EXPECT_EQ(spec.points[0].params.injection_rate, 0.02);
+  EXPECT_EQ(spec.points[1].params.injection_rate, 0.05);
+}
+
+TEST(SweepSpec, HashesAreContentAddresses) {
+  SweepSpec a, b;
+  SpecError err;
+  ASSERT_TRUE(parse_sweep_spec("set k = 4\nsweep rate = 0.02, 0.05\n", &a,
+                               &err));
+  // A differently written spec expanding to the same points shares hashes.
+  ASSERT_TRUE(parse_sweep_spec("# same thing\nset k=4\nsweep rate=0.02,0.05\n",
+                               &b, &err));
+  ASSERT_EQ(a.points.size(), 2u);
+  ASSERT_EQ(b.points.size(), 2u);
+  EXPECT_EQ(a.points[0].hash, b.points[0].hash);
+  EXPECT_EQ(a.points[1].hash, b.points[1].hash);
+  EXPECT_NE(a.points[0].hash, a.points[1].hash);
+  // ...but the spec digest is over the raw text (the resume guard).
+  EXPECT_NE(a.spec_digest, b.spec_digest);
+  EXPECT_EQ(a.points[0].hash,
+            config_hash(a.points[0].cfg, a.points[0].params));
+}
+
+TEST(SweepSpec, SetAppliesInFileOrderOverPreset) {
+  SweepSpec spec;
+  SpecError err;
+  ASSERT_TRUE(parse_sweep_spec("set preset = hybrid_tdm_vc4\n"
+                               "set k = 8\n"
+                               "set slot_table_size = 64\n",
+                               &spec, &err))
+      << err.to_string();
+  ASSERT_EQ(spec.points.size(), 1u);
+  EXPECT_EQ(spec.points[0].label, "point0");
+  EXPECT_EQ(spec.points[0].cfg.arch, RouterArch::HybridTdm);
+  EXPECT_EQ(spec.points[0].cfg.k, 8);
+  EXPECT_EQ(spec.points[0].cfg.slot_table_size, 64);
+}
+
+TEST(SweepSpec, CommentsAndBlanksIgnored) {
+  SweepSpec spec;
+  SpecError err;
+  ASSERT_TRUE(parse_sweep_spec("\n# header\n  \nset k = 4  # inline\n",
+                               &spec, &err))
+      << err.to_string();
+  EXPECT_EQ(spec.points[0].cfg.k, 4);
+}
+
+TEST(SweepSpecErrors, UnknownKey) {
+  SweepSpec spec;
+  SpecError err;
+  EXPECT_FALSE(parse_sweep_spec("set kk = 4\n", &spec, &err));
+  EXPECT_EQ(err.line, 1);
+  EXPECT_NE(err.message.find("unknown key 'kk'"), std::string::npos);
+}
+
+TEST(SweepSpecErrors, BadValue) {
+  SweepSpec spec;
+  SpecError err;
+  EXPECT_FALSE(parse_sweep_spec("set k = four\n", &spec, &err));
+  EXPECT_EQ(err.line, 1);
+  EXPECT_FALSE(parse_sweep_spec("sweep rate = 0.1, fast\n", &spec, &err));
+  EXPECT_EQ(err.line, 1);
+  EXPECT_FALSE(parse_sweep_spec("set preset = nonesuch\n", &spec, &err));
+  EXPECT_NE(err.message.find("unknown preset"), std::string::npos);
+}
+
+TEST(SweepSpecErrors, MalformedLine) {
+  SweepSpec spec;
+  SpecError err;
+  EXPECT_FALSE(parse_sweep_spec("set k 4\n", &spec, &err));
+  EXPECT_FALSE(parse_sweep_spec("frobnicate k = 4\n", &spec, &err));
+  EXPECT_FALSE(parse_sweep_spec("sweep rate =\n", &spec, &err));
+  EXPECT_FALSE(parse_sweep_spec("", &spec, &err));
+}
+
+// Config cross-validation runs per expanded point and reports a structured
+// error instead of aborting the process (HN_CHECK under ScopedCheckThrows).
+TEST(SweepSpecErrors, InvalidPointIsStructured) {
+  SweepSpec spec;
+  SpecError err;
+  EXPECT_FALSE(parse_sweep_spec("set k = -3\n", &spec, &err));
+  EXPECT_NE(err.message.find("invalid"), std::string::npos);
+}
+
+TEST(SweepSpecErrors, ExpansionLimit) {
+  std::string text;
+  // 8 axes x 10 values = 10^8 points: far past the limit.
+  for (int i = 0; i < 8; ++i) {
+    text += "sweep seed = 1,2,3,4,5,6,7,8,9,10\n";
+  }
+  SweepSpec spec;
+  SpecError err;
+  EXPECT_FALSE(parse_sweep_spec(text, &spec, &err));
+  EXPECT_NE(err.message.find("limit"), std::string::npos);
+}
+
+TEST(SweepSpec, LoadMissingFileIsStructured) {
+  SweepSpec spec;
+  SpecError err;
+  EXPECT_FALSE(load_sweep_spec("/nonexistent/spec.txt", &spec, &err));
+  EXPECT_NE(err.message.find("cannot read spec"), std::string::npos);
+}
+
+// The canonical form must separate points that differ in any behavioral
+// knob, and warmup identity must ignore measure-phase params.
+TEST(Canonical, HashSeparatesBehavioralKnobs) {
+  NocConfig cfg = NocConfig::hybrid_tdm_vc4(4);
+  RunParams params;
+  const std::uint64_t base = config_hash(cfg, params);
+
+  NocConfig cfg2 = cfg;
+  cfg2.slot_table_size = 64;
+  EXPECT_NE(config_hash(cfg2, params), base);
+
+  RunParams p2 = params;
+  p2.measure_packets += 1;
+  EXPECT_NE(config_hash(cfg, p2), base);
+  EXPECT_EQ(warmup_hash(cfg, p2), warmup_hash(cfg, params));
+
+  RunParams p3 = params;
+  p3.injection_rate += 0.01;
+  EXPECT_NE(warmup_hash(cfg, p3), warmup_hash(cfg, params));
+
+  // Engine knobs proven bit-identical are NOT part of the identity.
+  NocConfig cfg3 = cfg;
+  cfg3.active_set_scheduler = !cfg3.active_set_scheduler;
+  EXPECT_EQ(config_hash(cfg3, params), base);
+}
+
+}  // namespace
+}  // namespace hybridnoc::sweep

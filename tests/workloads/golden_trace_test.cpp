@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/fileio.hpp"
 #include "sim/driver.hpp"
 #include "traffic/trace.hpp"
 #include "workloads/workload.hpp"
@@ -136,10 +137,8 @@ TEST(GoldenTraceTest, FileDescriptorsLoadLikeBuiltins) {
   // nn:@file must resolve through the same parser: write the bundled
   // resnet50 text to a file and expect an identical trace.
   const std::string path = ::testing::TempDir() + "resnet50_6.nn";
-  {
-    std::ofstream out(path);
-    out << builtin_nn_descriptor_text("resnet50", 6);
-  }
+  ASSERT_TRUE(
+      write_file_atomic(path, builtin_nn_descriptor_text("resnet50", 6)));
   const WorkloadOptions o = nn_fixture_options();
   const WorkloadTrace from_file = build_workload("nn:@" + path, o);
   const WorkloadTrace builtin = build_workload("nn:resnet50", o);

@@ -14,8 +14,11 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
+#include "common/assert.hpp"
+#include "common/fileio.hpp"
 #include "common/table.hpp"
 #include "hetero/hetero_system.hpp"
 #include "sim/driver.hpp"
@@ -123,6 +126,42 @@ void emit(const Args& a, TextTable& t) {
   }
 }
 
+/// Builds the named workload with validation armed to throw: an unknown
+/// spec, an unreadable nn:@file descriptor, or a mismatched descriptor
+/// becomes a structured error on stderr and `false`, never an abort.
+bool build_workload_checked(const std::string& spec,
+                            const WorkloadOptions& opts, WorkloadTrace* out) {
+  try {
+    ScopedCheckThrows guard;
+    *out = build_workload(spec, opts);
+    return true;
+  } catch (const CheckFailure& e) {
+    std::cerr << "error: bad --workload '" << spec << "': " << e.what()
+              << "\n";
+    return false;
+  }
+}
+
+/// Loads a trace file with validation armed to throw, so a malformed entry
+/// or out-of-order cycle reports the offending file instead of aborting.
+bool load_trace_checked(const std::string& path,
+                        std::vector<TraceEntry>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open trace file '" << path << "'\n";
+    return false;
+  }
+  try {
+    ScopedCheckThrows guard;
+    *out = load_trace(in);
+    return true;
+  } catch (const CheckFailure& e) {
+    std::cerr << "error: malformed trace file '" << path << "': " << e.what()
+              << "\n";
+    return false;
+  }
+}
+
 WorkloadOptions workload_options(const Args& a, int k) {
   WorkloadOptions w;
   w.k = k;
@@ -141,8 +180,11 @@ int cmd_synth(const Args& a) {
   RunResult r;
   RunParams params;
   if (workload) {
-    const WorkloadTrace wt =
-        build_workload(a.get("workload", ""), workload_options(a, k));
+    WorkloadTrace wt;
+    if (!build_workload_checked(a.get("workload", ""), workload_options(a, k),
+                                &wt)) {
+      return 2;
+    }
     params = run_params(a, TrafficPattern::UniformRandom, wt.offered_rate);
     r = run_trace(cfg, wt.entries, params);
     source = wt.name;
@@ -217,8 +259,12 @@ int cmd_trace_gen(const Args& a) {
   const int k = static_cast<int>(a.num("k", 6));
   std::vector<TraceEntry> entries;
   if (a.flag("workload")) {
-    entries =
-        build_workload(a.get("workload", ""), workload_options(a, k)).entries;
+    WorkloadTrace wt;
+    if (!build_workload_checked(a.get("workload", ""), workload_options(a, k),
+                                &wt)) {
+      return 2;
+    }
+    entries = std::move(wt.entries);
   } else {
     const Mesh mesh(k);
     SyntheticTraffic traffic(mesh, pattern_arg(a.get("pattern", "uniform")),
@@ -231,8 +277,16 @@ int cmd_trace_gen(const Args& a) {
     }
   }
   const std::string path = a.get("out", "traffic.trace");
-  std::ofstream out(path);
+  // Atomic write-temp-then-rename: an interrupted trace-gen never leaves a
+  // half-written trace behind for trace-run to choke on.
+  std::ostringstream out;
   save_trace(out, entries);
+  std::string werr;
+  if (!write_file_atomic(path, out.str(), &werr)) {
+    std::cerr << "error: cannot write trace '" << path << "': " << werr
+              << "\n";
+    return 2;
+  }
   std::cout << "wrote " << entries.size() << " injections to " << path << "\n";
   return 0;
 }
@@ -240,12 +294,9 @@ int cmd_trace_gen(const Args& a) {
 int cmd_trace_run(const Args& a) {
   const int k = static_cast<int>(a.num("k", 6));
   auto net = make_network(arch_config(a, "tdm", k));
-  std::ifstream in(a.get("in", "traffic.trace"));
-  if (!in) {
-    std::cerr << "cannot open trace file\n";
-    return 2;
-  }
-  TraceTraffic traffic(load_trace(in));
+  std::vector<TraceEntry> entries;
+  if (!load_trace_checked(a.get("in", "traffic.trace"), &entries)) return 2;
+  TraceTraffic traffic(std::move(entries));
   StatAccumulator lat;
   net->set_deliver_handler([&](const PacketPtr& p, Cycle at) {
     lat.add(static_cast<double>(at - p->created));
