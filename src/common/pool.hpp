@@ -22,12 +22,18 @@
 // full poisoning coverage.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <new>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/alloc_stats.hpp"
 #include "common/types.hpp"
 
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
@@ -56,21 +62,23 @@ class BlockPool {
 
   void* allocate(std::size_t bytes) {
     const int b = bucket_of(bytes);
-    if (b >= 0) {
+    if (b >= 0 && enabled()) {
       std::lock_guard<std::mutex> lk(mu_);
       std::vector<void*>& list = free_[static_cast<std::size_t>(b)];
       if (!list.empty()) {
         void* p = list.back();
         list.pop_back();
+        alloc_stats_bump(AllocStats::instance().pool_hits);
         return p;
       }
     }
+    alloc_stats_bump(AllocStats::instance().pool_misses);
     return ::operator new(b >= 0 ? bucket_bytes(b) : bytes);
   }
 
   void deallocate(void* p, std::size_t bytes) {
     const int b = bucket_of(bytes);
-    if (b >= 0) {
+    if (b >= 0 && enabled()) {
       std::lock_guard<std::mutex> lk(mu_);
       std::vector<void*>& list = free_[static_cast<std::size_t>(b)];
       if (list.size() < kMaxPerBucket) {
@@ -79,6 +87,27 @@ class BlockPool {
       }
     }
     ::operator delete(p);
+  }
+
+  /// Runtime recycling switch. Off = every PoolAlloc allocation degrades to
+  /// plain operator new/delete, the same shared_ptr-compatible fallback the
+  /// sanitizer builds use — which is how the pool-on/pool-off twin-run test
+  /// and the asan leg exercise that path explicitly. Blocks allocated while
+  /// the pool was on still free correctly after a toggle: bucket sizes are
+  /// deterministic from the request size, and a disabled deallocate simply
+  /// returns the block to the system allocator instead of a free list.
+  /// Compile-time HN_POOL_DISABLED (sanitizers) overrides this to off.
+  static bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+  static void set_enabled(bool on) { enabled_flag().store(on, std::memory_order_relaxed); }
+
+  /// Drops every cached free block (testing hook; makes pool-off runs start
+  /// from the same cold allocator state as a fresh process).
+  void trim() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::vector<void*>& list : free_) {
+      for (void* p : list) ::operator delete(p);
+      list.clear();
+    }
   }
 
  private:
@@ -92,6 +121,11 @@ class BlockPool {
   }
   static std::size_t bucket_bytes(int b) {
     return (static_cast<std::size_t>(b) + 1) * kBucketStep;
+  }
+
+  static std::atomic<bool>& enabled_flag() {
+    static std::atomic<bool> on{true};
+    return on;
   }
 
   std::mutex mu_;
@@ -116,7 +150,7 @@ struct PoolAlloc {
     return static_cast<T*>(BlockPool::instance().allocate(n * sizeof(T)));
 #endif
   }
-  void deallocate(T* p, std::size_t n) {
+  void deallocate(T* p, [[maybe_unused]] std::size_t n) {
 #if HN_POOL_DISABLED
     ::operator delete(p);
 #else
@@ -134,16 +168,37 @@ struct PoolAlloc {
   }
 };
 
+/// Pool-backed drop-in aliases for the ordered/unordered containers that
+/// insert on the steady-state path (NI assembly maps, e2e bookkeeping,
+/// connection tables). Node allocations route through BlockPool, so after
+/// warmup an insert/erase cycle touches only the free lists.
+template <typename K, typename V, typename Cmp = std::less<K>>
+using PooledMap = std::map<K, V, Cmp, PoolAlloc<std::pair<const K, V>>>;
+template <typename K, typename Cmp = std::less<K>>
+using PooledSet = std::set<K, Cmp, PoolAlloc<K>>;
+template <typename K, typename V, typename Hash = std::hash<K>>
+using PooledUMap =
+    std::unordered_map<K, V, Hash, std::equal_to<K>, PoolAlloc<std::pair<const K, V>>>;
+template <typename K, typename Hash = std::hash<K>>
+using PooledUSet = std::unordered_set<K, Hash, std::equal_to<K>, PoolAlloc<K>>;
+
 /// Mint a Packet whose storage (object + control block, fused by
 /// allocate_shared) comes from the block pool. Drop-in replacement for
 /// std::make_shared<Packet>() at every injection site.
 inline PacketPtr make_packet() {
+  alloc_stats_bump(AllocStats::instance().packets_minted);
   return std::allocate_shared<Packet>(PoolAlloc<Packet>{});
 }
 
-/// Pool-backed copy-construction (retransmission and hop-off clones).
+/// Pool-backed copy-construction (retransmission and hop-off clones). The
+/// clone starts outside any flight: the copied self-anchor would otherwise
+/// pin the *source* packet, and the clone's own flits are minted later.
 inline PacketPtr make_packet(const Packet& src) {
-  return std::allocate_shared<Packet>(PoolAlloc<Packet>{}, src);
+  alloc_stats_bump(AllocStats::instance().packets_minted);
+  PacketPtr p = std::allocate_shared<Packet>(PoolAlloc<Packet>{}, src);
+  p->flight.reset();
+  p->live_flits = 0;
+  return p;
 }
 
 }  // namespace hybridnoc

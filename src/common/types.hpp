@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 
+#include "common/alloc_stats.hpp"
 #include "common/assert.hpp"
 
 namespace hybridnoc {
@@ -75,9 +77,10 @@ enum class Switching : std::uint8_t { Packet, Circuit };
 /// Coarse producer classes used for statistics and per-class policies.
 enum class TrafficClass : std::uint8_t { Synthetic, Cpu, Gpu, Config };
 
-/// One network packet. Flits hold a shared_ptr to their packet so that any
-/// router stage can reach routing and accounting metadata without copying it
-/// into every flit.
+/// One network packet. Flits carry a raw pointer to their packet; the packet
+/// keeps itself alive while any of its flits are in flight via the `flight`
+/// self-anchor (see begin_flight/consume_flit below), so router stages reach
+/// routing and accounting metadata without any per-flit refcount traffic.
 struct Packet {
   PacketId id = 0;
   NodeId src = kInvalidNode;
@@ -150,15 +153,53 @@ struct Packet {
   bool is_hitchhiker() const { return share_in_port >= 0; }
 
   bool is_config() const { return type != MsgType::Data; }
+
+  // --- flit-flight lifetime (transient; never serialized) ---
+  /// Self-reference held from the moment the packet's flits are minted until
+  /// the last one is consumed. This single acquire/release pair replaces the
+  /// per-flit shared_ptr copies of the old Flit layout. A default copy would
+  /// carry a stray reference to the source, so make_packet(const Packet&)
+  /// clears both fields on every clone.
+  std::shared_ptr<Packet> flight;
+  /// Flits of this packet not yet terminally consumed (ejected at an NI,
+  /// evaporated at a router, or cancelled from a CS plan). The flit count is
+  /// committed up front at begin_flight, so it reaches zero exactly when the
+  /// whole packet has been accounted for.
+  int live_flits = 0;
 };
 
 using PacketPtr = std::shared_ptr<Packet>;
 
+/// Anchors `p` for transmission: every one of its `num_flits` flits is now
+/// either in flight or still to be minted, and the packet owns itself until
+/// consume_flit returns the anchor.
+inline void begin_flight(const PacketPtr& p) {
+  HN_CHECK_MSG(p && !p->flight && p->live_flits == 0, "packet already in flight");
+  HN_CHECK_MSG(p->num_flits > 0, "flightless packet");
+  p->flight = p;
+  p->live_flits = p->num_flits;
+  alloc_stats_bump(AllocStats::instance().flight_acquires);
+}
+
+/// Terminal consumption of one in-flight flit of `p`. Returns the packet's
+/// anchor — non-null exactly when this was the last live flit, at which point
+/// the caller becomes the sole owner (destination delivery) or lets the
+/// packet die by dropping the return value (router evaporation).
+inline PacketPtr consume_flit(Packet* p) {
+  HN_CHECK_MSG(p && p->live_flits > 0, "consume_flit on a packet with no live flits");
+  if (--p->live_flits > 0) return nullptr;
+  alloc_stats_bump(AllocStats::instance().flight_releases);
+  return std::move(p->flight);
+}
+
 enum class FlitType : std::uint8_t { Head, Body, Tail, HeadTail };
 
-/// Unit of flow control: 16 bytes on the wire (Table I).
+/// Unit of flow control: 16 bytes on the wire (Table I). Trivially copyable:
+/// the packet handle is a raw pointer kept alive by the packet's flight
+/// anchor, so moving a flit through channels and FIFOs is a plain copy with
+/// no refcount or allocator traffic.
 struct Flit {
-  PacketPtr pkt;
+  Packet* pkt = nullptr;
   FlitType type = FlitType::HeadTail;
   int seq = 0;  ///< position within the packet, 0-based
   Switching switching = Switching::Packet;

@@ -4,7 +4,7 @@
 // Mesh/routing code for topology, the TDM SlotTable for circuit
 // reservations, and the event-based energy model's counting rules, so it
 // produces the same RunResult stats surface (latency histogram, energy
-// counters, CS flit fraction) as the cycle core at ~100x the cycle
+// counters, CS flit fraction) as the cycle core at ~75x the cycle
 // throughput (gated by bench_fastmodel_speedup).
 //
 // Timing model, calibrated against the cycle core's zero-load pipeline

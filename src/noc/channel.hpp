@@ -10,12 +10,12 @@
 // (Section II-B).
 #pragma once
 
-#include <deque>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/ring.hpp"
 #include "common/types.hpp"
 #include "noc/scheduler.hpp"
 
@@ -72,11 +72,24 @@ class Channel : public ChannelBase {
   }
 
   void commit_staged() override {
+    if (staging_.empty()) return;
+    // One ordering check against the live queue, then one wake per distinct
+    // ready cycle: staged sends arrive in issue order, so equal ready cycles
+    // (the common case — one compute phase stages one cycle's sends) are
+    // contiguous and need a single wake_at.
+    HN_CHECK_MSG(queue_.empty() || queue_.back().ready <= staging_.front().ready,
+                 "channel writes must be issued in cycle order");
+    Cycle prev = staging_.front().ready;
+    Cycle last_waked = kCycleNever;
     for (Entry& e : staging_) {
-      HN_CHECK_MSG(queue_.empty() || queue_.back().ready <= e.ready,
-                   "channel writes must be issued in cycle order");
+      HN_CHECK_MSG(prev <= e.ready, "staged channel writes out of cycle order");
+      prev = e.ready;
+      const Cycle ready = e.ready;
       queue_.push_back(std::move(e));
-      if (sched_) sched_->wake_at(consumer_, queue_.back().ready);
+      if (sched_ && ready != last_waked) {
+        sched_->wake_at(consumer_, ready);
+        last_waked = ready;
+      }
     }
     staging_.clear();
   }
@@ -115,12 +128,21 @@ class Channel : public ChannelBase {
   size_t in_flight() const { return queue_.size(); }
   int latency() const { return latency_; }
 
+  /// Invoke `fn(item)` on every queued and staged entry, in order. Used by
+  /// the network teardown drain to release flight anchors of in-flight
+  /// traffic when a simulation is destroyed mid-run.
+  template <typename Fn>
+  void visit_in_flight(Fn fn) {
+    for (std::size_t i = 0; i < queue_.size(); ++i) fn(queue_[i].item);
+    for (Entry& e : staging_) fn(e.item);
+  }
+
  private:
   struct Entry {
-    Cycle ready;
-    T item;
+    Cycle ready = 0;
+    T item{};
   };
-  std::deque<Entry> queue_;
+  RingDeque<Entry> queue_;
   std::vector<Entry> staging_;  ///< cross-shard outbox (staged mode only)
   int latency_;
   TickScheduler* sched_ = nullptr;  ///< null under the legacy full sweep

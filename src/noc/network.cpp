@@ -1,6 +1,7 @@
 #include "noc/network.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/state_io.hpp"
 #include "noc/parallel_engine.hpp"
@@ -43,7 +44,29 @@ Network::Network(const NocConfig& cfg, RouterFactory make_router, NiFactory make
   if (cfg_.link_ber > 0.0) ensure_fault_model();
 }
 
-Network::~Network() = default;
+Network::~Network() {
+  // Teardown drain: flits reference their packet through a raw pointer and
+  // the packet keeps itself alive via its flight anchor until every flit is
+  // terminally consumed. A network destroyed mid-run still holds unconsumed
+  // flits (channels, router buffers, NI plans); release each distinct
+  // packet's anchor exactly once so nothing leaks. Dedup before releasing —
+  // a packet's flits are usually spread across several containers, and the
+  // first release may destroy the Packet object.
+  std::vector<Packet*> in_flight;
+  for (auto& ch : flit_channels_) {
+    ch->visit_in_flight([&](const Flit& f) {
+      if (f.pkt) in_flight.push_back(f.pkt);
+    });
+  }
+  for (const auto& r : routers_) r->collect_in_flight(in_flight);
+  for (const auto& ni : nis_) ni->collect_in_flight(in_flight);
+  std::unordered_set<Packet*> seen;
+  for (Packet* p : in_flight) {
+    if (!seen.insert(p).second) continue;
+    p->live_flits = 0;
+    PacketPtr anchor = std::move(p->flight);  // dropped at scope exit
+  }
+}
 
 void Network::set_engine_force_serial(bool on) {
   if (engine_) engine_->set_force_serial(on);
@@ -256,6 +279,12 @@ EnergyCounters Network::total_energy() const {
 TickProfile Network::tick_profile() const {
   TickProfile p = profile_;
   if (engine_) engine_->accumulate_profile(p);
+  const AllocStats::Snapshot now = AllocStats::instance().snapshot();
+  p.packets_minted = now.packets_minted - alloc_base_.packets_minted;
+  p.pool_hits = now.pool_hits - alloc_base_.pool_hits;
+  p.pool_misses = now.pool_misses - alloc_base_.pool_misses;
+  p.flight_acquires = now.flight_acquires - alloc_base_.flight_acquires;
+  p.flight_releases = now.flight_releases - alloc_base_.flight_releases;
   return p;
 }
 

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/alloc_stats.hpp"
 #include "common/config.hpp"
 #include "common/geometry.hpp"
 #include "noc/channel.hpp"
@@ -33,6 +34,15 @@ struct TickProfile {
   std::uint64_t watchdog_sweeps = 0;  ///< full watchdog scans (1024-cycle)
   std::uint64_t ff_jumps = 0;         ///< fast-forward quiescent jumps
   std::uint64_t ff_skipped_cycles = 0;  ///< cycles skipped by those jumps
+  // Allocation / packet-lifetime telemetry (deltas of the process-wide
+  // AllocStats counters since this network was constructed). Divided by
+  // `cycles` these give the loaded path's residual allocator and refcount
+  // traffic — the quantities the allocation-free overhaul drives to zero.
+  std::uint64_t packets_minted = 0;   ///< make_packet calls (pool-backed)
+  std::uint64_t pool_hits = 0;        ///< pooled allocs served from a free list
+  std::uint64_t pool_misses = 0;      ///< pooled allocs that hit operator new
+  std::uint64_t flight_acquires = 0;  ///< packet flight anchors taken
+  std::uint64_t flight_releases = 0;  ///< anchors dropped (all flits consumed)
 };
 
 /// Per-run fault-tolerance outcome: how much workload survived, what the
@@ -200,6 +210,8 @@ class Network {
   /// branch on a bool instead of a 64-bit compare.
   bool watchdog_enabled_ = false;
   mutable TickProfile profile_;
+  /// AllocStats baseline at construction; tick_profile() reports deltas.
+  AllocStats::Snapshot alloc_base_ = AllocStats::instance().snapshot();
   /// total_energy memo: valid while the clock stays at energy_memo_at_.
   /// Energy only mutates inside component ticks (and settle_energy, which
   /// by construction does not change the settled total at a fixed cycle),

@@ -58,6 +58,11 @@ bool NetworkInterface::holds_vc_allocation(Port out_port, int vc) const {
   return out_vcs_[static_cast<size_t>(vc)].busy;
 }
 
+void NetworkInterface::collect_in_flight(std::vector<Packet*>& out) const {
+  for (const auto& [id, partial] : assembly_)
+    if (partial.pkt) out.push_back(partial.pkt);
+}
+
 void NetworkInterface::tick(Cycle now) {
   if (now > accounted_until_) {
     accumulate_idle_energy(energy_, now - accounted_until_);
@@ -99,25 +104,35 @@ void NetworkInterface::eject_tick(Cycle now) {
     if (f->switching == Switching::Packet && eject_credits_out_) {
       eject_credits_out_->send({f->vc}, now);
     }
-    const PacketPtr& pkt = f->pkt;
+    Packet* pkt = f->pkt;
     HN_CHECK(pkt != nullptr);
     // End-of-path CRC: one dirty flit poisons the whole packet.
     if (f->corrupted) poisoned_.insert(pkt->id);
-    int& got = assembly_[pkt->id];
-    ++got;
-    if (got < pkt->num_flits) continue;
-    assembly_.erase(pkt->id);
+    // Terminal consumption: `whole` holds the packet's flight anchor iff
+    // this flit completed it (every flit of a delivered packet ejects here,
+    // so the tail's consumption and assembly completion coincide).
+    PacketPtr whole = consume_flit(pkt);
+    if (pkt->num_flits > 1) {
+      Assembly& partial = assembly_[pkt->id];
+      partial.pkt = pkt;
+      if (++partial.got < pkt->num_flits) {
+        HN_CHECK_MSG(whole == nullptr, "flight anchor released mid-assembly");
+        continue;
+      }
+      assembly_.erase(pkt->id);
+    }
+    HN_CHECK_MSG(whole != nullptr, "assembled packet's anchor held elsewhere");
     if (poisoned_.erase(pkt->id) > 0) {
       // Squash instead of delivering garbage; the origin's retransmission
       // timer (or, for config, the protocol's own timeouts) recovers.
       ++crc_squashed_packets_;
-      on_packet_squashed(pkt, now);
+      on_packet_squashed(whole, now);
       continue;
     }
     if (pkt->is_config()) {
-      handle_config(pkt, now);
+      handle_config(whole, now);
     } else {
-      handle_delivery(pkt, now);
+      handle_delivery(whole, now);
     }
   }
 }
@@ -242,7 +257,8 @@ void NetworkInterface::e2e_tick(Cycle now) {
   if (outstanding_.empty()) return;
   // Collect due entries and process in id order so behaviour never depends
   // on hash-map iteration order.
-  std::vector<PacketId> due;
+  std::vector<PacketId>& due = e2e_due_;
+  due.clear();
   for (const auto& [key, o] : outstanding_) {
     if (now >= o.next_retx) due.push_back(key);
   }
@@ -328,7 +344,7 @@ void NetworkInterface::inject_tick(Cycle now) {
     if (!vc.busy || !vc.pkt || vc.credits <= 0) continue;
     const PacketPtr& pkt = vc.pkt;
     Flit f;
-    f.pkt = pkt;
+    f.pkt = pkt.get();
     f.seq = vc.next_seq;
     f.vc = v;
     f.switching = Switching::Packet;
@@ -342,6 +358,10 @@ void NetworkInterface::inject_tick(Cycle now) {
       f.type = FlitType::Body;
     }
     if (vc.next_seq == 0) {
+      // Head flit: anchor the packet for its whole flight. This is the one
+      // refcount operation of the packet-switched path; every flit below
+      // carries the raw pointer.
+      begin_flight(pkt);
       pkt->injected = now;
       if (cfg_.e2e_recovery) e2e_launched(pkt, now);
       if (pkt->e2e_ack) acks_pending_.erase(static_cast<PacketId>(pkt->payload));
@@ -412,9 +432,8 @@ bool NetworkInterface::try_start_packet(Cycle now) {
     auto& vc = out_vcs_[static_cast<size_t>(v)];
     if (vc.busy || vc.tail_sent || vc.credits != cfg_.vc_buffer_depth) continue;
     vc.busy = true;
-    vc.pkt = queue_.front();
+    vc.pkt = queue_.pop_front();
     vc.next_seq = 0;
-    queue_.pop_front();
     if (!vc.pkt->is_config() && !vc.pkt->reinjected) ++data_packets_sent_;
     return true;
   }

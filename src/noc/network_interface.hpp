@@ -9,14 +9,13 @@
 #pragma once
 
 #include <array>
-#include <deque>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/geometry.hpp"
+#include "common/pool.hpp"
+#include "common/ring.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "noc/channel.hpp"
@@ -88,6 +87,11 @@ class NetworkInterface : public VcHolder {
 
   // VcHolder: allocation state of the router's local input VCs.
   bool holds_vc_allocation(Port out_port, int vc) const override;
+
+  /// Append every packet this NI still pins through a flight anchor
+  /// (partial assemblies; the hybrid NI adds its CS injection plan) to
+  /// `out`. Teardown support — see Router::collect_in_flight.
+  virtual void collect_in_flight(std::vector<Packet*>& out) const;
 
   const int* eject_active_vcs_ptr() const { return &eject_active_vcs_; }
 
@@ -231,7 +235,7 @@ class NetworkInterface : public VcHolder {
   FlitChannel* eject_ = nullptr;
   CreditChannel* eject_credits_out_ = nullptr;
 
-  std::deque<PacketPtr> queue_;
+  RingDeque<PacketPtr> queue_;
   std::vector<OutVc> out_vcs_;
   int inject_rr_ = 0;
   /// See Router::accounted_until_: cycles with energy constants folded in.
@@ -266,7 +270,14 @@ class NetworkInterface : public VcHolder {
   void e2e_acked(PacketId key, Cycle now);
   void send_e2e_ack(const PacketPtr& pkt, PacketId key, Cycle now);
 
-  std::unordered_map<PacketId, int> assembly_;
+  /// One partially reassembled packet. The raw pointer stays valid because
+  /// the packet's flight anchor is released only when its last flit ejects —
+  /// the same event that completes the assembly.
+  struct Assembly {
+    int got = 0;
+    Packet* pkt = nullptr;
+  };
+  PooledUMap<PacketId, Assembly> assembly_;
   DeliverFn deliver_;
   bool stage_deliveries_ = false;
   std::vector<std::pair<PacketPtr, Cycle>> staged_deliveries_;
@@ -275,15 +286,18 @@ class NetworkInterface : public VcHolder {
   double ewma_inject_delay_ = 0.0;
 
   /// Keyed by original packet id (the end-to-end sequence number).
-  std::unordered_map<PacketId, Outstanding> outstanding_;
+  PooledUMap<PacketId, Outstanding> outstanding_;
   /// Packet ids that arrived with at least one CRC-flagged flit; the whole
   /// packet is squashed at assembly.
-  std::unordered_set<PacketId> poisoned_;
+  PooledUSet<PacketId> poisoned_;
   /// Destination-side dedup: end-to-end keys already delivered here.
-  std::unordered_set<PacketId> e2e_seen_;
+  PooledUSet<PacketId> e2e_seen_;
   /// Keys with an ack built but not yet launched (ack coalescing): a burst
   /// of duplicate copies yields one queued ack, not one per copy.
-  std::unordered_set<PacketId> acks_pending_;
+  PooledUSet<PacketId> acks_pending_;
+  /// Scratch for e2e_tick's deterministic due-entry sweep (member so the
+  /// steady-state loop reuses its capacity instead of reallocating).
+  std::vector<PacketId> e2e_due_;
   Rng e2e_rng_;  ///< retransmission jitter (only drawn when e2e is on)
 
   std::uint64_t retransmits_ = 0;

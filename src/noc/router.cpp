@@ -1,6 +1,7 @@
 #include "noc/router.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/state_io.hpp"
 #include "noc/fault_model.hpp"
@@ -10,6 +11,7 @@ namespace hybridnoc {
 
 Router::Router(const NocConfig& cfg, NodeId id, const Mesh& mesh)
     : cfg_(cfg), id_(id), mesh_(mesh), announced_active_vcs_(cfg.num_vcs) {
+  HN_CHECK_MSG(cfg_.num_vcs <= 32, "VC-state bitmasks hold at most 32 VCs");
   for (auto& ip : in_) {
     ip.vcs.resize(static_cast<size_t>(cfg_.num_vcs));
   }
@@ -17,6 +19,8 @@ Router::Router(const NocConfig& cfg, NodeId id, const Mesh& mesh)
     op.credits.assign(static_cast<size_t>(cfg_.num_vcs), cfg_.vc_buffer_depth);
     op.vc_busy.assign(static_cast<size_t>(cfg_.num_vcs), false);
     op.tail_sent.assign(static_cast<size_t>(cfg_.num_vcs), false);
+    op.grantable_mask =
+        cfg_.num_vcs >= 32 ? ~0u : ((1u << static_cast<unsigned>(cfg_.num_vcs)) - 1u);
   }
 }
 
@@ -91,6 +95,7 @@ void Router::receive_credits(Cycle now) {
       if (op.tail_sent[v] && op.credits[v] == cfg_.vc_buffer_depth) {
         op.vc_busy[v] = false;
         op.tail_sent[v] = false;
+        op.grantable_mask |= 1u << v;
       }
     }
   }
@@ -113,7 +118,12 @@ void Router::receive_flits(Cycle now) {
           ++energy_.buffer_writes;
           ++energy_.buffer_reads;
           if (ip.credit_out) ip.credit_out->send({f->vc}, now);
-          on_config_corrupt(f->pkt);
+          // Terminal consumption: config packets are single-flit, so this
+          // returns the flight anchor, which keeps the packet alive through
+          // the corrupt-config hook and then lets it die.
+          PacketPtr gone = consume_flit(f->pkt);
+          HN_CHECK_MSG(gone != nullptr, "corrupt config flit was not its packet's last");
+          on_config_corrupt(gone.get());
           continue;
         }
       }
@@ -131,16 +141,19 @@ void Router::receive_flits(Cycle now) {
         if (!route) {
           // Consumed by the protocol (e.g. a teardown that reached the node
           // where its setup failed). Single-flit packets only; the buffer
-          // slot is freed immediately.
+          // slot is freed immediately and the flight anchor drops here.
           HN_CHECK(f->is_tail());
           ++energy_.buffer_reads;
           if (ip.credit_out) ip.credit_out->send({f->vc}, now);
+          PacketPtr gone = consume_flit(f->pkt);
+          HN_CHECK_MSG(gone != nullptr, "protocol-consumed flit was not its packet's last");
           continue;
         }
         st.pkt = f->pkt;
         st.out_port = *route;
         st.out_vc = -1;
         st.state = VcState::S::WaitVc;
+        ip.wait_mask |= 1u << v;
         st.va_eligible = now + 1;
       } else {
         HN_CHECK_MSG(st.state != VcState::S::Idle, "body flit into an idle VC");
@@ -154,29 +167,38 @@ void Router::receive_flits(Cycle now) {
 
 void Router::vc_allocate(Cycle now) {
   for (auto& ip : in_) {
-    if (!ip.data) continue;
-    for (auto& st : ip.vcs) {
-      if (st.state != VcState::S::WaitVc || now < st.va_eligible) continue;
+    // Only VCs whose head flit is waiting for a downstream VC compete; the
+    // mask walk visits them in ascending VC order, exactly like the dense
+    // scan it replaces (non-waiting VCs failed its first check anyway).
+    std::uint32_t pending = ip.wait_mask;
+    while (pending) {
+      const auto vi = static_cast<unsigned>(std::countr_zero(pending));
+      pending &= pending - 1;
+      VcState& st = ip.vcs[vi];
+      if (now < st.va_eligible) continue;
       auto& op = out_[static_cast<size_t>(st.out_port)];
       const int active = op.downstream_active_vcs ? *op.downstream_active_vcs
                                                   : cfg_.num_vcs;
       // Conservative atomic reallocation: a downstream VC is granted only
-      // when unallocated and with a full credit pile.
-      int grant = -1;
-      for (int i = 0; i < active; ++i) {
-        const int v = (op.va_rr + i) % active;
-        const auto vs = static_cast<size_t>(v);
-        if (!op.vc_busy[vs] && !op.tail_sent[vs] &&
-            op.credits[vs] == cfg_.vc_buffer_depth) {
-          grant = v;
-          break;
-        }
-      }
-      if (grant < 0) continue;
+      // when unallocated and with a full credit pile — i.e. a grantable_mask
+      // bit below the downstream active-VC boundary. The round-robin scan
+      // starts at va_rr % active (what the dense (va_rr + i) % active walk
+      // visits first) and wraps to the lowest eligible lane.
+      const std::uint32_t lanes =
+          active >= 32 ? ~0u : ((1u << static_cast<unsigned>(active)) - 1u);
+      const std::uint32_t eligible = op.grantable_mask & lanes;
+      if (eligible == 0) continue;
+      const int start = op.va_rr % active;
+      const std::uint32_t at_or_after = eligible >> static_cast<unsigned>(start);
+      const int grant = at_or_after != 0 ? start + std::countr_zero(at_or_after)
+                                         : std::countr_zero(eligible);
       op.vc_busy[static_cast<size_t>(grant)] = true;
+      op.grantable_mask &= ~(1u << static_cast<unsigned>(grant));
       op.va_rr = (grant + 1) % active;
       st.out_vc = grant;
       st.state = VcState::S::Active;
+      ip.wait_mask &= ~(1u << vi);
+      ip.active_mask |= 1u << vi;
       st.sa_eligible = now + 1;
       ++energy_.vc_arbs;
     }
@@ -184,17 +206,25 @@ void Router::vc_allocate(Cycle now) {
 }
 
 int Router::pick_sa_candidate(InputPort& ip, Port p, Cycle now) {
-  const int n = cfg_.num_vcs;
-  for (int i = 0; i < n; ++i) {
-    const int v = (ip.sa_rr + i) % n;
-    VcState& st = ip.vcs[static_cast<size_t>(v)];
-    if (st.state != VcState::S::Active || st.fifo.empty()) continue;
-    if (now < st.sa_eligible) continue;
-    if (st.fifo.front().bw_cycle >= now) continue;  // min 1 cycle in buffer
-    auto& op = out_[static_cast<size_t>(st.out_port)];
-    if (op.credits[static_cast<size_t>(st.out_vc)] <= 0) continue;
-    if (!st_ok(p, st.out_port, now + 1)) continue;
-    return v;
+  // Round-robin over the *active* VCs only: bits at or above sa_rr in
+  // ascending order, then the wrapped-around low bits — the same visit
+  // order as the dense (sa_rr + i) % n scan restricted to Active VCs.
+  std::uint32_t cur = ip.active_mask;
+  if (cur == 0) return -1;
+  const std::uint32_t low = cur & ((1u << static_cast<unsigned>(ip.sa_rr)) - 1u);
+  cur ^= low;  // bits >= sa_rr
+  for (int pass = 0; pass < 2; ++pass, cur = low) {
+    while (cur) {
+      const auto v = static_cast<unsigned>(std::countr_zero(cur));
+      cur &= cur - 1;
+      VcState& st = ip.vcs[v];
+      if (st.fifo.empty() || now < st.sa_eligible) continue;
+      if (st.fifo.front().bw_cycle >= now) continue;  // min 1 cycle in buffer
+      auto& op = out_[static_cast<size_t>(st.out_port)];
+      if (op.credits[static_cast<size_t>(st.out_vc)] <= 0) continue;
+      if (!st_ok(p, st.out_port, now + 1)) continue;
+      return static_cast<int>(v);
+    }
   }
   return -1;
 }
@@ -204,11 +234,15 @@ void Router::switch_allocate(Cycle now) {
   // port per output port; both arbiters are round-robin.
   std::array<int, kNumPorts> candidate{};
   candidate.fill(-1);
+  bool any_candidate = false;
   for (int p = 0; p < kNumPorts; ++p) {
     auto& ip = in_[static_cast<size_t>(p)];
-    if (!ip.data) continue;
-    candidate[static_cast<size_t>(p)] = pick_sa_candidate(ip, static_cast<Port>(p), now);
+    if (!ip.active_mask) continue;  // no Active VC, no candidate
+    const int c = pick_sa_candidate(ip, static_cast<Port>(p), now);
+    candidate[static_cast<size_t>(p)] = c;
+    any_candidate = any_candidate || c >= 0;
   }
+  if (!any_candidate) return;
   for (int o = 0; o < kNumPorts; ++o) {
     auto& op = out_[static_cast<size_t>(o)];
     if (!op.data) continue;
@@ -231,8 +265,7 @@ void Router::switch_allocate(Cycle now) {
     VcState& st = ip.vcs[static_cast<size_t>(v)];
     ip.sa_rr = (v + 1) % cfg_.num_vcs;
 
-    BufferedFlit bf = st.fifo.front();
-    st.fifo.pop_front();
+    BufferedFlit bf = st.fifo.pop_front();
     residency_sum_ += static_cast<std::uint64_t>(now - bf.bw_cycle);
     ++residency_count_;
     ++energy_.buffer_reads;
@@ -247,7 +280,8 @@ void Router::switch_allocate(Cycle now) {
       HN_CHECK_MSG(st.fifo.empty(), "flits behind a tail in a wormhole VC");
       op.tail_sent[static_cast<size_t>(st.out_vc)] = true;
       st.state = VcState::S::Idle;
-      st.pkt.reset();
+      ip.active_mask &= ~(1u << static_cast<unsigned>(v));
+      st.pkt = nullptr;
       st.out_vc = -1;
     }
     st_regs_.push_back({flit, static_cast<Port>(o), now + 1});
@@ -320,7 +354,7 @@ bool Router::st_ok(Port in, Port out, Cycle st_cycle) {
   return true;
 }
 
-std::optional<Port> Router::compute_route(const PacketPtr& pkt, Port in, Cycle now) {
+std::optional<Port> Router::compute_route(Packet* pkt, Port in, Cycle now) {
   (void)in;
   if (pkt->dst == id_) return Port::Local;
   if (pkt->is_config()) return route_adaptive(pkt->dst, now);
@@ -336,13 +370,24 @@ std::optional<Port> Router::compute_route(const PacketPtr& pkt, Port in, Cycle n
   return route_data(pkt->dst);
 }
 
-bool Router::idle() const {
-  if (!st_regs_.empty()) return false;
+void Router::collect_in_flight(std::vector<Packet*>& out) const {
   for (const auto& ip : in_) {
     if (!ip.data) continue;
-    for (const auto& st : ip.vcs) {
-      if (st.state != VcState::S::Idle || !st.fifo.empty()) return false;
-    }
+    for (const auto& st : ip.vcs)
+      for (const auto& bf : st.fifo)
+        if (bf.flit.pkt) out.push_back(bf.flit.pkt);
+  }
+  for (const auto& sr : st_regs_)
+    if (sr.flit.pkt) out.push_back(sr.flit.pkt);
+}
+
+bool Router::idle() const {
+  if (!st_regs_.empty()) return false;
+  // A non-Idle VC is exactly a set mask bit, and a buffered flit implies a
+  // non-Idle VC (head flits flip Idle -> WaitVc before entering the FIFO,
+  // and the tail leaves an empty FIFO behind when the VC goes Idle).
+  for (const auto& ip : in_) {
+    if (ip.wait_mask | ip.active_mask) return false;
   }
   return true;
 }
@@ -374,11 +419,8 @@ void Router::vc_gating_tick(Cycle now) {
   }
 
   int busy = 0;
-  for (const auto& ip : in_) {
-    if (!ip.data) continue;
-    for (const auto& st : ip.vcs)
-      if (st.state != VcState::S::Idle) ++busy;
-  }
+  for (const auto& ip : in_)
+    busy += std::popcount(ip.wait_mask | ip.active_mask);
   busy_vc_integral_ += static_cast<std::uint64_t>(busy);
 
   if (now < epoch_start_ + static_cast<Cycle>(cfg_.vc_gate_epoch_cycles)) return;
@@ -550,6 +592,13 @@ void Router::restore_state(StateReader& r) {
     // The congestion-metric cache keys off downstream gating state that may
     // have changed: recompute on first use.
     op.cached_active = -1;
+    op.grantable_mask = 0;
+    for (size_t v = 0; v < op.vc_busy.size(); ++v) {
+      if (!op.vc_busy[v] && !op.tail_sent[v] &&
+          op.credits[v] == cfg_.vc_buffer_depth) {
+        op.grantable_mask |= 1u << v;
+      }
+    }
   }
   flits_traversed_ = r.u64();
   crc_flagged_flits_ = r.u64();

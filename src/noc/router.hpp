@@ -26,11 +26,11 @@
 #pragma once
 
 #include <array>
-#include <deque>
 #include <optional>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/ring.hpp"
 #include "common/geometry.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -109,6 +109,12 @@ class Router : public VcHolder {
   /// congestion metric for adaptive route selection.
   int free_credits(Port out) const;
 
+  /// Append the packet of every flit still buffered in this router (VC
+  /// FIFOs, ST registers; subclasses add their latches) to `out`. Teardown
+  /// support: the Network's destructor releases the flight anchors of
+  /// traffic abandoned mid-run so nothing leaks.
+  virtual void collect_in_flight(std::vector<Packet*>& out) const;
+
   // --- active-set scheduling (see noc/scheduler.hpp for the contract) ---
   /// Must this router be ticked next cycle regardless of channel activity?
   virtual bool sched_busy() const;
@@ -133,12 +139,12 @@ class Router : public VcHolder {
   struct VcState {
     enum class S { Idle, WaitVc, Active };
     S state = S::Idle;
-    std::deque<BufferedFlit> fifo;
+    RingDeque<BufferedFlit> fifo;
     Port out_port = Port::Local;
     int out_vc = -1;
     Cycle va_eligible = 0;
     Cycle sa_eligible = 0;
-    PacketPtr pkt;  ///< packet currently owning this VC
+    Packet* pkt = nullptr;  ///< packet currently owning this VC (flight-anchored)
   };
 
   struct InputPort {
@@ -148,6 +154,12 @@ class Router : public VcHolder {
     Port upstream_out = Port::Local;
     std::vector<VcState> vcs;
     int sa_rr = 0;  ///< round-robin pointer over VCs
+    /// Bitmask caches of the per-VC states (bit v set <=> vcs[v].state is
+    /// WaitVc / Active). The allocation stages and the gating census scan
+    /// set bits instead of walking every VcState each cycle, which is the
+    /// dominant per-tick cost once flit movement itself is allocation-free.
+    std::uint32_t wait_mask = 0;
+    std::uint32_t active_mask = 0;
   };
 
   struct OutputPort {
@@ -165,6 +177,12 @@ class Router : public VcHolder {
     /// changes), which recomputes the prefix from scratch.
     mutable int cached_free_credits = 0;
     mutable int cached_active = -1;
+    /// Bit v set <=> downstream VC v is grantable under conservative atomic
+    /// reallocation (!vc_busy && !tail_sent && credits == depth). Updated at
+    /// the grant and the credit-refill reallocation point, so a waiting VC's
+    /// failed VA attempt — the steady state under saturation — is one AND
+    /// instead of a scan over every downstream VC.
+    std::uint32_t grantable_mask = 0;
   };
 
   /// A switch-allocation winner waiting for its crossbar cycle.
@@ -186,13 +204,13 @@ class Router : public VcHolder {
   /// Route a head flit; may mutate the packet (the hybrid router processes
   /// setup/teardown here). nullopt = consume the flit without forwarding
   /// (single-flit config packets only).
-  virtual std::optional<Port> compute_route(const PacketPtr& pkt, Port in, Cycle now);
+  virtual std::optional<Port> compute_route(Packet* pkt, Port in, Cycle now);
   /// A CRC-flagged config message was evaporated at this router's input:
   /// acting on damaged protocol fields (slot ids, owner tags) would corrupt
   /// reservation state, and the protocol's timeout/lease machinery already
   /// recovers from the loss. The hybrid router retires it with the
   /// controller's config-in-flight ledger.
-  virtual void on_config_corrupt(const PacketPtr& pkt) { (void)pkt; }
+  virtual void on_config_corrupt(Packet* pkt) { (void)pkt; }
   /// Called during the traversal phase so the hybrid router can push the
   /// circuit-switched flits it collected this cycle through the crossbar.
   virtual void traverse_circuit(Cycle now) { (void)now; }

@@ -6,7 +6,7 @@
 //
 // RunParams.fidelity selects the engine: Cycle runs the cycle-accurate core
 // below; Fast dispatches to the transfer-level model in src/fastmodel, which
-// produces the same RunResult surface at ~100x the cycle throughput.
+// produces the same RunResult surface at ~75x the cycle throughput.
 #pragma once
 
 #include <vector>

@@ -23,7 +23,7 @@ inline double safe_ratio(double num, double den) {
 ///    the ground truth every figure is calibrated against.
 ///  * Fast: the transfer-level model (src/fastmodel) — whole packet
 ///    transfers over link-by-link routes with analytic congestion and
-///    serialization; ~100x the cycle throughput, accuracy-gated against the
+///    serialization; ~75x the cycle throughput, accuracy-gated against the
 ///    cycle core by the `accuracy` test label (see EXPERIMENTS.md).
 enum class Fidelity : std::uint8_t { Cycle, Fast };
 

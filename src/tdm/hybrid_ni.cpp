@@ -105,7 +105,7 @@ std::optional<Cycle> HybridNi::find_start(int slot, int nflits, Cycle now) const
   for (int attempt = 0; attempt < 2; ++attempt, c += static_cast<Cycle>(S)) {
     bool free = true;
     for (int i = 0; i < nflits && free; ++i) {
-      if (cs_plan_.count(c - 2 + static_cast<Cycle>(i))) free = false;
+      if (cs_plan_.contains(c - 2 + static_cast<Cycle>(i))) free = false;
     }
     if (free) return c;
   }
@@ -160,10 +160,14 @@ HybridNi::CsAttempt HybridNi::schedule_cs(const PacketPtr& pkt,
   pkt->num_flits = nflits;
   pkt->share_in_port = share_in;
   pkt->share_out_port = share_out;
+  // Commit point: every planned flit carries a raw pointer; the flight
+  // anchor keeps the packet alive until all of them are terminally consumed
+  // (ejected, evaporated, or cancelled by a bounce).
+  begin_flight(pkt);
   const bool plan_was_empty = cs_plan_.empty();
   for (int i = 0; i < nflits; ++i) {
     Flit f;
-    f.pkt = pkt;
+    f.pkt = pkt.get();
     f.seq = i;
     f.switching = Switching::Circuit;
     if (nflits == 1) {
@@ -175,9 +179,7 @@ HybridNi::CsAttempt HybridNi::schedule_cs(const PacketPtr& pkt,
     } else {
       f.type = FlitType::Body;
     }
-    const auto [it, inserted] = cs_plan_.emplace(*start - 2 + static_cast<Cycle>(i), f);
-    HN_CHECK(inserted);
-    (void)it;
+    cs_plan_.emplace_unique(*start - 2 + static_cast<Cycle>(i), f);
   }
   note_cs_plan_change(plan_was_empty);
   if (!pkt->reinjected) ++data_packets_sent_;
@@ -278,20 +280,20 @@ bool HybridNi::try_circuit(const PacketPtr& pkt, Cycle now) {
 
 bool HybridNi::circuit_inject(Cycle now) {
   epoch_tick(now);
-  while (!delayed_config_.empty() && delayed_config_.begin()->first <= now) {
-    auto p = std::move(delayed_config_.begin()->second);
-    delayed_config_.erase(delayed_config_.begin());
+  while (!delayed_config_.empty() && delayed_config_.front().first <= now) {
+    auto p = std::move(delayed_config_.front().second);
+    delayed_config_.pop_front();
     ctrl_->config_launched();
     NetworkInterface::send(std::move(p), now);
   }
-  while (!fault_teardowns_.empty() && fault_teardowns_.begin()->first <= now) {
-    const NodeId dst = fault_teardowns_.begin()->second;
-    fault_teardowns_.erase(fault_teardowns_.begin());
+  while (!fault_teardowns_.empty() && fault_teardowns_.front().first <= now) {
+    const NodeId dst = fault_teardowns_.front().second;
+    fault_teardowns_.pop_front();
     execute_fault_teardown(dst, now);
   }
-  while (!deferred_setups_.empty() && deferred_setups_.begin()->first <= now) {
-    const DeferredSetup d = deferred_setups_.begin()->second;
-    deferred_setups_.erase(deferred_setups_.begin());
+  while (!deferred_setups_.empty() && deferred_setups_.front().first <= now) {
+    const DeferredSetup d = deferred_setups_.front().second;
+    deferred_setups_.pop_front();
     pending_dsts_.erase(d.dst);
     if (frozen_ || !ctrl_->cs_allowed()) {
       // The world changed while we backed off; give up like an exhausted
@@ -303,14 +305,15 @@ bool HybridNi::circuit_inject(Cycle now) {
     }
     send_setup(d.dst, d.retries, now, d.avoid_slot);
   }
-  const auto it = cs_plan_.find(now);
-  if (it == cs_plan_.end()) {
-    HN_CHECK_MSG(cs_plan_.empty() || cs_plan_.begin()->first > now,
+  // The plan is cycle-sorted and never missed (checked below), so the only
+  // candidate is the front entry — one compare per tick, no lookup.
+  if (cs_plan_.empty() || cs_plan_.front().first != now) {
+    HN_CHECK_MSG(cs_plan_.empty() || cs_plan_.front().first > now,
                  "missed circuit injection slot");
     return false;
   }
-  Flit f = it->second;
-  cs_plan_.erase(it);
+  Flit f = cs_plan_.front().second;
+  cs_plan_.pop_front();
   note_cs_plan_change(/*was_empty=*/false);
   if (f.is_head() && f.pkt->is_hitchhiker()) {
     // Re-validate the shared entry before committing the packet; the ride
@@ -318,7 +321,10 @@ bool HybridNi::circuit_inject(Cycle now) {
     if (!hrouter_->share_entry_ok(now + 2,
                                   static_cast<Port>(f.pkt->share_in_port),
                                   static_cast<Port>(f.pkt->share_out_port))) {
+      // Bounce while this head's flight count still pins the packet, then
+      // consume it — the last of the packet's flits to go.
       bounce_packet(f.pkt, f.pkt->dst, now);
+      (void)consume_flit(f.pkt);
       return false;  // cycle goes to packet-switched traffic
     }
   }
@@ -332,16 +338,16 @@ bool HybridNi::circuit_inject(Cycle now) {
   return true;
 }
 
-void HybridNi::bounce_packet(const PacketPtr& pkt, NodeId ride_dest, Cycle now) {
-  // Cancel flits not yet on the wire.
+void HybridNi::bounce_packet(Packet* pkt, NodeId ride_dest, Cycle now) {
+  // Cancel flits not yet on the wire, consuming each one's flight count.
+  // The caller still holds the head's count, so the anchor cannot drop and
+  // `pkt` stays valid through the rest of this function.
   const bool plan_was_empty = cs_plan_.empty();
-  for (auto it = cs_plan_.begin(); it != cs_plan_.end();) {
-    if (it->second.pkt == pkt) {
-      it = cs_plan_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  cs_plan_.erase_if([&](Cycle, const Flit& f) {
+    if (f.pkt != pkt) return false;
+    (void)consume_flit(f.pkt);
+    return true;
+  });
   note_cs_plan_change(plan_was_empty);
   ++hitchhike_bounces_;
   if (dlt_.record_failure(ride_dest)) {
@@ -763,8 +769,15 @@ void HybridNi::on_circuit_use(int slot, Port in, Cycle now) {
   dlt_.activate_route(slot, in);
 }
 
-void HybridNi::on_hitchhike_bounce(const PacketPtr& pkt, Cycle now) {
+void HybridNi::on_hitchhike_bounce(Packet* pkt, Cycle now) {
   bounce_packet(pkt, pkt->dst, now);
+}
+
+void HybridNi::collect_in_flight(std::vector<Packet*>& out) const {
+  NetworkInterface::collect_in_flight(out);
+  for (const auto& [cyc, f] : cs_plan_) {
+    if (f.pkt) out.push_back(f.pkt);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -775,7 +788,8 @@ void HybridNi::epoch_tick(Cycle now) {
   freq_.clear();
   expire_pending(now);
   // Retire connections idle beyond the timeout.
-  std::vector<NodeId> idle_list;
+  std::vector<NodeId>& idle_list = idle_scratch_;
+  idle_list.clear();
   for (const auto& [dst, conn] : connections_) {
     if (now - conn.last_used > cfg_.path_idle_timeout) idle_list.push_back(dst);
   }

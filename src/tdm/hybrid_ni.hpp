@@ -19,12 +19,11 @@
 #pragma once
 
 #include <functional>
-#include <map>
-#include <set>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/pool.hpp"
+#include "common/ring.hpp"
 #include "common/rng.hpp"
 #include "noc/network_interface.hpp"
 #include "tdm/controller.hpp"
@@ -88,7 +87,11 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
                      Cycle now) override;
   void on_teardown_pass(int slot, Port in, Cycle now) override;
   void on_circuit_use(int slot, Port in, Cycle now) override;
-  void on_hitchhike_bounce(const PacketPtr& pkt, Cycle now) override;
+  void on_hitchhike_bounce(Packet* pkt, Cycle now) override;
+
+  /// Planned circuit flits hold flight references too; add them to the
+  /// network teardown drain.
+  void collect_in_flight(std::vector<Packet*>& out) const override;
 
   // --- introspection (tests, benches) ---
   int active_connections() const { return static_cast<int>(connections_.size()); }
@@ -217,7 +220,9 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
 
   /// Cancel remaining planned flits and re-send the packet packet-switched.
   /// `ride_dest` is the shared path's destination (for the DLT counter).
-  void bounce_packet(const PacketPtr& pkt, NodeId ride_dest, Cycle now);
+  /// The caller must still hold the packet's head-flit flight count (it is
+  /// consumed after this returns), so `pkt` stays valid throughout.
+  void bounce_packet(Packet* pkt, NodeId ride_dest, Cycle now);
 
   /// Tear down the doomed connection to `dst` (all windows) and force a
   /// fresh setup over a fault-aware route. Re-defers itself while circuit
@@ -240,24 +245,31 @@ class HybridNi : public NetworkInterface, public CircuitNiHooks {
   /// (vicinity scan, idlest-connection search, epoch teardowns, pending
   /// expiry), and checkpoint/restore must reproduce the exact visit order —
   /// sorted iteration makes the order a function of the keys alone, not of
-  /// hash-table insertion history.
-  std::map<NodeId, Connection> connections_;
-  std::map<std::uint64_t, PendingSetup> pending_;
-  std::set<NodeId> pending_dsts_;
-  std::unordered_map<NodeId, int> freq_;
-  std::unordered_map<NodeId, Cycle> cooldown_until_;
-  std::map<Cycle, Flit> cs_plan_;  ///< injection-channel write schedule
+  /// hash-table insertion history. Pool-backed so the node churn (freq_
+  /// resets every epoch, pending entries per setup) recycles fixed blocks
+  /// instead of hitting the heap.
+  PooledMap<NodeId, Connection> connections_;
+  PooledMap<std::uint64_t, PendingSetup> pending_;
+  PooledSet<NodeId> pending_dsts_;
+  PooledUMap<NodeId, int> freq_;
+  PooledUMap<NodeId, Cycle> cooldown_until_;
+  /// Injection-channel write schedule. Cycle-sorted flat storage: the hot
+  /// path is one front()-vs-now compare per NI tick (was a std::map lookup).
+  CycleMap<Flit> cs_plan_;
   /// Config messages held back by a Delay fault verdict: release cycle -> pkt.
-  std::multimap<Cycle, PacketPtr> delayed_config_;
+  CycleMap<PacketPtr> delayed_config_;
   /// Liveness teardowns waiting for planned circuit flits to clear:
   /// fire cycle -> doomed connection's destination.
-  std::multimap<Cycle, NodeId> fault_teardowns_;
+  CycleMap<NodeId> fault_teardowns_;
   /// Backed-off setup retries (cfg.setup_backoff_base_cycles > 0):
   /// fire cycle -> retry parameters. The destination stays in pending_dsts_
   /// while deferred so no competing setup starts.
-  std::multimap<Cycle, DeferredSetup> deferred_setups_;
+  CycleMap<DeferredSetup> deferred_setups_;
   ConfigFaultHook fault_hook_;
   DestinationLookupTable dlt_;
+  /// epoch_tick scratch (kept across calls so steady-state epochs do not
+  /// touch the heap).
+  std::vector<NodeId> idle_scratch_;
 
   HybridRouter* hrouter_ = nullptr;
   TdmController* ctrl_;

@@ -90,6 +90,10 @@ bool HybridRouter::handle_arrival(Flit& flit, Port in, Cycle now) {
   }
   if (!flit.is_head()) {
     ctrl_->cs_flit_retired();
+    // Terminal consumption: a stray body evaporates here. It may be the
+    // packet's last live flit (head already bounced), so the anchor can
+    // drop right now.
+    (void)consume_flit(flit.pkt);
     return true;
   }
   const Port sin = static_cast<Port>(flit.pkt->share_in_port);
@@ -99,7 +103,11 @@ bool HybridRouter::handle_arrival(Flit& flit, Port in, Cycle now) {
   const bool contention = cs_arrival_expected(sin, now);
   if (!path_ok || contention) {
     ctrl_->cs_flit_retired();
+    // Bounce first (the NI clones the packet for the packet-switched
+    // retry while the head's flight reference keeps it alive), then
+    // consume the head — possibly releasing the anchor.
     if (ni_hooks_) ni_hooks_->on_hitchhike_bounce(flit.pkt, now);
+    (void)consume_flit(flit.pkt);
     return true;
   }
   slots_.refresh(slots_.slot_of(now), cfg_.reservation_duration(), sin, now);
@@ -131,7 +139,7 @@ bool HybridRouter::st_ok(Port in, Port out, Cycle st_cycle) {
   return true;
 }
 
-std::optional<Port> HybridRouter::compute_route(const PacketPtr& pkt, Port in,
+std::optional<Port> HybridRouter::compute_route(Packet* pkt, Port in,
                                                 Cycle now) {
   switch (pkt->type) {
     case MsgType::SetupRequest:
@@ -146,13 +154,13 @@ std::optional<Port> HybridRouter::compute_route(const PacketPtr& pkt, Port in,
   return std::nullopt;
 }
 
-void HybridRouter::on_config_corrupt(const PacketPtr& pkt) {
+void HybridRouter::on_config_corrupt(Packet* pkt) {
   (void)pkt;
   ++corrupt_config_drops_;
   ctrl_->config_retired();
 }
 
-std::optional<Port> HybridRouter::process_setup(const PacketPtr& pkt, Port in,
+std::optional<Port> HybridRouter::process_setup(Packet* pkt, Port in,
                                                 Cycle now) {
   if (pkt->table_gen != ctrl_->table_generation()) {
     // The tables this setup was walking were wiped by a dynamic resize while
@@ -196,7 +204,7 @@ std::optional<Port> HybridRouter::process_setup(const PacketPtr& pkt, Port in,
   return (pkt->dst == id_) ? Port::Local : route_adaptive(pkt->dst, now);
 }
 
-std::optional<Port> HybridRouter::process_teardown(const PacketPtr& pkt, Port in,
+std::optional<Port> HybridRouter::process_teardown(Packet* pkt, Port in,
                                                    Cycle now) {
   if (pkt->table_gen != ctrl_->table_generation()) {
     // Stale teardown: the reservations it would release were already wiped
@@ -224,6 +232,13 @@ std::optional<Port> HybridRouter::process_teardown(const PacketPtr& pkt, Port in
   if (ni_hooks_) ni_hooks_->on_teardown_pass(pkt->slot_id, in, now);
   pkt->slot_id = (pkt->slot_id + 2) & (slots_.active_size() - 1);
   return *out;
+}
+
+void HybridRouter::collect_in_flight(std::vector<Packet*>& out) const {
+  Router::collect_in_flight(out);
+  for (const auto& t : cs_now_) {
+    if (t.flit.pkt) out.push_back(t.flit.pkt);
+  }
 }
 
 void HybridRouter::traverse_circuit(Cycle now) {

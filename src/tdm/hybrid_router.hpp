@@ -42,7 +42,9 @@ class CircuitNiHooks {
   virtual void on_circuit_use(int slot, Port in, Cycle now) = 0;
   /// A hitchhiking packet lost to contention (or a stale path) at the
   /// crossbar; the NI must re-send it packet-switched (Section III-A1).
-  virtual void on_hitchhike_bounce(const PacketPtr& pkt, Cycle now) = 0;
+  /// `pkt` is kept alive by the head flit's still-unconsumed flight
+  /// reference for the duration of the call.
+  virtual void on_hitchhike_bounce(Packet* pkt, Cycle now) = 0;
 };
 
 class HybridRouter : public Router {
@@ -87,18 +89,20 @@ class HybridRouter : public Router {
   void save_state(StateWriter& w) const override;
   void restore_state(StateReader& r) override;
 
+  void collect_in_flight(std::vector<Packet*>& out) const override;
+
  protected:
   bool handle_arrival(Flit& flit, Port in, Cycle now) override;
   bool st_ok(Port in, Port out, Cycle st_cycle) override;
-  std::optional<Port> compute_route(const PacketPtr& pkt, Port in, Cycle now) override;
-  void on_config_corrupt(const PacketPtr& pkt) override;
+  std::optional<Port> compute_route(Packet* pkt, Port in, Cycle now) override;
+  void on_config_corrupt(Packet* pkt) override;
   void traverse_circuit(Cycle now) override;
   void leakage_tick(Cycle now) override;
   void accumulate_idle_energy(EnergyCounters& e, std::uint64_t ncycles) const override;
 
  private:
-  std::optional<Port> process_setup(const PacketPtr& pkt, Port in, Cycle now);
-  std::optional<Port> process_teardown(const PacketPtr& pkt, Port in, Cycle now);
+  std::optional<Port> process_setup(Packet* pkt, Port in, Cycle now);
+  std::optional<Port> process_teardown(Packet* pkt, Port in, Cycle now);
 
   /// Will a circuit-switched flit arrive on `port` exactly at `cycle`?
   /// (The advance-signal wire of Section II-D.)

@@ -40,6 +40,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/pool.hpp"
 #include "common/types.hpp"
 
 namespace hybridnoc {
@@ -126,7 +127,7 @@ class SlotTable {
       // can contain expirable entries only if its lowest stamp is < cutoff.
       while (it != buckets.end() &&
              (it->first << kExpiryBucketShift) < cutoff) {
-        std::vector<std::uint32_t> survivors;
+        SlotList survivors;
         for (const std::uint32_t slot : it->second) {
           Entry& e = at(static_cast<int>(slot), in);
           if (!e.valid || e.bucket != it->first) continue;  // stale reference
@@ -233,9 +234,12 @@ class SlotTable {
   std::array<int, kNumPorts> valid_by_port_{};
   bool track_expiry_ = true;
   /// Per input port: stamp bucket -> slot indices, lazily validated.
-  /// std::map keeps sweeps in deterministic ascending-bucket order.
-  std::array<std::map<Cycle, std::vector<std::uint32_t>>, kNumPorts>
-      expiry_buckets_;
+  /// The ordered map keeps sweeps in deterministic ascending-bucket order;
+  /// nodes and index storage are pool-backed because new stamp buckets keep
+  /// appearing as simulated time advances — the one slot-table operation
+  /// that would otherwise enter the allocator in steady state.
+  using SlotList = std::vector<std::uint32_t, PoolAlloc<std::uint32_t>>;
+  std::array<PooledMap<Cycle, SlotList>, kNumPorts> expiry_buckets_;
 };
 
 }  // namespace hybridnoc

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 namespace hybridnoc {
 namespace {
@@ -27,7 +28,7 @@ PacketPtr make_packet(PacketId id, NodeId src, NodeId dst, int flits) {
 
 Flit make_flit(const PacketPtr& pkt, int seq, int vc) {
   Flit f;
-  f.pkt = pkt;
+  f.pkt = pkt.get();  // tests keep the PacketPtr alive for the run
   f.seq = seq;
   f.vc = vc;
   if (pkt->num_flits == 1) {
@@ -182,11 +183,13 @@ TEST(Router, StallsWithoutDownstreamCredits) {
   // send 5 flits (fills one downstream VC), then a second packet must use
   // another VC; send 4 more packets to occupy all 4 VCs, and a 5th packet
   // must wait until credits return.
+  std::vector<PacketPtr> pkts;  // outlive the run: flits hold raw pointers
   for (int i = 0; i < 5; ++i) {
     auto pkt = make_packet(static_cast<PacketId>(i + 1), 0, b.mesh.node({2, 1}), 5);
     for (int s = 0; s < 5; ++s)
       b.in[static_cast<int>(Port::West)]->send(
           make_flit(pkt, s, i % 4), static_cast<Cycle>(8 + i * 5 + s));
+    pkts.push_back(std::move(pkt));
   }
   b.run_to(120);
   // Only 4 packets' flits (20) can come out; packet 5 needs vc0 which still

@@ -1,0 +1,145 @@
+// Steady-state zero-allocation gate for the loaded path (label: perf).
+//
+// The allocation-free overhaul's claim is structural, not statistical: after
+// warmup, a loaded cycle moves flits exclusively through recycled storage —
+// ring buffers at their high-water capacity, pooled packet blocks, pooled
+// container nodes — so the global allocator is never entered. This binary
+// pins that down by interposing the global operator new/delete with a
+// counting hook and asserting the count's delta over a measured window of
+// warmed saturation traffic is exactly zero.
+//
+// The hook lives in this dedicated test binary (never in the library) so it
+// cannot perturb any other test. Under sanitizer builds (HN_POOL_DISABLED)
+// the pool intentionally degrades to plain new/delete for full poisoning
+// coverage, so the zero-allocation assertion is skipped there — the same
+// configuration's behavioural equivalence is covered by the pool twin-run
+// property test, which runs in every build flavour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#ifdef HN_TRACE_ALLOCS
+#include <execinfo.h>
+#endif
+
+#include "common/pool.hpp"
+#include "common/rng.hpp"
+#include "tdm/hybrid_network.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<bool> g_trace{false};
+
+void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+#ifdef HN_TRACE_ALLOCS
+  if (g_trace.load(std::memory_order_relaxed)) {
+    g_trace.store(false);
+    void* frames[32];
+    const int depth = backtrace(frames, 32);
+    backtrace_symbols_fd(frames, depth, 2);
+    g_trace.store(true);
+  }
+#endif
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+#if !HN_POOL_DISABLED
+// Global replacement set: plain, array, aligned and nothrow forms all funnel
+// through the counter. Sanitizer builds keep the sanitizer's own interposers
+// (and skip the assertion), so the override is compiled out there.
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+#endif  // !HN_POOL_DISABLED
+
+namespace hybridnoc {
+namespace {
+
+/// Drive `net` with seeded uniform-random injection for `cycles` cycles —
+/// the same loaded regime as BM_LoadedSaturation's 8x8 row.
+template <typename Net>
+void drive(Net& net, Rng& rng, PacketId& id, double rate, Cycle cycles) {
+  const Cycle until = net.now() + cycles;
+  while (net.now() < until) {
+    for (NodeId s = 0; s < net.num_nodes(); ++s) {
+      if (net.ni(s).inject_queue_depth() < 4 && rng.bernoulli(rate)) {
+        auto p = make_packet();
+        p->id = id++;
+        p->src = s;
+        p->dst = static_cast<NodeId>(rng.uniform_int(net.num_nodes()));
+        if (p->dst == s) continue;
+        p->num_flits = 5;
+        net.ni(s).send(std::move(p), net.now());
+      }
+    }
+    net.tick();
+  }
+}
+
+TEST(ZeroAlloc, WarmedLoadedRunMakesNoHeapAllocations) {
+#if HN_POOL_DISABLED
+  GTEST_SKIP() << "pool disabled under sanitizers: the shared_ptr-compatible "
+                  "fallback allocates by design";
+#else
+  ASSERT_TRUE(BlockPool::enabled())
+      << "pool must be on for the zero-allocation property";
+  HybridNetwork net(NocConfig::hybrid_tdm_vc4(8));
+  Rng rng(1);
+  PacketId id = 1;
+  // Warmup: reach every steady-state high-water mark — ring capacities,
+  // pooled free lists, container rehash ceilings, scheduler storage. The
+  // run is seeded and fully deterministic, so the high-water trajectory is
+  // identical on every execution; 40k cycles sits past the last observed
+  // growth event (an NI inject-ring doubling during a config-retry burst
+  // near cycle 33k) with a wide margin.
+  drive(net, rng, id, 0.3, 40000);
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  g_trace.store(true);
+  drive(net, rng, id, 0.3, 4000);
+  g_trace.store(false);
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << "warmed loaded cycles entered the global allocator "
+      << (after - before) << " times over 4000 cycles";
+#endif
+}
+
+/// The pool's runtime off-switch is the sanitizer fallback path; prove a
+/// loaded run completes on it in every build flavour (under asan this is
+/// the leg that exercises the shared_ptr-compatible fallback explicitly).
+TEST(ZeroAlloc, PoolOffFallbackCarriesLoadedTraffic) {
+  BlockPool::set_enabled(false);
+  BlockPool::instance().trim();
+  {
+    HybridNetwork net(NocConfig::hybrid_tdm_vc4(8));
+    Rng rng(1);
+    PacketId id = 1;
+    drive(net, rng, id, 0.3, 5000);
+    EXPECT_GT(net.total_data_delivered(), 0u);
+  }
+  BlockPool::set_enabled(true);
+}
+
+}  // namespace
+}  // namespace hybridnoc

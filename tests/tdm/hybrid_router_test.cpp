@@ -56,7 +56,7 @@ TEST(HybridRouterProtocol, SetupReservesAndIncrementsSlotByTwo) {
   Fixture f;
   // Setup from the west neighbour heading to the east neighbour.
   auto pkt = f.setup(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 5);
-  const auto out = f.router.compute_route(pkt, Port::West, 10);
+  const auto out = f.router.compute_route(pkt.get(), Port::West, 10);
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(*out, Port::East);
   EXPECT_EQ(pkt->type, MsgType::SetupRequest);
@@ -70,7 +70,7 @@ TEST(HybridRouterProtocol, SetupReservesAndIncrementsSlotByTwo) {
 TEST(HybridRouterProtocol, SetupAtDestinationReservesEjection) {
   Fixture f;
   auto pkt = f.setup(f.mesh.node({0, 1}), f.mesh.node({1, 1}), 3);
-  const auto out = f.router.compute_route(pkt, Port::West, 10);
+  const auto out = f.router.compute_route(pkt.get(), Port::West, 10);
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(*out, Port::Local);
   EXPECT_EQ(f.router.slots().lookup_slot(3, Port::West), Port::Local);
@@ -79,11 +79,11 @@ TEST(HybridRouterProtocol, SetupAtDestinationReservesEjection) {
 TEST(HybridRouterProtocol, InputConflictTransformsToFailureAck) {
   Fixture f;
   auto first = f.setup(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 5);
-  ASSERT_TRUE(f.router.compute_route(first, Port::West, 10).has_value());
+  ASSERT_TRUE(f.router.compute_route(first.get(), Port::West, 10).has_value());
 
   // Second setup from the same input overlapping slot 8 (5..8 reserved).
   auto second = f.setup(f.mesh.node({0, 1}), f.mesh.node({1, 0}), 8);
-  const auto out = f.router.compute_route(second, Port::West, 20);
+  const auto out = f.router.compute_route(second.get(), Port::West, 20);
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(second->type, MsgType::AckFailure);
   EXPECT_EQ(second->dst, f.mesh.node({0, 1}));  // back to the source
@@ -95,10 +95,10 @@ TEST(HybridRouterProtocol, InputConflictTransformsToFailureAck) {
 TEST(HybridRouterProtocol, OutputConflictTransformsToFailureAck) {
   Fixture f;
   auto first = f.setup(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 5);
-  ASSERT_TRUE(f.router.compute_route(first, Port::West, 10).has_value());
+  ASSERT_TRUE(f.router.compute_route(first.get(), Port::West, 10).has_value());
   // From the north input toward the same East output, overlapping slots.
   auto second = f.setup(f.mesh.node({1, 0}), f.mesh.node({2, 1}), 6);
-  (void)f.router.compute_route(second, Port::North, 20);
+  (void)f.router.compute_route(second.get(), Port::North, 20);
   EXPECT_EQ(second->type, MsgType::AckFailure);
 }
 
@@ -118,7 +118,7 @@ TEST(HybridRouterProtocol, OccupancyThresholdBlocksNewReservations) {
   ASSERT_GT(slots.occupancy(), 0.9);
   const int before = slots.valid_entries();
   auto pkt = f.setup(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 3);
-  (void)f.router.compute_route(pkt, Port::West, 10);
+  (void)f.router.compute_route(pkt.get(), Port::West, 10);
   EXPECT_EQ(pkt->type, MsgType::AckFailure);  // starvation guard (Section II-B)
   EXPECT_EQ(slots.valid_entries(), before);
 }
@@ -126,12 +126,12 @@ TEST(HybridRouterProtocol, OccupancyThresholdBlocksNewReservations) {
 TEST(HybridRouterProtocol, TeardownWalksPathAndReleases) {
   Fixture f;
   auto s = f.setup(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 5);
-  ASSERT_TRUE(f.router.compute_route(s, Port::West, 10).has_value());
+  ASSERT_TRUE(f.router.compute_route(s.get(), Port::West, 10).has_value());
   ASSERT_EQ(f.router.slots().valid_entries(), 4);
 
   f.ctrl.config_launched();  // the teardown about to be processed
   auto t = f.teardown(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 5);
-  const auto out = f.router.compute_route(t, Port::West, 20);
+  const auto out = f.router.compute_route(t.get(), Port::West, 20);
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(*out, Port::East);  // follows the reserved path's output
   EXPECT_EQ(t->slot_id, 7);
@@ -142,7 +142,7 @@ TEST(HybridRouterProtocol, TeardownEvaporatesAtFailNode) {
   Fixture f;
   f.ctrl.config_launched();
   auto t = f.teardown(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 5);
-  const auto out = f.router.compute_route(t, Port::West, 20);
+  const auto out = f.router.compute_route(t.get(), Port::West, 20);
   EXPECT_FALSE(out.has_value());  // nothing reserved: setup failed here
   EXPECT_EQ(f.ctrl.config_in_flight(), 0u);  // retired by the router
 }
@@ -150,7 +150,7 @@ TEST(HybridRouterProtocol, TeardownEvaporatesAtFailNode) {
 TEST(HybridRouterProtocol, ShareEntryOkTracksTable) {
   Fixture f;
   auto s = f.setup(f.mesh.node({0, 1}), f.mesh.node({2, 1}), 4);
-  ASSERT_TRUE(f.router.compute_route(s, Port::West, 10).has_value());
+  ASSERT_TRUE(f.router.compute_route(s.get(), Port::West, 10).has_value());
   EXPECT_TRUE(f.router.share_entry_ok(4, Port::West, Port::East));
   EXPECT_TRUE(f.router.share_entry_ok(16 + 5, Port::West, Port::East));
   EXPECT_FALSE(f.router.share_entry_ok(9, Port::West, Port::East));
@@ -160,7 +160,7 @@ TEST(HybridRouterProtocol, ShareEntryOkTracksTable) {
 TEST(HybridRouterProtocol, LocalInputFreePrecheck) {
   Fixture f;
   auto s = f.setup(f.router.id(), f.mesh.node({2, 1}), 2);
-  ASSERT_TRUE(f.router.compute_route(s, Port::Local, 10).has_value());
+  ASSERT_TRUE(f.router.compute_route(s.get(), Port::Local, 10).has_value());
   EXPECT_FALSE(f.router.local_input_free(2, 4));
   EXPECT_FALSE(f.router.local_input_free(5, 1));
   EXPECT_TRUE(f.router.local_input_free(6, 4));

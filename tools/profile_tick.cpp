@@ -26,6 +26,7 @@
 #include <string>
 
 #include "common/config.hpp"
+#include "common/pool.hpp"
 #include "common/rng.hpp"
 #include "noc/network.hpp"
 #include "tdm/hybrid_network.hpp"
@@ -99,7 +100,7 @@ void run(Net& net, const Options& o) {
       if (o.inject > 0.0) {
         for (NodeId s = 0; s < net.num_nodes(); ++s) {
           if (net.ni(s).inject_queue_depth() < 4 && rng.bernoulli(o.inject)) {
-            auto p = std::make_shared<Packet>();
+            auto p = make_packet();
             p->id = id++;
             p->src = s;
             p->dst = static_cast<NodeId>(rng.uniform_int(net.num_nodes()));
@@ -141,6 +142,27 @@ void run(Net& net, const Options& o) {
               static_cast<unsigned long long>(p.watchdog_sweeps));
   std::printf("fast-forward jumps   %llu\n",
               static_cast<unsigned long long>(p.ff_jumps));
+  // Allocation / refcount telemetry: what the loaded path still pays the
+  // allocator and the packet anchor per simulated cycle.
+  const auto per_cycle = [&](std::uint64_t n) {
+    return p.cycles ? static_cast<double>(n) / static_cast<double>(p.cycles)
+                    : 0.0;
+  };
+  std::printf("packets minted       %llu  (%.3f /cycle)\n",
+              static_cast<unsigned long long>(p.packets_minted),
+              per_cycle(p.packets_minted));
+  std::printf("pool hits            %llu  (%.3f /cycle)\n",
+              static_cast<unsigned long long>(p.pool_hits),
+              per_cycle(p.pool_hits));
+  std::printf("pool misses          %llu  (%.3f /cycle)\n",
+              static_cast<unsigned long long>(p.pool_misses),
+              per_cycle(p.pool_misses));
+  std::printf("flight acquires      %llu  (%.3f /cycle)\n",
+              static_cast<unsigned long long>(p.flight_acquires),
+              per_cycle(p.flight_acquires));
+  std::printf("flight releases      %llu  (%.3f /cycle)\n",
+              static_cast<unsigned long long>(p.flight_releases),
+              per_cycle(p.flight_releases));
 }
 
 }  // namespace
